@@ -1,0 +1,44 @@
+// Ablation: measurement noise. Table II's contrast — accurate policy models,
+// weak chunk-size models — comes from near-optimal chunk values tying within
+// measurement noise. Sweeping the noise amplitude makes that mechanism
+// visible: with noise off, chunk labels are deterministic and learnable;
+// realistic noise collapses chunk accuracy while policy accuracy barely
+// moves (the seq/omp gap is orders of magnitude for most launches).
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "ml/cross_validation.hpp"
+
+using namespace apollo;
+
+int main() {
+  bench::print_heading("Model accuracy vs measurement-noise amplitude (LULESH)",
+                       "mechanism behind Table II's policy-vs-chunk contrast");
+
+  auto app = apps::make_lulesh();
+  bench::print_row({"noise sigma", "policy accuracy", "chunk accuracy"}, {14, 18, 16});
+
+  for (double sigma : {0.0, 0.02, 0.06, 0.12, 0.25}) {
+    Runtime::instance().reset();
+    sim::MachineConfig config;
+    config.noise_sigma = sigma;
+    Runtime::instance().set_machine(sim::MachineModel(config));
+
+    const auto records = bench::record_training(*app, 4, /*with_chunks=*/true);
+    const LabeledData policy = Trainer::build_labeled_data(records, TunedParameter::Policy);
+    const LabeledData chunk = Trainer::build_labeled_data(records, TunedParameter::ChunkSize);
+
+    const auto policy_cv =
+        ml::cross_validate(bench::subsample(policy.dataset, 8000, 1), ml::TreeParams{}, 5, 42);
+    const auto chunk_cv =
+        ml::cross_validate(bench::subsample(chunk.dataset, 8000, 2), ml::TreeParams{}, 5, 42);
+
+    bench::print_row({bench::fmt(sigma, 2), bench::fmt(policy_cv.mean_accuracy * 100, 1) + "%",
+                      bench::fmt(chunk_cv.mean_accuracy * 100, 1) + "%"},
+                     {14, 18, 16});
+  }
+  std::printf("\nShape: policy accuracy is robust to noise; chunk accuracy degrades steeply\n"
+              "because many chunk values are near-ties whose argmin flips with noise.\n");
+  return 0;
+}

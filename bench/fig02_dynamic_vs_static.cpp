@@ -1,0 +1,49 @@
+// Figure 2: total time spent in the eight most variable CleverLeaf kernels
+// under oracle (best-per-launch) dynamic policy selection, compared to
+// statically choosing OpenMP everywhere.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+using namespace apollo;
+
+int main() {
+  bench::print_heading("CleverLeaf: dynamic-best vs static-OpenMP, top-8 kernels",
+                       "Figure 2 (potential of dynamic policy selection)");
+
+  Runtime::instance().reset();
+  auto app = apps::make_cleverleaf();
+  const auto records = bench::record_training(*app, 5, /*with_chunks=*/false);
+  const LabeledData data = Trainer::build_labeled_data(records, TunedParameter::Policy);
+
+  const auto& labels = data.dataset.label_names();
+  const int omp_label = static_cast<int>(
+      std::find(labels.begin(), labels.end(), "omp") - labels.begin());
+
+  const auto top = bench::top_kernels_by_time(data, 8);
+  bench::print_row({"kernel", "static OpenMP", "dynamic best", "ratio"}, {32, 16, 16, 8});
+
+  double total_static = 0.0, total_dynamic = 0.0;
+  for (const auto& kernel : top) {
+    double static_time = 0.0, dynamic_time = 0.0;
+    for (std::size_t r = 0; r < data.runtimes.size(); ++r) {
+      if (data.row_loop_ids[r] != kernel) continue;
+      const double weight = static_cast<double>(data.row_counts[r]);
+      static_time += data.runtimes[r].at(omp_label) * weight;
+      double best = data.runtimes[r].begin()->second;
+      for (const auto& [label, seconds] : data.runtimes[r]) best = std::min(best, seconds);
+      dynamic_time += best * weight;
+    }
+    total_static += static_time;
+    total_dynamic += dynamic_time;
+    bench::print_row({kernel, bench::fmt_seconds(static_time), bench::fmt_seconds(dynamic_time),
+                      bench::fmt(static_time / dynamic_time, 2) + "x"},
+                     {32, 16, 16, 8});
+  }
+  std::printf("\nTotal (top-8):  static OpenMP %s  vs  dynamic best %s  =>  %.2fx potential\n",
+              bench::fmt_seconds(total_static).c_str(), bench::fmt_seconds(total_dynamic).c_str(),
+              total_static / total_dynamic);
+  std::printf("Paper shape: large gap between static OpenMP and per-launch best selection.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 10: model accuracy at decision-tree depths 1..25, using each
+// application's five most important features. Paper: depth ~15 matches the
+// all-features model within a fraction of a percent (8% for CleverLeaf).
+//
+// Protocol: per fold, train one depth-25 tree and evaluate pruned copies at
+// every depth — identical results to retraining per depth for CART with a
+// fixed split sequence, at a fraction of the cost.
+
+#include <cstdio>
+
+#include "bench/harness.hpp"
+#include "ml/decision_tree.hpp"
+
+using namespace apollo;
+
+int main() {
+  bench::print_heading("Model accuracy vs decision-tree depth (top-5 features)", "Figure 10");
+
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> accuracy(26);
+
+  for (auto& app : apps::make_all_applications()) {
+    names.push_back(app->name());
+    Runtime::instance().reset();
+    const auto records = bench::record_training(*app, 5, /*with_chunks=*/false);
+    const LabeledData data = Trainer::build_labeled_data(records, TunedParameter::Policy);
+    const ml::Dataset sampled = bench::subsample(data.dataset, 8000, 23);
+    const ml::Dataset reduced = sampled.select_features(bench::top_features(sampled, 5));
+
+    const int folds = 10;
+    const auto fold_of = ml::kfold_assignment(reduced.num_rows(), folds, 42);
+    std::vector<double> sum(26, 0.0);
+    for (int fold = 0; fold < folds; ++fold) {
+      std::vector<std::size_t> train_rows, test_rows;
+      for (std::size_t r = 0; r < reduced.num_rows(); ++r) {
+        (fold_of[r] == fold ? test_rows : train_rows).push_back(r);
+      }
+      const ml::Dataset train = reduced.subset(train_rows);
+      const ml::Dataset test = reduced.subset(test_rows);
+      ml::TreeParams params;
+      params.max_depth = 25;
+      const ml::DecisionTree full = ml::DecisionTree::fit(train, params);
+      for (int depth = 1; depth <= 25; ++depth) {
+        sum[static_cast<std::size_t>(depth)] += full.prune_to_depth(depth).score(test);
+      }
+    }
+    for (int depth = 1; depth <= 25; ++depth) {
+      accuracy[static_cast<std::size_t>(depth)].push_back(
+          sum[static_cast<std::size_t>(depth)] / folds);
+    }
+  }
+
+  bench::print_row({"depth", "LULESH", "CleverLeaf", "ARES"}, {8, 10, 12, 10});
+  for (int depth = 1; depth <= 25; ++depth) {
+    std::vector<std::string> cells{std::to_string(depth)};
+    for (double a : accuracy[static_cast<std::size_t>(depth)]) {
+      cells.push_back(bench::fmt(a * 100, 1) + "%");
+    }
+    bench::print_row(cells, {8, 10, 12, 10});
+  }
+  std::printf("\nPaper shape: accuracy rises steeply for shallow trees and saturates well\n"
+              "before depth 25; depth ~15 is within a whisker of the full model.\n");
+  return 0;
+}

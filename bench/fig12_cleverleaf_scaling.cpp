@@ -1,0 +1,87 @@
+// Figure 12: strong scaling CleverLeaf from 16 to 256 cores on all three
+// input problems, comparing the default RAJA policy against Apollo tuning.
+// Paper: consistent 3-5x for Sod/Triple-point; Sedov grows from 1.29x at 16
+// cores to 2.3x at 256 as patches shrink toward the strong-scaling limit.
+
+#include <cstdio>
+
+#include "apps/cleverleaf/cleverleaf.hpp"
+#include "bench/harness.hpp"
+#include "core/cluster_accountant.hpp"
+#include "ml/decision_tree.hpp"
+
+using namespace apollo;
+
+namespace {
+
+double run_cluster(apps::Application& app, const std::string& problem, int size, int steps,
+                   unsigned cores, bool tuned, const TunerModel* model) {
+  auto& rt = Runtime::instance();
+  const sim::ClusterModel cluster;
+  ClusterAccountant acc(cluster, cluster.ranks_for_cores(cores));
+  rt.set_cluster_accountant(&acc);
+  rt.set_execute_selected(false);
+  if (tuned) {
+    rt.set_mode(Mode::Tune);
+    rt.set_policy_model(*model);
+  } else {
+    rt.set_mode(Mode::Off);  // shipped per-kernel defaults
+  }
+  rt.reset_stats();
+  app.run(apps::RunConfig{problem, size, steps});
+  rt.clear_models();
+  rt.set_mode(Mode::Off);
+  rt.set_cluster_accountant(nullptr);
+  return acc.total_seconds();
+}
+
+}  // namespace
+
+int main() {
+  bench::print_heading("CleverLeaf strong scaling, 16-256 cores, default vs Apollo",
+                       "Figure 12 (parallel runtimes and speedups, three input problems)");
+
+  auto app = apps::make_cleverleaf();
+  Runtime::instance().reset();
+  const auto records = bench::record_training(*app, 5, /*with_chunks=*/false);
+  const LabeledData data = Trainer::build_labeled_data(records, TunedParameter::Policy);
+  const auto top = bench::top_features(data.dataset, 5);
+  ml::TreeParams params;
+  params.max_depth = 15;
+  const TunerModel model(TunedParameter::Policy,
+                         ml::DecisionTree::fit(data.dataset.select_features(top), params),
+                         data.dictionaries);
+
+  const int size = 128;  // larger initial problem, strong-scaled
+  const int steps = 3;
+  for (const char* problem : {"sod", "triple_point", "sedov"}) {
+    std::printf("--- %s (coarse %d^2, %d steps) ---\n", problem, size, steps);
+    bench::print_row({"cores", "default", "apollo", "speedup"}, {8, 14, 14, 10});
+    for (unsigned cores : {16u, 32u, 64u, 128u, 256u}) {
+      const double base = run_cluster(*app, problem, size, steps, cores, false, nullptr);
+      const double tuned = run_cluster(*app, problem, size, steps, cores, true, &model);
+      bench::print_row({std::to_string(cores), bench::fmt_seconds(base),
+                        bench::fmt_seconds(tuned), bench::fmt(base / tuned, 2) + "x"},
+                       {8, 14, 14, 10});
+    }
+    std::printf("\n");
+  }
+  // Fig. 12 also visualizes the mesh/density configuration that explains the
+  // speedups: many small patches tracking the curved shock.
+  {
+    auto& rt = Runtime::instance();
+    rt.set_mode(Mode::Off);
+    rt.set_execute_selected(false);
+    apps::cleverleaf::CleverConfig cc;
+    cc.problem = "sedov";
+    cc.coarse_cells = 64;
+    apps::cleverleaf::Simulation sim(cc);
+    sim.run(26);
+    std::printf("--- sedov density + AMR patch corners ('+') at t=%.3f, %zu patches ---\n",
+                sim.time(), sim.patch_count());
+    std::printf("%s", sim.render_ascii(72).c_str());
+  }
+  std::printf("\nPaper shape: Apollo beats the default everywhere; the Sedov speedup GROWS\n"
+              "with core count (smaller per-rank patches favour serial execution).\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "bench/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <random>
+
+#include "core/features.hpp"
+#include "ml/decision_tree.hpp"
+#include "perf/blackboard.hpp"
+
+namespace apollo::bench {
+
+namespace {
+
+void configure_recording(bool with_chunks) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  rt.set_timing_source(TimingSource::Model);
+  rt.set_execute_selected(false);  // wall time must not depend on host cores
+  TrainingConfig cfg;
+  cfg.sweep_variants = true;
+  if (!with_chunks) cfg.chunk_values.clear();
+  rt.set_training_config(cfg);
+  rt.clear_records();
+}
+
+}  // namespace
+
+std::vector<perf::SampleRecord> record_training(apps::Application& app, int steps,
+                                                bool with_chunks) {
+  auto& rt = Runtime::instance();
+  configure_recording(with_chunks);
+  for (const auto& problem : app.problems()) {
+    for (int size : app.training_sizes()) {
+      app.run(apps::RunConfig{problem, size, steps});
+    }
+  }
+  std::vector<perf::SampleRecord> records = rt.records();
+  rt.clear_records();
+  rt.set_mode(Mode::Off);
+  return records;
+}
+
+std::vector<perf::SampleRecord> record_problem(apps::Application& app, const std::string& problem,
+                                               int size, int steps, bool with_chunks) {
+  auto& rt = Runtime::instance();
+  configure_recording(with_chunks);
+  app.run(apps::RunConfig{problem, size, steps});
+  std::vector<perf::SampleRecord> records = rt.records();
+  rt.clear_records();
+  rt.set_mode(Mode::Off);
+  return records;
+}
+
+ml::Dataset subsample(const ml::Dataset& data, std::size_t max_rows, std::uint64_t seed) {
+  if (data.num_rows() <= max_rows) return data;
+  std::vector<std::size_t> order(data.num_rows());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+  order.resize(max_rows);
+  return data.subset(order);
+}
+
+std::vector<std::string> top_features(const ml::Dataset& data, std::size_t count,
+                                      const ml::TreeParams& params) {
+  const ml::DecisionTree tree = ml::DecisionTree::fit(data, params);
+  const std::vector<double> importances = tree.feature_importances();
+  std::vector<std::size_t> order(importances.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return importances[a] > importances[b]; });
+  std::vector<std::string> names;
+  for (std::size_t f = 0; f < std::min(count, order.size()); ++f) {
+    names.push_back(data.feature_names()[order[f]]);
+  }
+  return names;
+}
+
+std::vector<std::string> top_kernels_by_time(const LabeledData& data, std::size_t count) {
+  std::map<std::string, double> totals;
+  for (std::size_t r = 0; r < data.runtimes.size(); ++r) {
+    double best = std::numeric_limits<double>::max();
+    for (const auto& [label, seconds] : data.runtimes[r]) best = std::min(best, seconds);
+    totals[data.row_loop_ids[r]] += best * static_cast<double>(data.row_counts[r]);
+  }
+  std::vector<std::pair<std::string, double>> sorted(totals.begin(), totals.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> names;
+  for (std::size_t k = 0; k < std::min(count, sorted.size()); ++k) {
+    names.push_back(sorted[k].first);
+  }
+  return names;
+}
+
+void print_heading(const std::string& title, const std::string& paper_reference) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("    (reproduces %s)\n\n", paper_reference.c_str());
+}
+
+void print_row(const std::vector<std::string>& cells, const std::vector<int>& widths) {
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const int width = c < widths.size() ? widths[c] : 12;
+    std::printf("%-*s", width, cells[c].c_str());
+  }
+  std::printf("\n");
+}
+
+std::string fmt(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string fmt_seconds(double seconds) {
+  char buffer[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f us", seconds * 1e6);
+  }
+  return buffer;
+}
+
+}  // namespace apollo::bench

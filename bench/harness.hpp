@@ -1,0 +1,50 @@
+#pragma once
+
+// Shared support for the experiment harnesses (one binary per paper
+// table/figure). Each binary records its own training corpus, builds the
+// models it needs, and prints the same rows/series the paper reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "core/runtime.hpp"
+#include "core/trainer.hpp"
+#include "ml/dataset.hpp"
+#include "perf/record.hpp"
+
+namespace apollo::bench {
+
+/// Record a sweep-mode training corpus over every (problem, size) of an app.
+/// with_chunks=false records only the two policy variants per launch, which
+/// keeps policy-only experiments lean.
+[[nodiscard]] std::vector<perf::SampleRecord> record_training(apps::Application& app, int steps,
+                                                              bool with_chunks);
+
+/// Record one specific (problem, size) configuration.
+[[nodiscard]] std::vector<perf::SampleRecord> record_problem(apps::Application& app,
+                                                             const std::string& problem, int size,
+                                                             int steps, bool with_chunks);
+
+/// Deterministically subsample a dataset to at most max_rows rows.
+[[nodiscard]] ml::Dataset subsample(const ml::Dataset& data, std::size_t max_rows,
+                                    std::uint64_t seed);
+
+/// Indices of the N features with the highest importance in a tree trained
+/// on the full dataset, returned as names (most important first).
+[[nodiscard]] std::vector<std::string> top_features(const ml::Dataset& data, std::size_t count,
+                                                    const ml::TreeParams& params = {});
+
+/// The loop_ids consuming the most total (oracle) time, most expensive first.
+[[nodiscard]] std::vector<std::string> top_kernels_by_time(const LabeledData& data,
+                                                           std::size_t count);
+
+// --- formatting ------------------------------------------------------------
+
+void print_heading(const std::string& title, const std::string& paper_reference);
+void print_row(const std::vector<std::string>& cells, const std::vector<int>& widths);
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+[[nodiscard]] std::string fmt_seconds(double seconds);
+
+}  // namespace apollo::bench

@@ -1,0 +1,104 @@
+// SIII microbenchmark: the per-launch cost of evaluating Apollo's decision
+// models. The design goal is "only a few conditional evaluations" — cheap
+// enough to run at every kernel launch in a code making thousands of
+// decisions per timestep.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <random>
+
+#include "core/runtime.hpp"
+#include "core/trainer.hpp"
+#include "ml/codegen.hpp"
+#include "ml/decision_tree.hpp"
+
+using namespace apollo;
+
+namespace {
+
+ml::Dataset synthetic_dataset(std::size_t rows) {
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> dist(0, 100000);
+  ml::Dataset d({"num_indices", "func_size", "timestep", "movsd", "num_segments"},
+                {"seq", "omp"});
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> row{dist(rng), dist(rng) / 500.0, dist(rng) / 1000.0, dist(rng) / 2000.0,
+                            1.0 + dist(rng) / 30000.0};
+    const int label = (row[0] > 19965.5) != (row[3] > 20.0 && row[0] < 40000) ? 1 : 0;
+    d.add_row(std::move(row), label);
+  }
+  return d;
+}
+
+const ml::DecisionTree& tree_of_depth(int depth) {
+  static std::map<int, ml::DecisionTree> cache;
+  auto it = cache.find(depth);
+  if (it == cache.end()) {
+    ml::TreeParams params;
+    params.max_depth = depth;
+    params.min_samples_leaf = 1;
+    it = cache.emplace(depth, ml::DecisionTree::fit(synthetic_dataset(20000), params)).first;
+  }
+  return it->second;
+}
+
+void InterpretedTreePredict(benchmark::State& state) {
+  const ml::DecisionTree& tree = tree_of_depth(static_cast<int>(state.range(0)));
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0, 100000);
+  double features[5];
+  for (double& f : features) f = dist(rng);
+  for (auto _ : state) {
+    features[0] = dist(rng);
+    benchmark::DoNotOptimize(tree.predict(features));
+  }
+  state.SetLabel("depth=" + std::to_string(tree.depth()) +
+                 " nodes=" + std::to_string(tree.node_count()));
+}
+BENCHMARK(InterpretedTreePredict)->Arg(5)->Arg(15)->Arg(25);
+
+void CompiledTreePredict(benchmark::State& state) {
+  const ml::DecisionTree& tree = tree_of_depth(15);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "apollo_bench_codegen").string();
+  std::filesystem::create_directories(dir);
+  static const ml::CompiledPredictor predictor = ml::CompiledPredictor::compile(
+      ml::generate_cpp(tree, "bench_model"), "bench_model", dir);
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(0, 100000);
+  double features[5];
+  for (double& f : features) f = dist(rng);
+  for (auto _ : state) {
+    features[0] = dist(rng);
+    benchmark::DoNotOptimize(predictor.predict(features));
+  }
+}
+BENCHMARK(CompiledTreePredict);
+
+void FullTunerDecision(benchmark::State& state) {
+  // End-to-end apollo::begin cost in Tune mode: resolver + encode + tree.
+  auto& rt = Runtime::instance();
+  rt.reset();
+  rt.set_mode(Mode::Record);
+  static const KernelHandle kernel{"bench:decision", "BenchKernel",
+                                   instr::MixBuilder{}.fp(4).load(2).build(), 32};
+  forall(kernel, 100, [](raja::Index) {});
+  forall(kernel, 50000, [](raja::Index) {});
+  ml::TreeParams params;
+  params.min_samples_leaf = 1;
+  params.min_samples_split = 2;
+  rt.set_policy_model(Trainer::train(rt.records(), TunedParameter::Policy, params));
+  rt.clear_records();
+  rt.set_mode(Mode::Tune);
+  const raja::IndexSet iset = raja::IndexSet::range(0, 12345);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.begin(kernel, iset));
+  }
+  rt.reset();
+}
+BENCHMARK(FullTunerDecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+#pragma once
+
+// Common driver interface over the three proxy applications, so experiment
+// harnesses can sweep (application x problem x size) uniformly.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "raja/policy.hpp"
+
+namespace apollo::apps {
+
+/// One simulation run request.
+struct RunConfig {
+  std::string problem;   ///< input deck name (e.g. "sedov")
+  int size = 32;         ///< global problem size (edge cells/elements)
+  int steps = 10;        ///< timesteps to simulate
+};
+
+class Application {
+public:
+  virtual ~Application() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Input decks this application supports (paper §IV).
+  [[nodiscard]] virtual std::vector<std::string> problems() const = 0;
+
+  /// Representative global problem sizes for training sweeps.
+  [[nodiscard]] virtual std::vector<int> training_sizes() const = 0;
+
+  /// The developers' static default policy for un-tuned runs ("OpenMP
+  /// everywhere" for LULESH/CleverLeaf; ARES kernels carry per-kernel
+  /// defaults and ignore this).
+  [[nodiscard]] virtual raja::PolicyType default_policy() const {
+    return raja::PolicyType::seq_segit_omp_parallel_for_exec;
+  }
+
+  /// Execute the simulation, launching every kernel through apollo::forall.
+  /// Publishes problem_name/problem_size/timestep on the blackboard.
+  virtual void run(const RunConfig& config) = 0;
+};
+
+/// Factories for the bundled miniatures.
+[[nodiscard]] std::unique_ptr<Application> make_lulesh();
+[[nodiscard]] std::unique_ptr<Application> make_cleverleaf();
+[[nodiscard]] std::unique_ptr<Application> make_ares();
+
+/// All three, in paper order (LULESH, CleverLeaf, ARES).
+[[nodiscard]] std::vector<std::unique_ptr<Application>> make_all_applications();
+
+}  // namespace apollo::apps

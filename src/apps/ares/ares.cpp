@@ -1,0 +1,695 @@
+#include "apps/ares/ares.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/cluster_accountant.hpp"
+#include "core/runtime.hpp"
+#include "perf/blackboard.hpp"
+
+namespace apollo::apps::ares {
+
+namespace {
+
+constexpr double kRhoFloor = 1e-8;
+constexpr double kPFloor = 1e-10;
+constexpr double kVfEps = 1e-6;
+
+using instr::MixBuilder;
+using raja::PolicyType;
+
+// Hand-assigned defaults (the ARES developers' static choices): full-grid
+// kernels default to OpenMP, dynamic material/mixed-cell list kernels to
+// sequential.
+const KernelHandle& idealGasKernel() {
+  static const KernelHandle k{"ares:ideal_gas_bulk", "ideal_gas_bulk",
+                              MixBuilder{}.fp(12).div(2).sqrt(1).load(8).store(3).control(3).build(),
+                              72, PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+const KernelHandle& calcDtKernel() {
+  static const KernelHandle k{"ares:calc_dt", "calc_dt",
+                              MixBuilder{}.fp(5).div(2).minmax(2).load(6).store(1).control(3).build(),
+                              56, PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+const KernelHandle& fluxXKernel() {
+  static const KernelHandle k{"ares:flux_x", "flux_x",
+                              MixBuilder{}.fp(34).div(2).minmax(1).load(12).store(4).control(4)
+                                  .build(), 128, PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+const KernelHandle& fluxYKernel() {
+  static const KernelHandle k{"ares:flux_y", "flux_y",
+                              MixBuilder{}.fp(34).div(2).minmax(1).load(12).store(4).control(4)
+                                  .build(), 128, PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+const KernelHandle& advecCellKernel() {
+  static const KernelHandle k{"ares:advec_cell", "advec_cell",
+                              MixBuilder{}.fp(24).load(16).store(4).control(4).build(), 160,
+                              PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+const KernelHandle& advecVfKernel() {
+  static const KernelHandle k{"ares:advec_vf", "advec_vf",
+                              MixBuilder{}.fp(14).load(10).store(1).compare(2).control(4).build(),
+                              88, PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+const KernelHandle& vfNormalizeKernel() {
+  static const KernelHandle k{"ares:vf_normalize", "vf_normalize",
+                              MixBuilder{}.fp(4).div(1).minmax(2).load(3).store(3).control(3)
+                                  .build(), 48, PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+const KernelHandle& eosMaterialKernel() {
+  // The developers sized this for production runs, where material regions
+  // span most of the (large) domain: OpenMP by default.
+  static const KernelHandle k{"ares:eos_material", "eos_material",
+                              MixBuilder{}.fp(8).div(1).load(5).store(1).control(3).build(), 56,
+                              PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+const KernelHandle& mixRelaxKernel() {
+  static const KernelHandle k{"ares:mix_relax", "mix_relax",
+                              MixBuilder{}.fp(8).div(1).load(6).store(1).control(4).build(), 56,
+                              PolicyType::seq_segit_seq_exec};
+  return k;
+}
+const KernelHandle& haloKernel() {
+  static const KernelHandle k{"ares:update_halo", "update_halo",
+                              MixBuilder{}.load(4).store(4).control(4).build(), 64,
+                              PolicyType::seq_segit_seq_exec};
+  return k;
+}
+
+struct Primitive {
+  double rho, u, v, p;
+  double vf[kMaxMaterials];
+};
+
+}  // namespace
+
+Simulation::Simulation(AresConfig config) : config_(std::move(config)) {
+  n_ = config_.cells;
+  if (n_ < 8) throw std::invalid_argument("ares: cells must be >= 8");
+  stride_ = n_ + 4;
+  const std::size_t cells = static_cast<std::size_t>(stride_) * (n_ + 4);
+  for (auto* f : {&rho_, &mx_, &my_, &en_, &p_, &cs_, &gamma_eff_, &dt_cell_, &tsat_, &trad_,
+                  &trad_new_}) {
+    f->assign(cells, 0.0);
+  }
+  for (auto& f : fx_) f.assign(static_cast<std::size_t>(n_ + 1) * n_, 0.0);
+  for (auto& f : fy_) f.assign(static_cast<std::size_t>(n_) * (n_ + 1), 0.0);
+  for (auto& f : vf_) f.assign(cells, 0.0);
+  for (auto& f : pm_) f.assign(cells, 0.0);
+  initialize();
+  rebuild_material_regions();
+}
+
+void Simulation::initialize() {
+  const double dx = 1.0 / n_;
+  const std::string& deck = config_.problem;
+
+  if (deck == "jet") {
+    num_materials_ = 3;
+    gamma_m_[0] = 1.4;   // background gas
+    gamma_m_[1] = 3.0;   // dense slug (stiff)
+    gamma_m_[2] = 2.2;   // plate
+    conduction_enabled_ = true;
+    kappa_ = 2e-4;
+  } else if (deck == "hotspot") {
+    num_materials_ = 3;
+    gamma_m_[0] = 5.0 / 3.0;  // fuel
+    gamma_m_[1] = 2.5;        // shell
+    gamma_m_[2] = 1.4;        // outer gas
+    conduction_enabled_ = true;
+    kappa_ = 8e-4;
+    radiation_enabled_ = true;  // ICF ignition: radiation transport matters
+    rad_kappa_ = 4e-3;
+    rad_coupling_ = 0.05;
+  } else {  // sedov (mixed-material variant)
+    num_materials_ = 2;
+    gamma_m_[0] = 1.4;
+    gamma_m_[1] = 1.67;
+    conduction_enabled_ = false;
+  }
+
+  auto state = [&](double x, double y) {
+    Primitive s{1.0, 0.0, 0.0, 0.01, {0.0, 0.0, 0.0}};
+    if (deck == "jet") {
+      // Dense slug flying +x into a plate, inside a light background.
+      if (x > 0.1 && x < 0.3 && y > 0.4 && y < 0.6) {
+        s = {8.0, 2.0, 0.0, 1.0, {0.0, 1.0, 0.0}};
+      } else if (x > 0.6 && x < 0.75) {
+        s = {4.0, 0.0, 0.0, 1.0, {0.0, 0.0, 1.0}};
+      } else {
+        s = {0.5, 0.0, 0.0, 1.0, {1.0, 0.0, 0.0}};
+      }
+    } else if (deck == "hotspot") {
+      const double r = std::hypot(x - 0.5, y - 0.5);
+      if (r < 0.1) {
+        s = {0.3, 0.0, 0.0, 25.0, {1.0, 0.0, 0.0}};   // igniting fuel
+      } else if (r < 0.2) {
+        s = {6.0, 0.0, 0.0, 1.0, {0.0, 1.0, 0.0}};    // dense shell
+      } else {
+        s = {1.0, 0.0, 0.0, 0.1, {0.0, 0.0, 1.0}};    // outer gas
+      }
+    } else {  // sedov-mix
+      const double r = std::hypot(x - 0.5, y - 0.5);
+      if (r < 0.08) {
+        s = {1.0, 0.0, 0.0, 30.0, {0.0, 1.0, 0.0}};
+      } else {
+        s = {1.0, 0.0, 0.0, 0.01, {1.0, 0.0, 0.0}};
+      }
+    }
+    return s;
+  };
+
+  for (int j = -2; j < n_ + 2; ++j) {
+    for (int i = -2; i < n_ + 2; ++i) {
+      const Primitive s = state((i + 0.5) * dx, (j + 0.5) * dx);
+      const auto c = static_cast<std::size_t>(idx(i, j));
+      double gamma = 0.0;
+      for (int m = 0; m < num_materials_; ++m) {
+        vf_[m][c] = s.vf[m];
+        gamma += s.vf[m] * gamma_m_[m];
+      }
+      gamma_eff_[c] = gamma > 1.01 ? gamma : 1.4;
+      rho_[c] = s.rho;
+      mx_[c] = s.rho * s.u;
+      my_[c] = s.rho * s.v;
+      en_[c] = s.p / (gamma_eff_[c] - 1.0) + 0.5 * s.rho * (s.u * s.u + s.v * s.v);
+      trad_[c] = s.p / s.rho;  // radiation field starts in equilibrium
+    }
+  }
+}
+
+void Simulation::apply_bc() {
+  // Reflective boundaries on all four sides; 2-wide strip kernels with the
+  // hand-assigned sequential default (strips are tiny).
+  const int stride = stride_;
+  const int n = n_;
+  double* rho = rho_.data();
+  double* mx = mx_.data();
+  double* my = my_.data();
+  double* en = en_.data();
+  const Simulation* self = this;
+
+  auto mirror = [=](int gi, int gj, int si, int sj, bool fx, bool fy) {
+    const auto g = static_cast<std::size_t>(self->idx(gi, gj));
+    const auto s = static_cast<std::size_t>(self->idx(si, sj));
+    rho[g] = rho[s];
+    mx[g] = fx ? -mx[s] : mx[s];
+    my[g] = fy ? -my[s] : my[s];
+    en[g] = en[s];
+  };
+
+  // Left + right columns (strided), bottom + top rows (ranges).
+  {
+    raja::IndexSet strip;
+    for (int g = 0; g < 2; ++g) {
+      strip.push_back(raja::StridedSegment{g, g + static_cast<raja::Index>(n + 4) * stride, stride});
+    }
+    forall(haloKernel(), strip, [=](raja::Index local) {
+      const int g = static_cast<int>(local % stride);
+      const int j = static_cast<int>(local / stride) - 2;
+      mirror(-2 + g, j, 1 - g, j, true, false);
+    });
+  }
+  {
+    raja::IndexSet strip;
+    for (int g = 0; g < 2; ++g) {
+      const raja::Index first = stride - 1 - g;
+      strip.push_back(raja::StridedSegment{first, first + static_cast<raja::Index>(n + 4) * stride,
+                                           stride});
+    }
+    forall(haloKernel(), strip, [=](raja::Index local) {
+      const int col = static_cast<int>(local % stride);
+      const int g = stride - 1 - col;  // 0 (outer) or 1 (inner)
+      const int j = static_cast<int>(local / stride) - 2;
+      mirror(n + 1 - g, j, n - 2 + g, j, true, false);
+    });
+  }
+  {
+    raja::IndexSet strip;
+    for (int g = 0; g < 2; ++g) {
+      strip.push_back(raja::RangeSegment{static_cast<raja::Index>(g) * stride,
+                                         static_cast<raja::Index>(g) * stride + stride});
+    }
+    forall(haloKernel(), strip, [=](raja::Index local) {
+      const int g = static_cast<int>(local / stride);
+      const int i = static_cast<int>(local % stride) - 2;
+      mirror(i, -2 + g, i, 1 - g, false, true);
+    });
+  }
+  {
+    raja::IndexSet strip;
+    for (int g = 0; g < 2; ++g) {
+      const raja::Index row = n + 3 - g;
+      strip.push_back(raja::RangeSegment{row * stride, row * stride + stride});
+    }
+    forall(haloKernel(), strip, [=](raja::Index local) {
+      const int row = static_cast<int>(local / stride);
+      const int g = n + 3 - row;
+      const int i = static_cast<int>(local % stride) - 2;
+      mirror(i, n + 1 - g, i, n - 2 + g, false, true);
+    });
+  }
+}
+
+void Simulation::rebuild_material_regions() {
+  for (int m = 0; m < num_materials_; ++m) material_list_[m].clear();
+  mixed_list_.clear();
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      const auto c = static_cast<raja::Index>(idx(i, j));
+      int present = 0;
+      for (int m = 0; m < num_materials_; ++m) {
+        if (vf_[m][static_cast<std::size_t>(c)] > kVfEps) {
+          material_list_[m].push_back(c);
+          ++present;
+        }
+      }
+      if (present >= 2) mixed_list_.push_back(c);
+    }
+  }
+}
+
+double Simulation::compute_dt() {
+  const raja::IndexSet cells = raja::IndexSet::range(0, static_cast<raja::Index>(n_) * n_);
+  const int n = n_;
+  const double* rho = rho_.data();
+  const double* mx = mx_.data();
+  const double* my = my_.data();
+  const double* cs = cs_.data();
+  double* dt_cell = dt_cell_.data();
+  const Simulation* self = this;
+  const double cfl = config_.cfl;
+  const double dx = 1.0 / n_;
+  forall(calcDtKernel(), cells, [=](raja::Index q) {
+    const int i = static_cast<int>(q) % n;
+    const int j = static_cast<int>(q) / n;
+    const auto c = static_cast<std::size_t>(self->idx(i, j));
+    const double r = std::max(rho[c], kRhoFloor);
+    const double speed = std::max(std::fabs(mx[c] / r), std::fabs(my[c] / r)) + cs[c];
+    dt_cell[c] = cfl * dx / std::max(speed, 1e-12);
+  });
+  double dt = std::numeric_limits<double>::max();
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      dt = std::min(dt, dt_cell_[static_cast<std::size_t>(idx(i, j))]);
+    }
+  }
+  return dt;
+}
+
+void Simulation::material_eos() {
+  // Effective gamma + per-material partial pressures over the dynamic
+  // material lists, then bulk EOS, then mixed-cell consistency relaxation.
+  const Simulation* self = this;
+
+  // gamma_eff via vf_normalize over the full grid.
+  {
+    const raja::IndexSet cells = raja::IndexSet::range(0, static_cast<raja::Index>(n_) * n_);
+    const int n = n_;
+    double* gamma_eff = gamma_eff_.data();
+    const int num_m = num_materials_;
+    std::array<double*, kMaxMaterials> vf{};
+    for (int m = 0; m < kMaxMaterials; ++m) vf[static_cast<std::size_t>(m)] = vf_[m].data();
+    const double* gm = gamma_m_;
+    forall(vfNormalizeKernel(), cells, [=](raja::Index q) {
+      const int i = static_cast<int>(q) % n;
+      const int j = static_cast<int>(q) / n;
+      const auto c = static_cast<std::size_t>(self->idx(i, j));
+      double total = 0.0;
+      for (int m = 0; m < num_m; ++m) total += std::max(vf[static_cast<std::size_t>(m)][c], 0.0);
+      total = std::max(total, kVfEps);
+      double gamma = 0.0;
+      for (int m = 0; m < num_m; ++m) {
+        double& f = vf[static_cast<std::size_t>(m)][c];
+        f = std::max(f, 0.0) / total;
+        gamma += f * gm[m];
+      }
+      gamma_eff[c] = gamma;
+    });
+  }
+
+  // Bulk ideal gas with the effective gamma.
+  {
+    const raja::IndexSet cells =
+        raja::IndexSet::range(0, static_cast<raja::Index>(n_ + 2) * (n_ + 2));
+    const int n = n_;
+    const double* rho = rho_.data();
+    const double* mx = mx_.data();
+    const double* my = my_.data();
+    const double* en = en_.data();
+    const double* gamma_eff = gamma_eff_.data();
+    double* p = p_.data();
+    double* cs = cs_.data();
+    forall(idealGasKernel(), cells, [=](raja::Index q) {
+      const int i = static_cast<int>(q) % (n + 2) - 1;
+      const int j = static_cast<int>(q) / (n + 2) - 1;
+      const auto c = static_cast<std::size_t>(self->idx(i, j));
+      const double r = std::max(rho[c], kRhoFloor);
+      const double g = gamma_eff[c] > 1.01 ? gamma_eff[c] : 1.4;
+      const double internal = en[c] - 0.5 * (mx[c] * mx[c] + my[c] * my[c]) / r;
+      p[c] = std::max((g - 1.0) * internal, kPFloor);
+      cs[c] = std::sqrt(g * p[c] / r);
+    });
+  }
+
+  // Partial pressures on each material's dynamic list.
+  for (int m = 0; m < num_materials_; ++m) {
+    raja::IndexSet region;
+    region.push_back(raja::ListSegment{material_list_[m]});
+    const double* rho = rho_.data();
+    const double* mx = mx_.data();
+    const double* my = my_.data();
+    const double* en = en_.data();
+    const double* vf = vf_[m].data();
+    double* pm = pm_[m].data();
+    const double gm = gamma_m_[m];
+    forall(eosMaterialKernel(), region, [=](raja::Index c) {
+      const double r = std::max(rho[c], kRhoFloor);
+      const double internal = std::max(en[c] - 0.5 * (mx[c] * mx[c] + my[c] * my[c]) / r, 0.0);
+      pm[c] = vf[c] * (gm - 1.0) * internal;
+    });
+  }
+
+  // Mixed cells: enforce p == sum of partial pressures (tiny dynamic list).
+  {
+    raja::IndexSet mixed;
+    mixed.push_back(raja::ListSegment{mixed_list_});
+    double* p = p_.data();
+    const int num_m = num_materials_;
+    std::array<const double*, kMaxMaterials> pm{};
+    for (int m = 0; m < kMaxMaterials; ++m) pm[static_cast<std::size_t>(m)] = pm_[m].data();
+    forall(mixRelaxKernel(), mixed, [=](raja::Index c) {
+      double total = 0.0;
+      for (int m = 0; m < num_m; ++m) total += pm[static_cast<std::size_t>(m)][c];
+      p[c] = std::max(0.5 * (p[c] + total), kPFloor);
+    });
+  }
+}
+
+void Simulation::hydro(double dt) {
+  const int n = n_;
+  const double dtdx = dt * n_;
+  const double* rho = rho_.data();
+  const double* mx = mx_.data();
+  const double* my = my_.data();
+  const double* en = en_.data();
+  const double* p = p_.data();
+  const double* cs = cs_.data();
+  const Simulation* self = this;
+
+  {
+    double* f0 = fx_[0].data();
+    double* f1 = fx_[1].data();
+    double* f2 = fx_[2].data();
+    double* f3 = fx_[3].data();
+    const raja::IndexSet faces = raja::IndexSet::range(0, static_cast<raja::Index>(n + 1) * n);
+    forall(fluxXKernel(), faces, [=](raja::Index q) {
+      const int fi = static_cast<int>(q) % (n + 1);
+      const int j = static_cast<int>(q) / (n + 1);
+      const auto l = static_cast<std::size_t>(self->idx(fi - 1, j));
+      const auto r = static_cast<std::size_t>(self->idx(fi, j));
+      const double rl = std::max(rho[l], kRhoFloor), rr = std::max(rho[r], kRhoFloor);
+      const double ul = mx[l] / rl, ur = mx[r] / rr;
+      const double lam = std::max(std::fabs(ul) + cs[l], std::fabs(ur) + cs[r]);
+      const auto f = static_cast<std::size_t>(q);
+      f0[f] = 0.5 * (mx[l] + mx[r]) - 0.5 * lam * (rho[r] - rho[l]);
+      f1[f] = 0.5 * (mx[l] * ul + p[l] + mx[r] * ur + p[r]) - 0.5 * lam * (mx[r] - mx[l]);
+      f2[f] = 0.5 * (my[l] * ul + my[r] * ur) - 0.5 * lam * (my[r] - my[l]);
+      f3[f] = 0.5 * ((en[l] + p[l]) * ul + (en[r] + p[r]) * ur) - 0.5 * lam * (en[r] - en[l]);
+    });
+  }
+  {
+    double* g0 = fy_[0].data();
+    double* g1 = fy_[1].data();
+    double* g2 = fy_[2].data();
+    double* g3 = fy_[3].data();
+    const raja::IndexSet faces = raja::IndexSet::range(0, static_cast<raja::Index>(n) * (n + 1));
+    forall(fluxYKernel(), faces, [=](raja::Index q) {
+      const int i = static_cast<int>(q) % n;
+      const int fj = static_cast<int>(q) / n;
+      const auto lo = static_cast<std::size_t>(self->idx(i, fj - 1));
+      const auto hi = static_cast<std::size_t>(self->idx(i, fj));
+      const double rl = std::max(rho[lo], kRhoFloor), rr = std::max(rho[hi], kRhoFloor);
+      const double vl = my[lo] / rl, vr = my[hi] / rr;
+      const double lam = std::max(std::fabs(vl) + cs[lo], std::fabs(vr) + cs[hi]);
+      const auto f = static_cast<std::size_t>(q);
+      g0[f] = 0.5 * (my[lo] + my[hi]) - 0.5 * lam * (rho[hi] - rho[lo]);
+      g1[f] = 0.5 * (mx[lo] * vl + mx[hi] * vr) - 0.5 * lam * (mx[hi] - mx[lo]);
+      g2[f] = 0.5 * (my[lo] * vl + p[lo] + my[hi] * vr + p[hi]) - 0.5 * lam * (my[hi] - my[lo]);
+      g3[f] =
+          0.5 * ((en[lo] + p[lo]) * vl + (en[hi] + p[hi]) * vr) - 0.5 * lam * (en[hi] - en[lo]);
+    });
+  }
+  {
+    double* rho_w = rho_.data();
+    double* mx_w = mx_.data();
+    double* my_w = my_.data();
+    double* en_w = en_.data();
+    const double* f0 = fx_[0].data();
+    const double* f1 = fx_[1].data();
+    const double* f2 = fx_[2].data();
+    const double* f3 = fx_[3].data();
+    const double* g0 = fy_[0].data();
+    const double* g1 = fy_[1].data();
+    const double* g2 = fy_[2].data();
+    const double* g3 = fy_[3].data();
+    const raja::IndexSet cells = raja::IndexSet::range(0, static_cast<raja::Index>(n) * n);
+    forall(advecCellKernel(), cells, [=](raja::Index q) {
+      const int i = static_cast<int>(q) % n;
+      const int j = static_cast<int>(q) / n;
+      const auto c = static_cast<std::size_t>(self->idx(i, j));
+      const auto xw = static_cast<std::size_t>(i + (n + 1) * j);
+      const auto xe = xw + 1;
+      const auto ys = static_cast<std::size_t>(i + n * j);
+      const auto yn = static_cast<std::size_t>(i + n * (j + 1));
+      rho_w[c] = std::max(rho_w[c] - dtdx * (f0[xe] - f0[xw] + g0[yn] - g0[ys]), kRhoFloor);
+      mx_w[c] -= dtdx * (f1[xe] - f1[xw] + g1[yn] - g1[ys]);
+      my_w[c] -= dtdx * (f2[xe] - f2[xw] + g2[yn] - g2[ys]);
+      en_w[c] -= dtdx * (f3[xe] - f3[xw] + g3[yn] - g3[ys]);
+    });
+  }
+}
+
+void Simulation::advect_materials(double dt) {
+  // Upwind advection of volume fractions with the bulk velocity; one launch
+  // per material (dynamic count), full-grid kernels.
+  const int n = n_;
+  const double dtdx = dt * n_;
+  const double* rho = rho_.data();
+  const double* mx = mx_.data();
+  const double* my = my_.data();
+  const Simulation* self = this;
+
+  for (int m = 0; m < num_materials_; ++m) {
+    // Double-buffer into pm_ (reused as scratch) to keep the reads clean.
+    const double* vf = vf_[m].data();
+    double* out = pm_[m].data();
+    const raja::IndexSet cells = raja::IndexSet::range(0, static_cast<raja::Index>(n) * n);
+    forall(advecVfKernel(), cells, [=](raja::Index q) {
+      const int i = static_cast<int>(q) % n;
+      const int j = static_cast<int>(q) / n;
+      const auto c = static_cast<std::size_t>(self->idx(i, j));
+      const auto e = static_cast<std::size_t>(self->idx(i + 1, j));
+      const auto w = static_cast<std::size_t>(self->idx(i - 1, j));
+      const auto no = static_cast<std::size_t>(self->idx(i, j + 1));
+      const auto so = static_cast<std::size_t>(self->idx(i, j - 1));
+      const double u = mx[c] / std::max(rho[c], kRhoFloor);
+      const double v = my[c] / std::max(rho[c], kRhoFloor);
+      const double ddx = u >= 0.0 ? vf[c] - vf[w] : vf[e] - vf[c];
+      const double ddy = v >= 0.0 ? vf[c] - vf[so] : vf[no] - vf[c];
+      out[c] = std::clamp(vf[c] - dtdx * (u * ddx + v * ddy), 0.0, 1.0);
+    });
+  }
+  for (int m = 0; m < num_materials_; ++m) {
+    // Commit (host-side swap of interior cells).
+    for (int j = 0; j < n_; ++j) {
+      for (int i = 0; i < n_; ++i) {
+        const auto c = static_cast<std::size_t>(idx(i, j));
+        vf_[m][c] = pm_[m][c];
+      }
+    }
+  }
+}
+
+void Simulation::conduction(double dt) {
+  // The UN-PORTED package: plain serial loops (no apollo::forall, no tuning).
+  // Its modeled cost is charged externally so end-to-end speedups reflect
+  // Amdahl's law over the whole code.
+  if (!conduction_enabled_) return;
+
+  const double dx = 1.0 / n_;
+  const double alpha = kappa_ * dt / (dx * dx);
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      const auto c = static_cast<std::size_t>(idx(i, j));
+      const auto e = static_cast<std::size_t>(idx(i + 1, j));
+      const auto w = static_cast<std::size_t>(idx(i - 1, j));
+      const auto no = static_cast<std::size_t>(idx(i, j + 1));
+      const auto so = static_cast<std::size_t>(idx(i, j - 1));
+      tsat_[c] = p_[c] + alpha * (p_[e] + p_[w] + p_[no] + p_[so] - 4.0 * p_[c]);
+    }
+  }
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      const auto c = static_cast<std::size_t>(idx(i, j));
+      const double g = gamma_eff_[c] > 1.01 ? gamma_eff_[c] : 1.4;
+      en_[c] += (tsat_[c] - p_[c]) / (g - 1.0);
+    }
+  }
+
+  // Charge the package's cost (two diffusion sweeps over the grid) outside
+  // Apollo's control — it runs with its own static parallelization.
+  sim::CostQuery query;
+  query.num_indices = static_cast<std::int64_t>(n_) * n_ * 2;
+  query.mix = MixBuilder{}.fp(10).div(1).load(8).store(2).control(4).build();
+  query.bytes_per_iteration = 64;
+  query.policy = sim::PolicyKind::OpenMP;
+  query.threads = Runtime::instance().threads();
+  Runtime::instance().charge_external("ares:conduction_package", query);
+}
+
+void Simulation::radiation(double dt) {
+  // UN-PORTED package #2: grey radiation diffusion weakly coupled to matter
+  // (ICF hotspot physics). Plain serial loops; cost charged externally with
+  // the package's own static parallelization.
+  if (!radiation_enabled_) return;
+
+  const double dx = 1.0 / n_;
+  const double alpha = rad_kappa_ * dt / (dx * dx);
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      const auto c = static_cast<std::size_t>(idx(i, j));
+      const auto e = static_cast<std::size_t>(idx(i + 1, j));
+      const auto w = static_cast<std::size_t>(idx(i - 1, j));
+      const auto no = static_cast<std::size_t>(idx(i, j + 1));
+      const auto so = static_cast<std::size_t>(idx(i, j - 1));
+      trad_new_[c] =
+          trad_[c] + alpha * (trad_[e] + trad_[w] + trad_[no] + trad_[so] - 4.0 * trad_[c]);
+    }
+  }
+  // Matter-radiation coupling: relax the radiation field toward the matter
+  // temperature proxy and deposit/extract the difference as internal energy.
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      const auto c = static_cast<std::size_t>(idx(i, j));
+      const double t_matter = p_[c] / std::max(rho_[c], kRhoFloor);
+      const double exchange = rad_coupling_ * (trad_new_[c] - t_matter);
+      trad_[c] = trad_new_[c] - exchange;
+      const double g = gamma_eff_[c] > 1.01 ? gamma_eff_[c] : 1.4;
+      en_[c] += exchange * rho_[c] / (g - 1.0);
+    }
+  }
+
+  sim::CostQuery query;
+  query.num_indices = static_cast<std::int64_t>(n_) * n_ * 2;
+  query.mix = instr::MixBuilder{}.fp(12).div(2).load(10).store(3).control(4).build();
+  query.bytes_per_iteration = 80;
+  query.policy = sim::PolicyKind::OpenMP;
+  query.threads = Runtime::instance().threads();
+  Runtime::instance().charge_external("ares:radiation_package", query);
+}
+
+void Simulation::step() {
+  auto* acc = Runtime::instance().cluster_accountant();
+  if (acc != nullptr) {
+    acc->begin_step();
+    // Strong scaling decomposes the single grid into rank-owned slabs; we
+    // model that by spreading the (uniform) work across ranks evenly and
+    // counting one "patch" (slab) per rank.
+    for (unsigned r = 0; r < acc->ranks(); ++r) acc->add_patch(r);
+    acc->set_current_rank(cycle_ % acc->ranks());  // rotate ownership of serial phases
+  }
+
+  apply_bc();
+  material_eos();
+  const double dt = compute_dt();
+  hydro(dt);
+  advect_materials(dt);
+  conduction(dt);
+  radiation(dt);
+  rebuild_material_regions();
+
+  time_ += dt;
+  cycle_ += 1;
+  if (acc != nullptr) acc->end_step();
+}
+
+void Simulation::run(int steps) {
+  for (int i = 0; i < steps; ++i) {
+    perf::ScopedAnnotation timestep("timestep", cycle_);
+    step();
+  }
+}
+
+std::size_t Simulation::material_cells(int m) const {
+  return material_list_[m].size();
+}
+
+double Simulation::total_mass() const {
+  double mass = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) mass += rho_[static_cast<std::size_t>(idx(i, j))];
+  }
+  return mass / (static_cast<double>(n_) * n_);
+}
+
+double Simulation::max_vf_error() const {
+  double worst = 0.0;
+  for (int j = 0; j < n_; ++j) {
+    for (int i = 0; i < n_; ++i) {
+      const auto c = static_cast<std::size_t>(idx(i, j));
+      double total = 0.0;
+      for (int m = 0; m < num_materials_; ++m) total += vf_[m][c];
+      worst = std::max(worst, std::fabs(total - 1.0));
+    }
+  }
+  return worst;
+}
+
+namespace {
+
+class AresApp final : public Application {
+public:
+  [[nodiscard]] std::string name() const override { return "ARES"; }
+  [[nodiscard]] std::vector<std::string> problems() const override {
+    return {"sedov", "jet", "hotspot"};
+  }
+  [[nodiscard]] std::vector<int> training_sizes() const override { return {64, 112}; }
+
+  void run(const RunConfig& config) override {
+    perf::ScopedAnnotation problem("problem_name", "ares-" + config.problem);
+    perf::ScopedAnnotation size("problem_size", config.size);
+    Simulation sim(AresConfig{config.problem, config.size, 0.3});
+    sim.run(config.steps);
+  }
+};
+
+}  // namespace
+
+}  // namespace apollo::apps::ares
+
+namespace apollo::apps {
+
+std::unique_ptr<Application> make_ares() {
+  return std::make_unique<ares::AresApp>();
+}
+
+std::vector<std::unique_ptr<Application>> make_all_applications() {
+  std::vector<std::unique_ptr<Application>> apps;
+  apps.push_back(make_lulesh());
+  apps.push_back(make_cleverleaf());
+  apps.push_back(make_ares());
+  return apps;
+}
+
+}  // namespace apollo::apps

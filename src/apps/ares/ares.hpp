@@ -1,0 +1,91 @@
+#pragma once
+
+// mini-ARES: a multi-physics ALE-style radiation-hydro miniature. One
+// physics package (hydrodynamics, with a dynamic mixed-material capability)
+// is "ported to RAJA" — every loop goes through apollo::forall with the
+// per-kernel serial/OpenMP defaults its developers hand-picked. A second
+// package (heat conduction) is deliberately NOT ported: its cost is charged
+// outside Apollo's control, which is why end-to-end ARES speedups are modest
+// (Fig. 13) even when the tuned kernels improve substantially.
+//
+// The mixed-material capability is the input-dependent core: per-material
+// cell lists (RAJA ListSegments) are rebuilt every step and grow/shrink as
+// materials advect and mix; mixed-cell lists drive small relaxation kernels.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/application.hpp"
+#include "raja/index_set.hpp"
+
+namespace apollo::apps::ares {
+
+inline constexpr int kMaxMaterials = 3;
+
+struct AresConfig {
+  std::string problem = "sedov";  ///< sedov | jet | hotspot
+  int cells = 64;                 ///< grid cells per side
+  double cfl = 0.3;
+};
+
+class Simulation {
+public:
+  explicit Simulation(AresConfig config);
+
+  void step();
+  void run(int steps);
+
+  [[nodiscard]] int cycle() const noexcept { return cycle_; }
+  [[nodiscard]] double time() const noexcept { return time_; }
+  [[nodiscard]] int num_materials() const noexcept { return num_materials_; }
+
+  /// Cells currently containing material m / more than one material.
+  [[nodiscard]] std::size_t material_cells(int m) const;
+  [[nodiscard]] std::size_t mixed_cells() const noexcept { return mixed_list_.size(); }
+
+  [[nodiscard]] double total_mass() const;
+  /// Volume fractions sum to ~1 everywhere (invariant for tests).
+  [[nodiscard]] double max_vf_error() const;
+
+private:
+  [[nodiscard]] int idx(int i, int j) const noexcept { return (i + 2) + stride_ * (j + 2); }
+  void initialize();
+  void apply_bc();
+  void rebuild_material_regions();
+  double compute_dt();
+  void hydro(double dt);
+  void advect_materials(double dt);
+  void material_eos();
+  void conduction(double dt);  ///< un-ported package #1 (plain loops)
+  void radiation(double dt);   ///< un-ported package #2 (hotspot only)
+
+  AresConfig config_;
+  int n_ = 0;       ///< interior cells per side
+  int stride_ = 0;  ///< row stride including 2 ghost layers
+  int num_materials_ = 2;
+  bool conduction_enabled_ = false;
+  bool radiation_enabled_ = false;
+  double kappa_ = 0.0;
+  double rad_kappa_ = 0.0;
+  double rad_coupling_ = 0.0;
+
+  // Bulk state (cell-centered, ghost-padded).
+  std::vector<double> rho_, mx_, my_, en_;
+  std::vector<double> p_, cs_, gamma_eff_, dt_cell_;
+  std::vector<double> fx_[4], fy_[4];
+  std::vector<double> tsat_;  ///< conduction work array
+  std::vector<double> trad_, trad_new_;  ///< radiation temperature field
+
+  // Materials.
+  std::vector<double> vf_[kMaxMaterials];       ///< volume fractions
+  std::vector<double> pm_[kMaxMaterials];       ///< partial pressures
+  double gamma_m_[kMaxMaterials] = {1.4, 1.4, 1.4};
+  std::vector<raja::Index> material_list_[kMaxMaterials];
+  std::vector<raja::Index> mixed_list_;
+
+  double time_ = 0.0;
+  int cycle_ = 0;
+};
+
+}  // namespace apollo::apps::ares

@@ -1,0 +1,114 @@
+#include "apps/cleverleaf/amr.hpp"
+
+#include <algorithm>
+
+namespace apollo::apps::cleverleaf {
+
+void Patch::allocate() {
+  const std::size_t cells = static_cast<std::size_t>(stride()) * (ny() + 2 * kGhost);
+  for (auto* field : {&rho, &mx, &my, &en, &p, &cs, &dt_cell}) field->assign(cells, 0.0);
+  flag.assign(cells, 0);
+  const std::size_t xfaces = static_cast<std::size_t>(nx() + 1) * ny();
+  const std::size_t yfaces = static_cast<std::size_t>(nx()) * (ny() + 1);
+  for (auto& f : fx) f.assign(xfaces, 0.0);
+  for (auto& f : fy) f.assign(yfaces, 0.0);
+}
+
+namespace {
+
+struct MaskView {
+  const std::vector<std::uint8_t>& mask;
+  Box bound;  ///< the mask's extent in level index space
+
+  [[nodiscard]] bool at(int i, int j) const noexcept {
+    return mask[static_cast<std::size_t>(i - bound.i0) +
+                static_cast<std::size_t>(bound.nx()) * static_cast<std::size_t>(j - bound.j0)] != 0;
+  }
+};
+
+/// Tight bounding box of flags inside `search`; empty box when none.
+Box bounding_box(const MaskView& view, const Box& search) {
+  Box tight{search.i1 + 1, search.j1 + 1, search.i0 - 1, search.j0 - 1};
+  for (int j = search.j0; j <= search.j1; ++j) {
+    for (int i = search.i0; i <= search.i1; ++i) {
+      if (view.at(i, j)) {
+        tight.i0 = std::min(tight.i0, i);
+        tight.j0 = std::min(tight.j0, j);
+        tight.i1 = std::max(tight.i1, i);
+        tight.j1 = std::max(tight.j1, j);
+      }
+    }
+  }
+  return tight;
+}
+
+std::int64_t count_flags(const MaskView& view, const Box& box) {
+  std::int64_t count = 0;
+  for (int j = box.j0; j <= box.j1; ++j) {
+    for (int i = box.i0; i <= box.i1; ++i) count += view.at(i, j) ? 1 : 0;
+  }
+  return count;
+}
+
+void cluster_recursive(const MaskView& view, Box search, double min_efficiency, int min_extent,
+                       int max_extent, std::vector<Box>& out) {
+  const Box tight = bounding_box(view, search);
+  if (tight.empty()) return;
+
+  const std::int64_t flags = count_flags(view, tight);
+  const double efficiency = static_cast<double>(flags) / static_cast<double>(tight.cells());
+  const bool small_enough = tight.nx() <= max_extent && tight.ny() <= max_extent;
+  if (small_enough &&
+      (efficiency >= min_efficiency || (tight.nx() <= min_extent && tight.ny() <= min_extent))) {
+    out.push_back(tight);
+    return;
+  }
+
+  // Prefer splitting at a zero in the signature (a hole); fall back to the
+  // midpoint of the longest axis.
+  const bool split_x = tight.nx() >= tight.ny();
+  const int length = split_x ? tight.nx() : tight.ny();
+  int cut = length / 2;  // relative cut: first index of the right half
+  if (length < 2) {
+    out.push_back(tight);  // cannot split a 1-wide box further
+    return;
+  }
+  std::vector<std::int64_t> signature(static_cast<std::size_t>(length), 0);
+  for (int j = tight.j0; j <= tight.j1; ++j) {
+    for (int i = tight.i0; i <= tight.i1; ++i) {
+      if (view.at(i, j)) signature[static_cast<std::size_t>(split_x ? i - tight.i0 : j - tight.j0)]++;
+    }
+  }
+  // Closest interior zero to the middle wins.
+  int best_gap = -1;
+  for (int c = 1; c < length; ++c) {
+    if (signature[static_cast<std::size_t>(c)] == 0) {
+      if (best_gap < 0 || std::abs(c - length / 2) < std::abs(best_gap - length / 2)) best_gap = c;
+    }
+  }
+  if (best_gap > 0) cut = best_gap;
+
+  Box left = tight, right = tight;
+  if (split_x) {
+    left.i1 = tight.i0 + cut - 1;
+    right.i0 = tight.i0 + cut;
+  } else {
+    left.j1 = tight.j0 + cut - 1;
+    right.j0 = tight.j0 + cut;
+  }
+  cluster_recursive(view, left, min_efficiency, min_extent, max_extent, out);
+  cluster_recursive(view, right, min_efficiency, min_extent, max_extent, out);
+}
+
+}  // namespace
+
+std::vector<Box> cluster_flags(const std::vector<std::uint8_t>& mask, const Box& bound,
+                               double min_efficiency, int min_extent, int max_extent) {
+  std::vector<Box> out;
+  if (bound.empty()) return out;
+  const MaskView view{mask, bound};
+  cluster_recursive(view, bound, min_efficiency, min_extent, max_extent, out);
+  return out;
+}
+
+}  // namespace apollo::apps::cleverleaf

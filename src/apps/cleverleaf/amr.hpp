@@ -1,0 +1,88 @@
+#pragma once
+
+// Block-structured AMR infrastructure for mini-CleverLeaf (the SAMRAI
+// substitute): boxes in level index space, patches with ghost layers, and
+// Berger-Rigoutsos-style clustering of flagged cells into refinement boxes.
+// Patch shapes and sizes are dynamic — they follow the evolving solution —
+// which is exactly the input-dependence the paper tunes for.
+
+#include <cstdint>
+#include <vector>
+
+namespace apollo::apps::cleverleaf {
+
+inline constexpr int kGhost = 2;  ///< ghost layers (CleverLeaf's 2-wide strips)
+
+/// Inclusive cell-index rectangle in a level's index space.
+struct Box {
+  int i0 = 0, j0 = 0, i1 = -1, j1 = -1;
+
+  [[nodiscard]] int nx() const noexcept { return i1 - i0 + 1; }
+  [[nodiscard]] int ny() const noexcept { return j1 - j0 + 1; }
+  [[nodiscard]] std::int64_t cells() const noexcept {
+    return nx() > 0 && ny() > 0 ? static_cast<std::int64_t>(nx()) * ny() : 0;
+  }
+  [[nodiscard]] bool empty() const noexcept { return nx() <= 0 || ny() <= 0; }
+  [[nodiscard]] bool contains(int i, int j) const noexcept {
+    return i >= i0 && i <= i1 && j >= j0 && j <= j1;
+  }
+  [[nodiscard]] Box intersect(const Box& other) const noexcept {
+    return Box{std::max(i0, other.i0), std::max(j0, other.j0), std::min(i1, other.i1),
+               std::min(j1, other.j1)};
+  }
+  [[nodiscard]] Box grow(int g) const noexcept { return Box{i0 - g, j0 - g, i1 + g, j1 + g}; }
+  [[nodiscard]] Box refine(int ratio) const noexcept {
+    return Box{i0 * ratio, j0 * ratio, (i1 + 1) * ratio - 1, (j1 + 1) * ratio - 1};
+  }
+  [[nodiscard]] Box coarsen(int ratio) const noexcept {
+    auto floor_div = [](int a, int b) { return a >= 0 ? a / b : -((-a + b - 1) / b); };
+    return Box{floor_div(i0, ratio), floor_div(j0, ratio), floor_div(i1, ratio),
+               floor_div(j1, ratio)};
+  }
+  friend bool operator==(const Box&, const Box&) = default;
+};
+
+/// One AMR patch: an interior box plus kGhost ghost layers of field storage.
+struct Patch {
+  int level = 0;
+  int id = 0;       ///< hierarchy-unique id (the patch_id feature)
+  unsigned rank = 0;///< owning rank in cluster-accounted runs
+  Box box;          ///< interior cells, level index space
+
+  // Conservative state (+ lagged copy), cell-centered, ghost-padded.
+  std::vector<double> rho, mx, my, en;
+  std::vector<double> p, cs;      ///< derived: pressure, sound speed
+  std::vector<double> dt_cell;    ///< per-cell dt limit
+  std::vector<std::uint8_t> flag; ///< refinement flags
+
+  // Face fluxes for the 4 conserved components (x faces then y faces).
+  std::vector<double> fx[4], fy[4];
+
+  [[nodiscard]] int nx() const noexcept { return box.nx(); }
+  [[nodiscard]] int ny() const noexcept { return box.ny(); }
+  [[nodiscard]] int stride() const noexcept { return nx() + 2 * kGhost; }
+
+  /// Local storage index of level cell (i, j); valid for ghost cells too.
+  [[nodiscard]] int idx(int i, int j) const noexcept {
+    return (i - box.i0 + kGhost) + stride() * (j - box.j0 + kGhost);
+  }
+
+  void allocate();
+};
+
+struct Level {
+  int index = 0;
+  int nx = 0, ny = 0;  ///< level dimensions (cells)
+  double dx = 0.0;     ///< cell size (square cells)
+  std::vector<Patch> patches;
+};
+
+/// Cluster flagged cells (a dense mask over `bound`) into boxes with fill
+/// efficiency >= min_efficiency, by recursive signature-based bisection.
+/// `mask[i + bound.nx()*j]` is nonzero when cell (bound.i0+i, bound.j0+j) is
+/// flagged. Boxes longer than max_extent on a side are split.
+[[nodiscard]] std::vector<Box> cluster_flags(const std::vector<std::uint8_t>& mask, const Box& bound,
+                                             double min_efficiency = 0.75, int min_extent = 4,
+                                             int max_extent = 64);
+
+}  // namespace apollo::apps::cleverleaf

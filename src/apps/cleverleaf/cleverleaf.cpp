@@ -1,0 +1,969 @@
+#include "apps/cleverleaf/cleverleaf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/cluster_accountant.hpp"
+#include "core/runtime.hpp"
+#include "perf/blackboard.hpp"
+
+namespace apollo::apps::cleverleaf {
+
+namespace {
+
+constexpr double kGamma = 1.4;
+constexpr double kRhoFloor = 1e-8;
+constexpr double kPFloor = 1e-10;
+
+using instr::MixBuilder;
+using raja::PolicyType;
+
+const KernelHandle& idealGasKernel() {
+  static const KernelHandle k{"clover:ideal_gas", "ideal_gas",
+                              MixBuilder{}.fp(9).div(2).sqrt(1).load(4).store(2).control(3).build(),
+                              48};
+  return k;
+}
+const KernelHandle& calcDtKernel() {
+  static const KernelHandle k{"clover:calc_dt", "calc_dt",
+                              MixBuilder{}.fp(5).div(2).sqrt(1).minmax(2).load(6).store(1)
+                                  .control(3).build(), 56};
+  return k;
+}
+const KernelHandle& fluxXKernel() {
+  static const KernelHandle k{"clover:flux_calc_x", "flux_calc_x",
+                              MixBuilder{}.fp(34).div(2).minmax(1).load(12).store(4).control(4)
+                                  .build(), 128};
+  return k;
+}
+const KernelHandle& fluxYKernel() {
+  static const KernelHandle k{"clover:flux_calc_y", "flux_calc_y",
+                              MixBuilder{}.fp(34).div(2).minmax(1).load(12).store(4).control(4)
+                                  .build(), 128};
+  return k;
+}
+const KernelHandle& fluxX2Kernel() {
+  static const KernelHandle k{"clover:flux_calc_x_muscl", "flux_calc_x_muscl",
+                              MixBuilder{}.fp(78).div(4).minmax(9).load(24).store(4).compare(8)
+                                  .control(6).build(), 280};
+  return k;
+}
+const KernelHandle& fluxY2Kernel() {
+  static const KernelHandle k{"clover:flux_calc_y_muscl", "flux_calc_y_muscl",
+                              MixBuilder{}.fp(78).div(4).minmax(9).load(24).store(4).compare(8)
+                                  .control(6).build(), 280};
+  return k;
+}
+const KernelHandle& updateKernel() {
+  static const KernelHandle k{"clover:advec_cell", "advec_cell",
+                              MixBuilder{}.fp(24).load(16).store(4).control(4).build(), 160};
+  return k;
+}
+const KernelHandle& haloKernel() {
+  static const KernelHandle k{"clover:update_halo", "update_halo",
+                              MixBuilder{}.fp(1).load(4).store(4).control(4).build(), 64,
+                              PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+// Framework-managed ghost exchange (SAMRAI's, not application RAJA kernels):
+// hand-tuned to sequential by default.
+const KernelHandle& prolongKernel() {
+  static const KernelHandle k{"clover:prolong", "prolong",
+                              MixBuilder{}.load(4).store(4).logic(4).control(6).build(), 64,
+                              PolicyType::seq_segit_seq_exec};
+  return k;
+}
+const KernelHandle& siblingCopyKernel() {
+  static const KernelHandle k{"clover:sibling_copy", "sibling_copy",
+                              MixBuilder{}.load(4).store(4).control(4).build(), 64,
+                              PolicyType::seq_segit_seq_exec};
+  return k;
+}
+const KernelHandle& flagKernel() {
+  static const KernelHandle k{"clover:flag_cells", "flag_cells",
+                              MixBuilder{}.fp(8).div(2).compare(2).load(8).store(1).control(4)
+                                  .build(), 48};
+  return k;
+}
+const KernelHandle& restrictKernel() {
+  static const KernelHandle k{"clover:restrict", "restrict",
+                              MixBuilder{}.fp(12).load(16).store(4).control(4).build(), 160};
+  return k;
+}
+
+struct Primitive {
+  double rho, u, v, p, cs;
+};
+
+struct Deck {
+  /// Primitive state at physical position (x, y) at t=0.
+  static Primitive evaluate(const std::string& problem, double x, double y) {
+    if (problem == "sod") {
+      if (x < 0.5) return {1.0, 0.0, 0.0, 1.0, 0.0};
+      return {0.125, 0.0, 0.0, 0.1, 0.0};
+    }
+    if (problem == "triple_point") {
+      if (x < 0.15) return {1.0, 0.0, 0.0, 5.0, 0.0};
+      if (y < 0.5) return {1.0, 0.0, 0.0, 0.1, 0.0};
+      return {0.125, 0.0, 0.0, 0.1, 0.0};
+    }
+    // sedov: hot disc at the domain center.
+    const double r = std::hypot(x - 0.5, y - 0.5);
+    if (r < 0.06) return {1.0, 0.0, 0.0, 40.0, 0.0};
+    return {1.0, 0.0, 0.0, 0.01, 0.0};
+  }
+};
+
+/// Flatten helper: kernel iterates q in [0, nx*ny) over a box region; body
+/// maps q to (i, j) in level index space.
+struct BoxIter {
+  Box box;
+  [[nodiscard]] raja::IndexSet iset() const { return raja::IndexSet::range(0, box.cells()); }
+  [[nodiscard]] int i_of(raja::Index q) const noexcept {
+    return box.i0 + static_cast<int>(q) % box.nx();
+  }
+  [[nodiscard]] int j_of(raja::Index q) const noexcept {
+    return box.j0 + static_cast<int>(q) / box.nx();
+  }
+};
+
+double pressure_of(double rho, double mx, double my, double en) noexcept {
+  const double r = std::max(rho, kRhoFloor);
+  const double kinetic = 0.5 * (mx * mx + my * my) / r;
+  return std::max((kGamma - 1.0) * (en - kinetic), kPFloor);
+}
+
+/// Conserved state and the Rusanov flux helpers shared by the first-order
+/// and MUSCL flux kernels.
+struct State {
+  double rho, mx, my, en;
+};
+
+double minmod(double a, double b) noexcept {
+  if (a * b <= 0.0) return 0.0;
+  return std::fabs(a) < std::fabs(b) ? a : b;
+}
+
+/// Second-order face states: limited linear reconstruction from the two
+/// cells on each side of the face (ll, l | r, rr).
+State reconstruct_left(const State& ll, const State& l, const State& r) noexcept {
+  return State{l.rho + 0.5 * minmod(l.rho - ll.rho, r.rho - l.rho),
+               l.mx + 0.5 * minmod(l.mx - ll.mx, r.mx - l.mx),
+               l.my + 0.5 * minmod(l.my - ll.my, r.my - l.my),
+               l.en + 0.5 * minmod(l.en - ll.en, r.en - l.en)};
+}
+
+State reconstruct_right(const State& l, const State& r, const State& rr) noexcept {
+  return State{r.rho - 0.5 * minmod(r.rho - l.rho, rr.rho - r.rho),
+               r.mx - 0.5 * minmod(r.mx - l.mx, rr.mx - r.mx),
+               r.my - 0.5 * minmod(r.my - l.my, rr.my - r.my),
+               r.en - 0.5 * minmod(r.en - l.en, rr.en - r.en)};
+}
+
+/// Rusanov flux through an x-face between states L and R; `flux[4]` receives
+/// the (rho, mx, my, en) components. The y-face flux is the same with the
+/// roles of mx/my swapped by the caller.
+void rusanov_x(const State& l, const State& r, double* flux) noexcept {
+  const double rl = std::max(l.rho, kRhoFloor), rr = std::max(r.rho, kRhoFloor);
+  const double pl = pressure_of(l.rho, l.mx, l.my, l.en);
+  const double pr = pressure_of(r.rho, r.mx, r.my, r.en);
+  const double ul = l.mx / rl, ur = r.mx / rr;
+  const double cl = std::sqrt(kGamma * pl / rl), cr = std::sqrt(kGamma * pr / rr);
+  const double lam = std::max(std::fabs(ul) + cl, std::fabs(ur) + cr);
+  flux[0] = 0.5 * (l.mx + r.mx) - 0.5 * lam * (r.rho - l.rho);
+  flux[1] = 0.5 * (l.mx * ul + pl + r.mx * ur + pr) - 0.5 * lam * (r.mx - l.mx);
+  flux[2] = 0.5 * (l.my * ul + r.my * ur) - 0.5 * lam * (r.my - l.my);
+  flux[3] = 0.5 * ((l.en + pl) * ul + (r.en + pr) * ur) - 0.5 * lam * (r.en - l.en);
+}
+
+/// Search a level's patches for the one whose interior contains (i, j).
+const Patch* find_patch(const Level& level, int i, int j) {
+  for (const auto& patch : level.patches) {
+    if (patch.box.contains(i, j)) return &patch;
+  }
+  return nullptr;
+}
+
+ClusterAccountant* accountant() { return Runtime::instance().cluster_accountant(); }
+
+/// Strong scaling subdivides the mesh into more, smaller boxes so every rank
+/// gets several: SAMRAI's load balancer chops patches as the rank count
+/// grows. Granularity shrinks like sqrt(ranks).
+int decomposition_extent(int base_extent) {
+  const auto* acc = accountant();
+  const unsigned ranks = acc != nullptr ? acc->ranks() : 1;
+  int extent = base_extent;
+  for (unsigned r = 1; r * r < ranks; r *= 2) extent /= 2;
+  return std::max(extent, 8);
+}
+
+/// RAII: route kernel charges to this patch's rank and expose patch_id.
+struct PatchScope {
+  explicit PatchScope(const Patch& patch) : annotation_("patch_id", patch.id) {
+    if (auto* acc = accountant()) acc->set_current_rank(patch.rank);
+  }
+  perf::ScopedAnnotation annotation_;
+};
+
+}  // namespace
+
+Simulation::Simulation(CleverConfig config) : config_(std::move(config)) {
+  if (config_.max_levels < 1 || config_.max_levels > 4) {
+    throw std::invalid_argument("cleverleaf: max_levels must be in [1,4]");
+  }
+  levels_.resize(static_cast<std::size_t>(config_.max_levels));
+  int cells = config_.coarse_cells;
+  double dx = 1.0 / cells;
+  for (int l = 0; l < config_.max_levels; ++l) {
+    levels_[static_cast<std::size_t>(l)].index = l;
+    levels_[static_cast<std::size_t>(l)].nx = cells;
+    levels_[static_cast<std::size_t>(l)].ny = cells;
+    levels_[static_cast<std::size_t>(l)].dx = dx;
+    cells *= config_.ratio;
+    dx /= config_.ratio;
+  }
+
+  // Tile level 0 (SAMRAI distributes the coarse grid as boxes too).
+  const int tile = decomposition_extent(64);
+  Level& base = levels_[0];
+  for (int j0 = 0; j0 < base.ny; j0 += tile) {
+    for (int i0 = 0; i0 < base.nx; i0 += tile) {
+      Patch patch;
+      patch.level = 0;
+      patch.id = next_patch_id_++;
+      patch.box = Box{i0, j0, std::min(i0 + tile - 1, base.nx - 1),
+                      std::min(j0 + tile - 1, base.ny - 1)};
+      patch.allocate();
+      initialize_patch(patch, base.dx);
+      base.patches.push_back(std::move(patch));
+    }
+  }
+
+  // Build the initial refined hierarchy: one regrid pass per fine level.
+  for (int l = 1; l < config_.max_levels; ++l) regrid();
+  rebalance();
+}
+
+void Simulation::initialize_patch(Patch& patch, double dx) const {
+  const Box grown = patch.box.grow(kGhost);
+  for (int j = grown.j0; j <= grown.j1; ++j) {
+    for (int i = grown.i0; i <= grown.i1; ++i) {
+      const double x = (i + 0.5) * dx;
+      const double y = (j + 0.5) * dx;
+      const Primitive s = Deck::evaluate(config_.problem, x, y);
+      const int c = patch.idx(i, j);
+      patch.rho[static_cast<std::size_t>(c)] = s.rho;
+      patch.mx[static_cast<std::size_t>(c)] = s.rho * s.u;
+      patch.my[static_cast<std::size_t>(c)] = s.rho * s.v;
+      patch.en[static_cast<std::size_t>(c)] =
+          s.p / (kGamma - 1.0) + 0.5 * s.rho * (s.u * s.u + s.v * s.v);
+    }
+  }
+}
+
+void Simulation::apply_physical_bc(Patch& patch, int level_nx, int level_ny) {
+  // Reflective boundaries, applied by 2-wide strip kernels (the paper's
+  // CleverLeaf boundary kernels). Only patches touching the domain edge
+  // launch them.
+  const int stride = patch.stride();
+  double* rho = patch.rho.data();
+  double* mx = patch.mx.data();
+  double* my = patch.my.data();
+  double* en = patch.en.data();
+  const Patch* pp = &patch;
+
+  auto mirror = [=](int gi, int gj, int si, int sj, bool flip_x, bool flip_y) {
+    const auto g = static_cast<std::size_t>(pp->idx(gi, gj));
+    const auto s = static_cast<std::size_t>(pp->idx(si, sj));
+    rho[g] = rho[s];
+    mx[g] = flip_x ? -mx[s] : mx[s];
+    my[g] = flip_y ? -my[s] : my[s];
+    en[g] = en[s];
+  };
+
+  const Box& b = patch.box;
+  const int rows = patch.ny() + 2 * kGhost;
+  const int cols = patch.nx() + 2 * kGhost;
+  (void)stride;
+
+  if (b.i0 == 0) {  // left strip: 2 ghost columns, strided segments
+    raja::IndexSet strip;
+    for (int g = 0; g < kGhost; ++g) {
+      strip.push_back(raja::StridedSegment{g, g + static_cast<raja::Index>(rows) * stride, stride});
+    }
+    PatchScope scope(patch);
+    forall(haloKernel(), strip, [=](raja::Index local) {
+      const int g = static_cast<int>(local % stride);           // 0 or 1
+      const int j = b.j0 - kGhost + static_cast<int>(local / stride);
+      mirror(b.i0 - kGhost + g, j, b.i0 + (kGhost - 1 - g), j, true, false);
+    });
+  }
+  if (b.i1 == level_nx - 1) {  // right strip
+    raja::IndexSet strip;
+    for (int g = 0; g < kGhost; ++g) {
+      const raja::Index first = cols - 1 - g;
+      strip.push_back(raja::StridedSegment{first, first + static_cast<raja::Index>(rows) * stride,
+                                           stride});
+    }
+    PatchScope scope(patch);
+    forall(haloKernel(), strip, [=](raja::Index local) {
+      const int g = cols - 1 - static_cast<int>(local % stride);  // 0 or 1 from the edge
+      const int j = b.j0 - kGhost + static_cast<int>(local / stride);
+      mirror(b.i1 + kGhost - g, j, b.i1 - (kGhost - 1 - g), j, true, false);
+    });
+  }
+  if (b.j0 == 0) {  // bottom strip: 2 contiguous ghost rows
+    raja::IndexSet strip;
+    for (int g = 0; g < kGhost; ++g) {
+      strip.push_back(raja::RangeSegment{static_cast<raja::Index>(g) * stride,
+                                         static_cast<raja::Index>(g) * stride + cols});
+    }
+    PatchScope scope(patch);
+    forall(haloKernel(), strip, [=](raja::Index local) {
+      const int g = static_cast<int>(local / stride);
+      const int i = b.i0 - kGhost + static_cast<int>(local % stride);
+      mirror(i, b.j0 - kGhost + g, i, b.j0 + (kGhost - 1 - g), false, true);
+    });
+  }
+  if (b.j1 == level_ny - 1) {  // top strip
+    raja::IndexSet strip;
+    for (int g = 0; g < kGhost; ++g) {
+      const raja::Index row = rows - 1 - g;
+      strip.push_back(raja::RangeSegment{row * stride, row * stride + cols});
+    }
+    PatchScope scope(patch);
+    forall(haloKernel(), strip, [=](raja::Index local) {
+      const int g = rows - 1 - static_cast<int>(local / stride);
+      const int i = b.i0 - kGhost + static_cast<int>(local % stride);
+      mirror(i, b.j1 + kGhost - g, i, b.j1 - (kGhost - 1 - g), false, true);
+    });
+  }
+}
+
+void Simulation::fill_ghosts(int level_index) {
+  Level& level = levels_[static_cast<std::size_t>(level_index)];
+
+  // (a) parent prolongation (piecewise constant), whole ghost ring.
+  if (level_index > 0) {
+    const Level& parent = levels_[static_cast<std::size_t>(level_index - 1)];
+    const int ratio = config_.ratio;
+    for (auto& patch : level.patches) {
+      // Ring cells as an explicit list (4 edge bands of the grown box).
+      std::vector<raja::Index> ring;
+      const Box grown = patch.box.grow(kGhost);
+      for (int j = grown.j0; j <= grown.j1; ++j) {
+        for (int i = grown.i0; i <= grown.i1; ++i) {
+          if (!patch.box.contains(i, j)) {
+            ring.push_back(patch.idx(i, j));
+          }
+        }
+      }
+      raja::IndexSet iset;
+      iset.push_back(raja::ListSegment{std::move(ring)});
+
+      double* rho = patch.rho.data();
+      double* mx = patch.mx.data();
+      double* my = patch.my.data();
+      double* en = patch.en.data();
+      const Level* par = &parent;
+      const Box box = patch.box;
+      const int stride = patch.stride();
+      PatchScope scope(patch);
+      forall(prolongKernel(), iset, [=](raja::Index local) {
+        const int li = static_cast<int>(local % stride) - kGhost + box.i0;
+        const int lj = static_cast<int>(local / stride) - kGhost + box.j0;
+        auto floor_div = [](int a, int b) { return a >= 0 ? a / b : -((-a + b - 1) / b); };
+        const int ci = floor_div(li, ratio);
+        const int cj = floor_div(lj, ratio);
+        const Patch* src = find_patch(*par, ci, cj);
+        if (src == nullptr) return;  // outside parent union: physical BC later
+        const auto c = static_cast<std::size_t>(src->idx(ci, cj));
+        const auto g = static_cast<std::size_t>(local);
+        rho[g] = src->rho[c];
+        mx[g] = src->mx[c];
+        my[g] = src->my[c];
+        en[g] = src->en[c];
+      });
+    }
+  }
+
+  // (b) sibling copies: pull any overlap of my grown box with other patches'
+  // interiors (also refreshes interior cells shadowed by a neighbour — no-op
+  // there since interiors are disjoint).
+  for (auto& patch : level.patches) {
+    const Box grown = patch.box.grow(kGhost);
+    for (const auto& other : level.patches) {
+      if (other.id == patch.id) continue;
+      const Box overlap = grown.intersect(other.box);
+      if (overlap.empty()) continue;
+
+      double* rho = patch.rho.data();
+      double* mx = patch.mx.data();
+      double* my = patch.my.data();
+      double* en = patch.en.data();
+      const Patch* dst = &patch;
+      const Patch* src = &other;
+      const BoxIter iter{overlap};
+      PatchScope scope(patch);
+      forall(siblingCopyKernel(), iter.iset(), [=](raja::Index q) {
+        const int i = iter.i_of(q);
+        const int j = iter.j_of(q);
+        const auto d = static_cast<std::size_t>(dst->idx(i, j));
+        const auto s = static_cast<std::size_t>(src->idx(i, j));
+        rho[d] = src->rho[s];
+        mx[d] = src->mx[s];
+        my[d] = src->my[s];
+        en[d] = src->en[s];
+      });
+    }
+  }
+
+  // (c) physical boundaries.
+  for (auto& patch : level.patches) apply_physical_bc(patch, level.nx, level.ny);
+}
+
+void Simulation::equation_of_state() {
+  // Pressure and sound speed on the grown-by-one region of every patch
+  // (fluxes read one ghost deep); must precede the dt computation.
+  for (auto& level : levels_) {
+    for (auto& patch : level.patches) {
+      const double* rho = patch.rho.data();
+      const double* mx = patch.mx.data();
+      const double* my = patch.my.data();
+      const double* en = patch.en.data();
+      double* pr = patch.p.data();
+      double* sp = patch.cs.data();
+      const Patch* pp = &patch;
+      const BoxIter iter{patch.box.grow(1)};
+      PatchScope scope(patch);
+      forall(idealGasKernel(), iter.iset(), [=](raja::Index q) {
+        const auto c = static_cast<std::size_t>(pp->idx(iter.i_of(q), iter.j_of(q)));
+        const double press = pressure_of(rho[c], mx[c], my[c], en[c]);
+        pr[c] = press;
+        sp[c] = std::sqrt(kGamma * press / std::max(rho[c], kRhoFloor));
+      });
+    }
+  }
+}
+
+double Simulation::compute_dt() {
+  double dt = std::numeric_limits<double>::max();
+  for (auto& level : levels_) {
+    for (auto& patch : level.patches) {
+      const BoxIter iter{patch.box};
+      const double* rho = patch.rho.data();
+      const double* mx = patch.mx.data();
+      const double* my = patch.my.data();
+      const double* p = patch.p.data();
+      const double* cs = patch.cs.data();
+      double* dt_cell = patch.dt_cell.data();
+      const Patch* pp = &patch;
+      const double dx = level.dx;
+      const double cfl = config_.cfl;
+      {
+        PatchScope scope(patch);
+        forall(calcDtKernel(), iter.iset(), [=](raja::Index q) {
+          const auto c = static_cast<std::size_t>(pp->idx(iter.i_of(q), iter.j_of(q)));
+          const double r = std::max(rho[c], kRhoFloor);
+          const double speed = std::max(std::fabs(mx[c] / r), std::fabs(my[c] / r)) + cs[c];
+          dt_cell[c] = cfl * dx / std::max(speed, 1e-12);
+          (void)p;
+        });
+      }
+      for (int j = patch.box.j0; j <= patch.box.j1; ++j) {
+        for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+          dt = std::min(dt, patch.dt_cell[static_cast<std::size_t>(patch.idx(i, j))]);
+        }
+      }
+    }
+  }
+  return dt;
+}
+
+void Simulation::hydro_step(double dt) {
+  for (auto& level : levels_) {
+    const double dtdx = dt / level.dx;
+    for (auto& patch : level.patches) {
+      const Box& b = patch.box;
+      const int nx = patch.nx();
+      const int ny = patch.ny();
+      const double* rho = patch.rho.data();
+      const double* mx = patch.mx.data();
+      const double* my = patch.my.data();
+      const double* en = patch.en.data();
+      const double* p = patch.p.data();
+      const double* cs = patch.cs.data();
+      const Patch* pp = &patch;
+      PatchScope scope(patch);
+
+      if (config_.second_order) {
+        // MUSCL: minmod-limited linear reconstruction on both sides of each
+        // face (reads two ghost layers), then the shared Rusanov solver.
+        const auto load = [=](int i, int j) {
+          const auto c = static_cast<std::size_t>(pp->idx(i, j));
+          return State{rho[c], mx[c], my[c], en[c]};
+        };
+        {
+          double* f0 = patch.fx[0].data();
+          double* f1 = patch.fx[1].data();
+          double* f2 = patch.fx[2].data();
+          double* f3 = patch.fx[3].data();
+          const raja::IndexSet faces =
+              raja::IndexSet::range(0, static_cast<raja::Index>(nx + 1) * ny);
+          forall(fluxX2Kernel(), faces, [=](raja::Index q) {
+            const int fi = static_cast<int>(q) % (nx + 1);
+            const int j = b.j0 + static_cast<int>(q) / (nx + 1);
+            const int i = b.i0 + fi;
+            const State sll = load(i - 2, j), sl = load(i - 1, j);
+            const State sr = load(i, j), srr = load(i + 1, j);
+            double flux[4];
+            rusanov_x(reconstruct_left(sll, sl, sr), reconstruct_right(sl, sr, srr), flux);
+            const auto f = static_cast<std::size_t>(q);
+            f0[f] = flux[0];
+            f1[f] = flux[1];
+            f2[f] = flux[2];
+            f3[f] = flux[3];
+          });
+        }
+        {
+          double* g0 = patch.fy[0].data();
+          double* g1 = patch.fy[1].data();
+          double* g2 = patch.fy[2].data();
+          double* g3 = patch.fy[3].data();
+          const raja::IndexSet faces =
+              raja::IndexSet::range(0, static_cast<raja::Index>(nx) * (ny + 1));
+          forall(fluxY2Kernel(), faces, [=](raja::Index q) {
+            const int i = b.i0 + static_cast<int>(q) % nx;
+            const int fj = b.j0 + static_cast<int>(q) / nx;
+            // Swap mx/my so the x-face solver handles a y face.
+            const auto swap = [](State state) {
+              std::swap(state.mx, state.my);
+              return state;
+            };
+            const State sll = swap(load(i, fj - 2)), sl = swap(load(i, fj - 1));
+            const State sr = swap(load(i, fj)), srr = swap(load(i, fj + 1));
+            double flux[4];
+            rusanov_x(reconstruct_left(sll, sl, sr), reconstruct_right(sl, sr, srr), flux);
+            const auto f = static_cast<std::size_t>(q);
+            g0[f] = flux[0];
+            g1[f] = flux[2];  // mx component (was swapped)
+            g2[f] = flux[1];  // my component carries the pressure term
+            g3[f] = flux[3];
+          });
+        }
+      } else {
+      // Rusanov fluxes on x faces: face (fi, j) sits between cells
+      // (b.i0+fi-1, j) and (b.i0+fi, j).
+      {
+        double* f0 = patch.fx[0].data();
+        double* f1 = patch.fx[1].data();
+        double* f2 = patch.fx[2].data();
+        double* f3 = patch.fx[3].data();
+        const raja::IndexSet faces =
+            raja::IndexSet::range(0, static_cast<raja::Index>(nx + 1) * ny);
+        forall(fluxXKernel(), faces, [=](raja::Index q) {
+          const int fi = static_cast<int>(q) % (nx + 1);
+          const int j = b.j0 + static_cast<int>(q) / (nx + 1);
+          const auto l = static_cast<std::size_t>(pp->idx(b.i0 + fi - 1, j));
+          const auto r = static_cast<std::size_t>(pp->idx(b.i0 + fi, j));
+          const double rl = std::max(rho[l], kRhoFloor), rr = std::max(rho[r], kRhoFloor);
+          const double ul = mx[l] / rl, ur = mx[r] / rr;
+          const double lam = std::max(std::fabs(ul) + cs[l], std::fabs(ur) + cs[r]);
+          const auto f = static_cast<std::size_t>(q);
+          f0[f] = 0.5 * (mx[l] + mx[r]) - 0.5 * lam * (rho[r] - rho[l]);
+          f1[f] = 0.5 * (mx[l] * ul + p[l] + mx[r] * ur + p[r]) - 0.5 * lam * (mx[r] - mx[l]);
+          f2[f] = 0.5 * (my[l] * ul + my[r] * ur) - 0.5 * lam * (my[r] - my[l]);
+          f3[f] = 0.5 * ((en[l] + p[l]) * ul + (en[r] + p[r]) * ur) - 0.5 * lam * (en[r] - en[l]);
+        });
+      }
+      // y faces.
+      {
+        double* g0 = patch.fy[0].data();
+        double* g1 = patch.fy[1].data();
+        double* g2 = patch.fy[2].data();
+        double* g3 = patch.fy[3].data();
+        const raja::IndexSet faces =
+            raja::IndexSet::range(0, static_cast<raja::Index>(nx) * (ny + 1));
+        forall(fluxYKernel(), faces, [=](raja::Index q) {
+          const int i = b.i0 + static_cast<int>(q) % nx;
+          const int fj = static_cast<int>(q) / nx;
+          const auto lo = static_cast<std::size_t>(pp->idx(i, b.j0 + fj - 1));
+          const auto hi = static_cast<std::size_t>(pp->idx(i, b.j0 + fj));
+          const double rl = std::max(rho[lo], kRhoFloor), rr = std::max(rho[hi], kRhoFloor);
+          const double vl = my[lo] / rl, vr = my[hi] / rr;
+          const double lam = std::max(std::fabs(vl) + cs[lo], std::fabs(vr) + cs[hi]);
+          const auto f = static_cast<std::size_t>(q);
+          g0[f] = 0.5 * (my[lo] + my[hi]) - 0.5 * lam * (rho[hi] - rho[lo]);
+          g1[f] = 0.5 * (mx[lo] * vl + mx[hi] * vr) - 0.5 * lam * (mx[hi] - mx[lo]);
+          g2[f] = 0.5 * (my[lo] * vl + p[lo] + my[hi] * vr + p[hi]) - 0.5 * lam * (my[hi] - my[lo]);
+          g3[f] = 0.5 * ((en[lo] + p[lo]) * vl + (en[hi] + p[hi]) * vr) - 0.5 * lam * (en[hi] - en[lo]);
+        });
+      }
+      }
+      // Conservative update.
+      {
+        double* rho_w = patch.rho.data();
+        double* mx_w = patch.mx.data();
+        double* my_w = patch.my.data();
+        double* en_w = patch.en.data();
+        const double* f0 = patch.fx[0].data();
+        const double* f1 = patch.fx[1].data();
+        const double* f2 = patch.fx[2].data();
+        const double* f3 = patch.fx[3].data();
+        const double* g0 = patch.fy[0].data();
+        const double* g1 = patch.fy[1].data();
+        const double* g2 = patch.fy[2].data();
+        const double* g3 = patch.fy[3].data();
+        const BoxIter iter{b};
+        forall(updateKernel(), iter.iset(), [=](raja::Index q) {
+          const int i = iter.i_of(q);
+          const int j = iter.j_of(q);
+          const int li = i - b.i0;
+          const int lj = j - b.j0;
+          const auto c = static_cast<std::size_t>(pp->idx(i, j));
+          const auto xw = static_cast<std::size_t>(li + (nx + 1) * lj);      // west face
+          const auto xe = xw + 1;                                            // east face
+          const auto ys = static_cast<std::size_t>(li + nx * lj);            // south face
+          const auto yn = static_cast<std::size_t>(li + nx * (lj + 1));      // north face
+          rho_w[c] = std::max(rho_w[c] - dtdx * (f0[xe] - f0[xw] + g0[yn] - g0[ys]), kRhoFloor);
+          mx_w[c] -= dtdx * (f1[xe] - f1[xw] + g1[yn] - g1[ys]);
+          my_w[c] -= dtdx * (f2[xe] - f2[xw] + g2[yn] - g2[ys]);
+          en_w[c] -= dtdx * (f3[xe] - f3[xw] + g3[yn] - g3[ys]);
+        });
+      }
+    }
+  }
+}
+
+void Simulation::restrict_level(int fine_index) {
+  Level& fine = levels_[static_cast<std::size_t>(fine_index)];
+  Level& coarse = levels_[static_cast<std::size_t>(fine_index - 1)];
+  const int ratio = config_.ratio;
+
+  for (auto& cpatch : coarse.patches) {
+    for (const auto& fpatch : fine.patches) {
+      const Box covered = fpatch.box.coarsen(ratio).intersect(cpatch.box);
+      if (covered.empty()) continue;
+
+      double* rho = cpatch.rho.data();
+      double* mx = cpatch.mx.data();
+      double* my = cpatch.my.data();
+      double* en = cpatch.en.data();
+      const Patch* cp = &cpatch;
+      const Patch* fp = &fpatch;
+      const BoxIter iter{covered};
+      PatchScope scope(cpatch);
+      forall(restrictKernel(), iter.iset(), [=](raja::Index q) {
+        const int ci = iter.i_of(q);
+        const int cj = iter.j_of(q);
+        double sr = 0.0, sx = 0.0, sy = 0.0, se = 0.0;
+        for (int b = 0; b < ratio; ++b) {
+          for (int a = 0; a < ratio; ++a) {
+            const int fi = ci * ratio + a;
+            const int fj = cj * ratio + b;
+            if (!fp->box.contains(fi, fj)) continue;
+            const auto f = static_cast<std::size_t>(fp->idx(fi, fj));
+            sr += fp->rho[f];
+            sx += fp->mx[f];
+            sy += fp->my[f];
+            se += fp->en[f];
+          }
+        }
+        const double inv = 1.0 / (ratio * ratio);
+        const auto c = static_cast<std::size_t>(cp->idx(ci, cj));
+        rho[c] = sr * inv;
+        mx[c] = sx * inv;
+        my[c] = sy * inv;
+        en[c] = se * inv;
+      });
+    }
+  }
+}
+
+void Simulation::flag_level(int level_index, std::vector<std::uint8_t>& mask) const {
+  const Level& level = levels_[static_cast<std::size_t>(level_index)];
+  mask.assign(static_cast<std::size_t>(level.nx) * level.ny, 0);
+
+  for (const auto& patch : level.patches) {
+    // flag kernel writes the patch-local flag field...
+    auto& mutable_patch = const_cast<Patch&>(patch);
+    std::uint8_t* flag = mutable_patch.flag.data();
+    const double* rho = patch.rho.data();
+    const double* en = patch.en.data();
+    const Patch* pp = &patch;
+    const double threshold = config_.flag_threshold;
+    const BoxIter iter{patch.box};
+    PatchScope scope(patch);
+    forall(flagKernel(), iter.iset(), [=](raja::Index q) {
+      const int i = iter.i_of(q);
+      const int j = iter.j_of(q);
+      const auto c = static_cast<std::size_t>(pp->idx(i, j));
+      const auto e = static_cast<std::size_t>(pp->idx(i + 1, j));
+      const auto w = static_cast<std::size_t>(pp->idx(i - 1, j));
+      const auto n = static_cast<std::size_t>(pp->idx(i, j + 1));
+      const auto s = static_cast<std::size_t>(pp->idx(i, j - 1));
+      const double grad_rho = (std::fabs(rho[e] - rho[w]) + std::fabs(rho[n] - rho[s])) /
+                              std::max(rho[c], kRhoFloor);
+      const double grad_en =
+          (std::fabs(en[e] - en[w]) + std::fabs(en[n] - en[s])) / std::max(en[c], kPFloor);
+      flag[c] = (grad_rho > threshold || grad_en > threshold) ? 1 : 0;
+    });
+    // ...which is then splatted into the level-global mask (host side).
+    for (int j = patch.box.j0; j <= patch.box.j1; ++j) {
+      for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+        if (patch.flag[static_cast<std::size_t>(patch.idx(i, j))] != 0) {
+          mask[static_cast<std::size_t>(i) + static_cast<std::size_t>(level.nx) * j] = 1;
+        }
+      }
+    }
+  }
+}
+
+void Simulation::regrid() {
+  // Ghosts must be current for gradient flagging.
+  for (int l = 0; l < static_cast<int>(levels_.size()); ++l) fill_ghosts(l);
+
+  for (int l = 0; l + 1 < static_cast<int>(levels_.size()); ++l) {
+    Level& parent = levels_[static_cast<std::size_t>(l)];
+    Level& child = levels_[static_cast<std::size_t>(l + 1)];
+
+    std::vector<std::uint8_t> mask;
+    flag_level(l, mask);
+
+    // Proper nesting: keep cells under existing grandchild patches flagged.
+    if (l + 2 < static_cast<int>(levels_.size())) {
+      for (const auto& grandchild : levels_[static_cast<std::size_t>(l + 2)].patches) {
+        const Box need = grandchild.box.coarsen(config_.ratio * config_.ratio).grow(1);
+        const Box clipped = need.intersect(Box{0, 0, parent.nx - 1, parent.ny - 1});
+        for (int j = clipped.j0; j <= clipped.j1; ++j) {
+          for (int i = clipped.i0; i <= clipped.i1; ++i) {
+            mask[static_cast<std::size_t>(i) + static_cast<std::size_t>(parent.nx) * j] = 1;
+          }
+        }
+      }
+    }
+
+    const Box domain{0, 0, parent.nx - 1, parent.ny - 1};
+    std::vector<Box> coarse_boxes =
+        cluster_flags(mask, domain, 0.75, 4, decomposition_extent(64));
+
+    // New child patches: refine, clip against parent patch union (nesting).
+    std::vector<Patch> new_patches;
+    for (const Box& coarse_box : coarse_boxes) {
+      for (const auto& ppatch : parent.patches) {
+        const Box fine_box = coarse_box.intersect(ppatch.box).refine(config_.ratio);
+        if (fine_box.empty()) continue;
+        Patch patch;
+        patch.level = l + 1;
+        patch.id = next_patch_id_++;
+        patch.box = fine_box;
+        patch.allocate();
+        new_patches.push_back(std::move(patch));
+      }
+    }
+
+    // Fill new patches: prolong everything from the parent level, then copy
+    // overlapping data from the outgoing child patches (higher fidelity).
+    for (auto& patch : new_patches) {
+      const Box grown = patch.box.grow(kGhost);
+      double* rho = patch.rho.data();
+      double* mx = patch.mx.data();
+      double* my = patch.my.data();
+      double* en = patch.en.data();
+      const Patch* pp = &patch;
+      const Level* par = &parent;
+      const int ratio = config_.ratio;
+      const BoxIter iter{grown};
+      PatchScope scope(patch);
+      forall(prolongKernel(), iter.iset(), [=](raja::Index q) {
+        const int i = iter.i_of(q);
+        const int j = iter.j_of(q);
+        auto floor_div = [](int a, int b) { return a >= 0 ? a / b : -((-a + b - 1) / b); };
+        const Patch* src = find_patch(*par, floor_div(i, ratio), floor_div(j, ratio));
+        if (src == nullptr) return;
+        const auto c = static_cast<std::size_t>(src->idx(floor_div(i, ratio), floor_div(j, ratio)));
+        const auto g = static_cast<std::size_t>(pp->idx(i, j));
+        rho[g] = src->rho[c];
+        mx[g] = src->mx[c];
+        my[g] = src->my[c];
+        en[g] = src->en[c];
+      });
+
+      for (const auto& old_patch : child.patches) {
+        const Box overlap = grown.intersect(old_patch.box);
+        if (overlap.empty()) continue;
+        const Patch* op = &old_patch;
+        const BoxIter copy_iter{overlap};
+        forall(siblingCopyKernel(), copy_iter.iset(), [=](raja::Index q) {
+          const int i = copy_iter.i_of(q);
+          const int j = copy_iter.j_of(q);
+          const auto d = static_cast<std::size_t>(pp->idx(i, j));
+          const auto s = static_cast<std::size_t>(op->idx(i, j));
+          rho[d] = op->rho[s];
+          mx[d] = op->mx[s];
+          my[d] = op->my[s];
+          en[d] = op->en[s];
+        });
+      }
+    }
+    child.patches = std::move(new_patches);
+    fill_ghosts(l + 1);
+  }
+  rebalance();
+}
+
+void Simulation::rebalance() {
+  auto* acc = accountant();
+  const unsigned ranks = acc != nullptr ? acc->ranks() : 1;
+  std::vector<Patch*> all;
+  std::vector<double> weights;
+  for (auto& level : levels_) {
+    for (auto& patch : level.patches) {
+      all.push_back(&patch);
+      weights.push_back(static_cast<double>(patch.box.cells()));
+    }
+  }
+  const std::vector<unsigned> assignment = sim::ClusterModel::decompose(weights, ranks);
+  for (std::size_t p = 0; p < all.size(); ++p) all[p]->rank = assignment[p];
+}
+
+void Simulation::step() {
+  auto* acc = accountant();
+  if (acc != nullptr) {
+    acc->begin_step();
+    for (const auto& level : levels_) {
+      for (const auto& patch : level.patches) acc->add_patch(patch.rank);
+    }
+  }
+
+  if (cycle_ > 0 && cycle_ % config_.regrid_interval == 0) regrid();
+  for (int l = 0; l < static_cast<int>(levels_.size()); ++l) fill_ghosts(l);
+
+  equation_of_state();
+  const double dt = compute_dt();
+  hydro_step(dt);
+  for (int l = static_cast<int>(levels_.size()) - 1; l >= 1; --l) restrict_level(l);
+
+  time_ += dt;
+  cycle_ += 1;
+  if (acc != nullptr) acc->end_step();
+}
+
+void Simulation::run(int steps) {
+  for (int i = 0; i < steps; ++i) {
+    perf::ScopedAnnotation timestep("timestep", cycle_);
+    step();
+  }
+}
+
+std::size_t Simulation::patch_count() const {
+  std::size_t count = 0;
+  for (const auto& level : levels_) count += level.patches.size();
+  return count;
+}
+
+double Simulation::total_mass() const {
+  const Level& base = levels_[0];
+  double mass = 0.0;
+  for (const auto& patch : base.patches) {
+    for (int j = patch.box.j0; j <= patch.box.j1; ++j) {
+      for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+        mass += patch.rho[static_cast<std::size_t>(patch.idx(i, j))];
+      }
+    }
+  }
+  return mass * base.dx * base.dx;
+}
+
+std::string Simulation::render_ascii(int width) const {
+  const int height = width / 2;  // terminal cells are ~2:1
+  std::string out;
+  out.reserve(static_cast<std::size_t>((width + 1) * height));
+
+  // Density range over level 0 for the shading ramp.
+  double lo = 1e300, hi = 0.0;
+  for (const auto& patch : levels_[0].patches) {
+    for (int j = patch.box.j0; j <= patch.box.j1; ++j) {
+      for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+        const double r = patch.rho[static_cast<std::size_t>(patch.idx(i, j))];
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+      }
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  static constexpr char kRamp[] = " .:-=*%@#";
+  for (int row = height - 1; row >= 0; --row) {
+    const double y = (row + 0.5) / height;
+    for (int col = 0; col < width; ++col) {
+      const double x = (col + 0.5) / width;
+      // Sample the finest patch covering (x, y); mark patch corners.
+      char glyph = ' ';
+      for (const auto& level : levels_) {
+        const int i = std::min(level.nx - 1, static_cast<int>(x * level.nx));
+        const int j = std::min(level.ny - 1, static_cast<int>(y * level.ny));
+        const Patch* patch = find_patch(level, i, j);
+        if (patch == nullptr) continue;
+        const double r = patch->rho[static_cast<std::size_t>(patch->idx(i, j))];
+        const double t = std::clamp((r - lo) / (hi - lo), 0.0, 1.0);
+        glyph = kRamp[static_cast<std::size_t>(t * (sizeof(kRamp) - 2))];
+        if (level.index > 0 && ((i == patch->box.i0 || i == patch->box.i1) ||
+                                (j == patch->box.j0 || j == patch->box.j1))) {
+          glyph = '+';
+        }
+      }
+      out += glyph;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+double Simulation::total_energy() const {
+  const Level& base = levels_[0];
+  double energy = 0.0;
+  for (const auto& patch : base.patches) {
+    for (int j = patch.box.j0; j <= patch.box.j1; ++j) {
+      for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+        energy += patch.en[static_cast<std::size_t>(patch.idx(i, j))];
+      }
+    }
+  }
+  return energy * base.dx * base.dx;
+}
+
+namespace {
+
+class CleverLeafApp final : public Application {
+public:
+  [[nodiscard]] std::string name() const override { return "CleverLeaf"; }
+  [[nodiscard]] std::vector<std::string> problems() const override {
+    return {"sod", "sedov", "triple_point"};
+  }
+  [[nodiscard]] std::vector<int> training_sizes() const override { return {48, 96}; }
+
+  void run(const RunConfig& config) override {
+    perf::ScopedAnnotation problem("problem_name", "clover-" + config.problem);
+    perf::ScopedAnnotation size("problem_size", config.size);
+    CleverConfig cc;
+    cc.problem = config.problem;
+    cc.coarse_cells = config.size;
+    Simulation sim(cc);
+    sim.run(config.steps);
+  }
+};
+
+}  // namespace
+
+}  // namespace apollo::apps::cleverleaf
+
+namespace apollo::apps {
+
+std::unique_ptr<Application> make_cleverleaf() {
+  return std::make_unique<cleverleaf::CleverLeafApp>();
+}
+
+}  // namespace apollo::apps

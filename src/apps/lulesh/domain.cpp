@@ -1,0 +1,161 @@
+#include "apps/lulesh/domain.hpp"
+
+#include <cmath>
+
+namespace apollo::apps::lulesh {
+
+namespace {
+
+double tet_volume(double ax, double ay, double az, double bx, double by, double bz, double cx,
+                  double cy, double cz, double dx, double dy, double dz) noexcept {
+  const double ux = ax - dx, uy = ay - dy, uz = az - dz;
+  const double vx = bx - dx, vy = by - dy, vz = bz - dz;
+  const double wx = cx - dx, wy = cy - dy, wz = cz - dz;
+  return (ux * (vy * wz - vz * wy) - uy * (vx * wz - vz * wx) + uz * (vx * wy - vy * wx)) / 6.0;
+}
+
+}  // namespace
+
+double hex_volume(const double* hx, const double* hy, const double* hz) noexcept {
+  // Six tets sharing the 0-6 diagonal; valid for convex hexes.
+  static constexpr int tets[6][4] = {{0, 1, 2, 6}, {0, 2, 3, 6}, {0, 3, 7, 6},
+                                     {0, 7, 4, 6}, {0, 4, 5, 6}, {0, 5, 1, 6}};
+  double volume = 0.0;
+  for (const auto& t : tets) {
+    volume += tet_volume(hx[t[0]], hy[t[0]], hz[t[0]], hx[t[1]], hy[t[1]], hz[t[1]], hx[t[2]],
+                         hy[t[2]], hz[t[2]], hx[t[3]], hy[t[3]], hz[t[3]]);
+  }
+  return std::fabs(volume);
+}
+
+void hex_corner_normals(const double* hx, const double* hy, const double* hz, double* nx,
+                        double* ny, double* nz) noexcept {
+  // Faces listed with corners ordered so 0.5*((c-a) x (d-b)) points outward.
+  static constexpr int faces[6][4] = {{0, 3, 2, 1}, {4, 5, 6, 7}, {0, 1, 5, 4},
+                                      {3, 7, 6, 2}, {0, 4, 7, 3}, {1, 2, 6, 5}};
+  for (const auto& f : faces) {
+    const int a = f[0], b = f[1], c = f[2], d = f[3];
+    const double d1x = hx[c] - hx[a], d1y = hy[c] - hy[a], d1z = hz[c] - hz[a];
+    const double d2x = hx[d] - hx[b], d2y = hy[d] - hy[b], d2z = hz[d] - hz[b];
+    // Quarter of the face area vector goes to each corner.
+    const double ax = 0.125 * (d1y * d2z - d1z * d2y);
+    const double ay = 0.125 * (d1z * d2x - d1x * d2z);
+    const double az = 0.125 * (d1x * d2y - d1y * d2x);
+    for (int corner : f) {
+      nx[corner] += ax;
+      ny[corner] += ay;
+      nz[corner] += az;
+    }
+  }
+}
+
+void Domain::build(int edge_elems, double initial_energy) {
+  s = edge_elems;
+  numElem = s * s * s;
+  numNode = (s + 1) * (s + 1) * (s + 1);
+
+  const auto nsize = static_cast<std::size_t>(numNode);
+  const auto esize = static_cast<std::size_t>(numElem);
+  for (auto* field : {&x, &y, &z, &xd, &yd, &zd, &xdd, &ydd, &zdd, &fx, &fy, &fz, &nodalMass}) {
+    field->assign(nsize, 0.0);
+  }
+  for (auto* field : {&e, &p, &q, &delv, &vdov, &ss, &sigxx, &sigyy, &sigzz, &e_old, &p_old,
+                      &q_old, &compression, &work, &p_new, &e_new, &q_new}) {
+    field->assign(esize, 0.0);
+  }
+  for (auto* field : {&v, &vnew}) field->assign(esize, 1.0);
+  for (auto* field : {&fx_elem, &fy_elem, &fz_elem}) field->assign(esize * 8, 0.0);
+  volo.assign(esize, 0.0);
+  elemMass.assign(esize, 0.0);
+  arealg.assign(esize, 0.0);
+  dtcourant_el.assign(esize, 1e20);
+  dthydro_el.assign(esize, 1e20);
+
+  // Unit cube domain, uniform initial spacing.
+  const double h = 1.125 / static_cast<double>(s);
+  for (int k = 0; k <= s; ++k) {
+    for (int j = 0; j <= s; ++j) {
+      for (int i = 0; i <= s; ++i) {
+        const int n = nodeIndex(i, j, k);
+        x[static_cast<std::size_t>(n)] = h * i;
+        y[static_cast<std::size_t>(n)] = h * j;
+        z[static_cast<std::size_t>(n)] = h * k;
+      }
+    }
+  }
+
+  const double cell_volume = h * h * h;
+  for (int el = 0; el < numElem; ++el) {
+    volo[static_cast<std::size_t>(el)] = cell_volume;
+    elemMass[static_cast<std::size_t>(el)] = cell_volume;  // unit density
+    arealg[static_cast<std::size_t>(el)] = h;
+  }
+  // Nodal mass: 1/8 of each adjacent element.
+  for (int k = 0; k < s; ++k) {
+    for (int j = 0; j < s; ++j) {
+      for (int i = 0; i < s; ++i) {
+        const double share = elemMass[static_cast<std::size_t>(elemIndex(i, j, k))] / 8.0;
+        for (int dk = 0; dk <= 1; ++dk) {
+          for (int dj = 0; dj <= 1; ++dj) {
+            for (int di = 0; di <= 1; ++di) {
+              nodalMass[static_cast<std::size_t>(nodeIndex(i + di, j + dj, k + dk))] += share;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Sedov: deposit energy in the origin corner element.
+  e[0] = initial_energy / cell_volume;
+
+  // Material regions: skewed sizes (region r gets a contiguous band of
+  // elements, bands shrink geometrically like LULESH's biased region sizes).
+  regions.clear();
+  regions.resize(static_cast<std::size_t>(numReg));
+  regionMass.assign(static_cast<std::size_t>(numReg), 0.0);
+  regionSize.assign(static_cast<std::size_t>(numReg), 0.0);
+  {
+    // Weights 2^0..2^-(numReg-1), normalized.
+    std::vector<double> weights(static_cast<std::size_t>(numReg));
+    double total = 0.0;
+    for (int r = 0; r < numReg; ++r) {
+      weights[static_cast<std::size_t>(r)] = std::pow(0.62, r);
+      total += weights[static_cast<std::size_t>(r)];
+    }
+    int next = 0;
+    for (int r = 0; r < numReg; ++r) {
+      int count = static_cast<int>(weights[static_cast<std::size_t>(r)] / total * numElem);
+      if (r == numReg - 1) count = numElem - next;  // absorb rounding
+      count = std::max(count, 1);
+      std::vector<raja::Index> elems;
+      elems.reserve(static_cast<std::size_t>(count));
+      for (int c = 0; c < count && next < numElem; ++c) elems.push_back(next++);
+      raja::IndexSet iset;
+      iset.push_back(raja::ListSegment{std::move(elems)});
+      regions[static_cast<std::size_t>(r)] = std::move(iset);
+      regionSize[static_cast<std::size_t>(r)] =
+          static_cast<double>(regions[static_cast<std::size_t>(r)].getLength());
+    }
+  }
+
+  // Symmetry-plane node lists.
+  auto plane = [&](auto pick) {
+    std::vector<raja::Index> nodes;
+    for (int b = 0; b <= s; ++b) {
+      for (int a = 0; a <= s; ++a) nodes.push_back(pick(a, b));
+    }
+    raja::IndexSet iset;
+    iset.push_back(raja::ListSegment{std::move(nodes)});
+    return iset;
+  };
+  symmX = plane([&](int a, int b) { return nodeIndex(0, a, b); });
+  symmY = plane([&](int a, int b) { return nodeIndex(a, 0, b); });
+  symmZ = plane([&](int a, int b) { return nodeIndex(a, b, 0); });
+
+  time = 0.0;
+  deltatime = 1e-7 * 45.0 / static_cast<double>(s);  // scale-aware initial dt
+  cycle = 0;
+}
+
+}  // namespace apollo::apps::lulesh

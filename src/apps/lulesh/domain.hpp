@@ -1,0 +1,87 @@
+#pragma once
+
+// Mesh and state for mini-LULESH: a simplified Lagrangian shock-hydro proxy
+// on a structured s x s x s hex mesh, mirroring LULESH's kernel population —
+// element loops whose counts track the problem size, node loops, boundary
+// node lists, and 11 material-region element lists (the paper's category-2
+// kernels with region-dependent iteration counts).
+
+#include <cstdint>
+#include <vector>
+
+#include "raja/index_set.hpp"
+
+namespace apollo::apps::lulesh {
+
+struct Domain {
+  int s = 0;          ///< elements per edge
+  int numElem = 0;    ///< s^3
+  int numNode = 0;    ///< (s+1)^3
+
+  // Node-centered fields.
+  std::vector<double> x, y, z;        ///< coordinates
+  std::vector<double> xd, yd, zd;     ///< velocities
+  std::vector<double> xdd, ydd, zdd;  ///< accelerations
+  std::vector<double> fx, fy, fz;     ///< force accumulators
+  std::vector<double> nodalMass;
+
+  // Element-centered fields.
+  std::vector<double> e;        ///< internal energy
+  std::vector<double> p;        ///< pressure
+  std::vector<double> q;        ///< artificial viscosity
+  std::vector<double> v;        ///< relative volume
+  std::vector<double> volo;     ///< reference volume
+  std::vector<double> vnew;     ///< relative volume after kinematics
+  std::vector<double> delv;     ///< v change this step
+  std::vector<double> vdov;     ///< volume change rate
+  std::vector<double> arealg;   ///< characteristic length
+  std::vector<double> ss;       ///< sound speed
+  std::vector<double> elemMass;
+  std::vector<double> sigxx, sigyy, sigzz;  ///< stress terms
+  std::vector<double> fx_elem, fy_elem, fz_elem;  ///< per-element corner forces (8/elem)
+  std::vector<double> dtcourant_el, dthydro_el;
+
+  // Per-region EOS work arrays (sized numElem; indexed by element id).
+  std::vector<double> e_old, p_old, q_old, compression, work, p_new, e_new, q_new;
+
+  // Material regions: 11 element lists of skewed sizes, plus a tiny
+  // per-region summary array driving the 11-iteration kernels.
+  int numReg = 11;
+  std::vector<raja::IndexSet> regions;     ///< one ListSegment IndexSet each
+  std::vector<double> regionMass;          ///< per-region reduction target
+  std::vector<double> regionSize;          ///< element count per region
+
+  // Boundary node index sets (symmetry planes at x=0 / y=0 / z=0).
+  raja::IndexSet symmX, symmY, symmZ;
+
+  // Time integration state.
+  double time = 0.0;
+  double deltatime = 1e-7;
+  double dtcourant = 1e20;
+  double dthydro = 1e20;
+  int cycle = 0;
+
+  [[nodiscard]] int nodeIndex(int i, int j, int k) const noexcept {
+    return i + (s + 1) * (j + (s + 1) * k);
+  }
+  [[nodiscard]] int elemIndex(int i, int j, int k) const noexcept {
+    return i + s * (j + s * k);
+  }
+
+  /// Allocate all fields and build index sets for an s^3 mesh with the Sedov
+  /// initial state (point energy at the origin corner element).
+  void build(int edge_elems, double initial_energy);
+};
+
+/// Hexahedron volume from its 8 corners (standard corner ordering), via a
+/// six-tetrahedron decomposition. Exposed for unit tests.
+[[nodiscard]] double hex_volume(const double* hx, const double* hy, const double* hz) noexcept;
+
+/// Per-corner outward area normals of a hexahedron (LULESH's
+/// CalcElemNodeNormals): each of the 6 faces contributes a quarter of its
+/// area vector to each of its 4 corners. Outputs are accumulated into
+/// nx/ny/nz[8] (caller zeroes them). Exposed for unit tests.
+void hex_corner_normals(const double* hx, const double* hy, const double* hz, double* nx,
+                        double* ny, double* nz) noexcept;
+
+}  // namespace apollo::apps::lulesh

@@ -1,0 +1,655 @@
+#include "apps/lulesh/lulesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/runtime.hpp"
+#include "perf/blackboard.hpp"
+#include "raja/reducers.hpp"
+
+namespace apollo::apps::lulesh {
+
+namespace {
+
+constexpr double kGamma = 1.4;
+constexpr double kPmin = 0.0;
+constexpr double kEmin = 1e-12;
+constexpr double kVmin = 0.05;
+constexpr double kHgCoef = 0.05;
+constexpr double kQlc = 0.75;   ///< linear Q coefficient
+constexpr double kQqc = 2.0;    ///< quadratic Q coefficient
+constexpr double kCourant = 0.4;
+constexpr double kDtGrow = 1.1;
+
+using instr::MixBuilder;
+using raja::PolicyType;
+
+// Kernel handles: one per call site, constructed (and their instruction
+// signatures registered) on first use. Mixes approximate each body's
+// operation profile; bytes/iteration approximate its streamed footprint.
+const KernelHandle& initStressKernel() {
+  static const KernelHandle k{"lulesh:InitStressTermsForElems", "InitStressTermsForElems",
+                              MixBuilder{}.fp(2).load(2).store(3).control(2).build(), 40};
+  return k;
+}
+const KernelHandle& integrateStressKernel() {
+  static const KernelHandle k{"lulesh:IntegrateStressForElems", "IntegrateStressForElems",
+                              MixBuilder{}.fp(140).load(27).store(24).control(14).logic(6).build(),
+                              424};
+  return k;
+}
+const KernelHandle& sumElemForcesKernel() {
+  static const KernelHandle k{"lulesh:SumElemStressesToNodeForces", "SumElemStressesToNodeForces",
+                              MixBuilder{}.fp(24).load(24).store(3).control(10).logic(6).build(),
+                              264};
+  return k;
+}
+const KernelHandle& hourglassKernel() {
+  static const KernelHandle k{"lulesh:CalcFBHourglassForceForElems", "CalcFBHourglassForceForElems",
+                              MixBuilder{}.fp(190).div(1).load(27).store(24).control(10).build(),
+                              504};
+  return k;
+}
+const KernelHandle& accelKernel() {
+  static const KernelHandle k{"lulesh:CalcAccelerationForNodes", "CalcAccelerationForNodes",
+                              MixBuilder{}.div(3).load(4).store(3).control(2).build(), 56};
+  return k;
+}
+const KernelHandle& accelBCKernel() {
+  static const KernelHandle k{"lulesh:ApplyAccelerationBoundaryConditionsForNodes",
+                              "ApplyAccelerationBoundaryConditionsForNodes",
+                              MixBuilder{}.store(1).control(2).build(), 8,
+                              PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+const KernelHandle& velocityKernel() {
+  static const KernelHandle k{"lulesh:CalcVelocityForNodes", "CalcVelocityForNodes",
+                              MixBuilder{}.fp(6).load(6).store(3).control(2).build(), 96};
+  return k;
+}
+const KernelHandle& positionKernel() {
+  static const KernelHandle k{"lulesh:CalcPositionForNodes", "CalcPositionForNodes",
+                              MixBuilder{}.fp(6).load(6).store(3).control(2).build(), 96};
+  return k;
+}
+const KernelHandle& kinematicsKernel() {
+  static const KernelHandle k{"lulesh:CalcKinematicsForElems", "CalcKinematicsForElems",
+                              MixBuilder{}.fp(110).div(3).load(24).store(4).control(12).build(), 320};
+  return k;
+}
+const KernelHandle& qGradientsKernel() {
+  static const KernelHandle k{"lulesh:CalcMonotonicQGradientsForElems",
+                              "CalcMonotonicQGradientsForElems",
+                              MixBuilder{}.fp(28).div(3).load(24).store(1).control(8).build(), 224};
+  return k;
+}
+const KernelHandle& monotonicQKernel() {
+  static const KernelHandle k{"lulesh:CalcMonotonicQForElems", "CalcMonotonicQForElems",
+                              MixBuilder{}.fp(10).div(1).sqrt(0).load(6).store(1).compare(2)
+                                  .control(6).build(), 72};
+  return k;
+}
+const KernelHandle& applyMaterialKernel() {
+  static const KernelHandle k{"lulesh:ApplyMaterialPropertiesForElems",
+                              "ApplyMaterialPropertiesForElems",
+                              MixBuilder{}.minmax(2).load(5).store(4).control(4).build(), 80};
+  return k;
+}
+const KernelHandle& compressionKernel() {
+  static const KernelHandle k{"lulesh:CalcCompressionForElems", "CalcCompressionForElems",
+                              MixBuilder{}.fp(2).div(1).load(2).store(1).control(2).build(), 32};
+  return k;
+}
+const KernelHandle& energyPredictKernel() {
+  static const KernelHandle k{"lulesh:CalcEnergyForElems", "CalcEnergyForElems",
+                              MixBuilder{}.fp(8).minmax(1).load(5).store(1).control(4).build(), 80};
+  return k;
+}
+const KernelHandle& pressureKernel() {
+  static const KernelHandle k{"lulesh:CalcPressureForElems", "CalcPressureForElems",
+                              MixBuilder{}.fp(3).div(1).minmax(1).load(3).store(1).control(2).build(), 48};
+  return k;
+}
+const KernelHandle& energyCorrectKernel() {
+  static const KernelHandle k{"lulesh:CalcEnergyCorrectForElems", "CalcEnergyCorrectForElems",
+                              MixBuilder{}.fp(10).minmax(1).load(6).store(1).control(4).build(), 88};
+  return k;
+}
+const KernelHandle& soundSpeedKernel() {
+  static const KernelHandle k{"lulesh:CalcSoundSpeedForElems", "CalcSoundSpeedForElems",
+                              MixBuilder{}.fp(3).sqrt(1).minmax(1).load(3).store(1).control(2).build(), 40};
+  return k;
+}
+const KernelHandle& copyEosKernel() {
+  static const KernelHandle k{"lulesh:CopyEOSResultsForElems", "CopyEOSResultsForElems",
+                              MixBuilder{}.load(4).store(4).control(2).build(), 64};
+  return k;
+}
+const KernelHandle& regionSumKernel() {
+  static const KernelHandle k{"lulesh:CalcRegionSums", "CalcRegionSums",
+                              MixBuilder{}.fp(3).load(2).store(1).control(2).build(), 24,
+                              PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+const KernelHandle& updateVolumesKernel() {
+  static const KernelHandle k{"lulesh:UpdateVolumesForElems", "UpdateVolumesForElems",
+                              MixBuilder{}.minmax(1).load(1).store(1).control(2).build(), 16};
+  return k;
+}
+const KernelHandle& courantKernel() {
+  static const KernelHandle k{"lulesh:CalcCourantConstraintForElems",
+                              "CalcCourantConstraintForElems",
+                              MixBuilder{}.fp(6).div(1).sqrt(1).load(4).store(1).compare(2)
+                                  .control(4).build(), 56};
+  return k;
+}
+const KernelHandle& hydroConstraintKernel() {
+  static const KernelHandle k{"lulesh:CalcHydroConstraintForElems", "CalcHydroConstraintForElems",
+                              MixBuilder{}.div(1).load(2).store(1).compare(1).control(2).build(), 24};
+  return k;
+}
+
+}  // namespace
+
+Simulation::Simulation(int edge_elems, double initial_energy) {
+  dom_.build(edge_elems, initial_energy);
+}
+
+void Simulation::lagrangeNodal() {
+  Domain& d = dom_;
+  const int s = d.s;
+  const int np = s + 1;
+  const raja::IndexSet elems = raja::IndexSet::range(0, d.numElem);
+  const raja::IndexSet nodes = raja::IndexSet::range(0, d.numNode);
+
+  // Stress terms from the previous step's p and q.
+  {
+    const double* p = d.p.data();
+    const double* q = d.q.data();
+    double* sxx = d.sigxx.data();
+    double* syy = d.sigyy.data();
+    double* szz = d.sigzz.data();
+    forall(initStressKernel(), elems, [=](raja::Index el) {
+      const double sig = -p[el] - q[el];
+      sxx[el] = syy[el] = szz[el] = sig;
+    });
+  }
+
+  // Integrate stress to nodal forces, LULESH-style: phase 1 computes each
+  // element's 8 corner forces from its stress and corner area normals
+  // (CalcElemNodeNormals); phase 2 gathers every adjacent element's corner
+  // contribution at each node (SumElemStressesToNodeForces). Both phases are
+  // write-disjoint, so any execution policy is safe.
+  {
+    const double* sxx = d.sigxx.data();
+    const double* syy = d.sigyy.data();
+    const double* szz = d.sigzz.data();
+    const double* x = d.x.data();
+    const double* y = d.y.data();
+    const double* z = d.z.data();
+    double* fx_elem = d.fx_elem.data();
+    double* fy_elem = d.fy_elem.data();
+    double* fz_elem = d.fz_elem.data();
+    const Domain* dp = &d;
+    forall(integrateStressKernel(), elems, [=](raja::Index el) {
+      const int ei = static_cast<int>(el) % s;
+      const int ej = (static_cast<int>(el) / s) % s;
+      const int ek = static_cast<int>(el) / (s * s);
+      double hx[8], hy[8], hz[8];
+      static constexpr int off[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+                                        {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}};
+      for (int c = 0; c < 8; ++c) {
+        const int n = dp->nodeIndex(ei + off[c][0], ej + off[c][1], ek + off[c][2]);
+        hx[c] = x[n];
+        hy[c] = y[n];
+        hz[c] = z[n];
+      }
+      double nx[8] = {0}, ny[8] = {0}, nz[8] = {0};
+      hex_corner_normals(hx, hy, hz, nx, ny, nz);
+      // Corner force = -sig * outward corner normal (sig = -(p+q), so high
+      // pressure pushes the element's corners outward).
+      for (int c = 0; c < 8; ++c) {
+        const auto slot = static_cast<std::size_t>(el) * 8 + static_cast<std::size_t>(c);
+        fx_elem[slot] = -sxx[el] * nx[c];
+        fy_elem[slot] = -syy[el] * ny[c];
+        fz_elem[slot] = -szz[el] * nz[c];
+      }
+    });
+  }
+
+  // Flanagan-Belytschko hourglass control (LULESH's
+  // CalcFBHourglassForceForElems, without the distorted-element
+  // orthogonalization): project each element's corner velocities onto the
+  // four hourglass base modes and push back against them. Zero for uniform
+  // motion; the forces accumulate into the per-element corner slots that the
+  // node gather below already sums.
+  {
+    const double* xd = d.xd.data();
+    const double* yd = d.yd.data();
+    const double* zd = d.zd.data();
+    const double* mass = d.elemMass.data();
+    double* fx_elem = d.fx_elem.data();
+    double* fy_elem = d.fy_elem.data();
+    double* fz_elem = d.fz_elem.data();
+    const double coef = kHgCoef / (8.0 * d.deltatime);
+    const Domain* dp = &d;
+    forall(hourglassKernel(), elems, [=](raja::Index el) {
+      // The four hourglass base vectors over the 8 corners (LULESH gamma).
+      static constexpr double gamma[4][8] = {
+          {1, 1, -1, -1, -1, -1, 1, 1},
+          {1, -1, -1, 1, -1, 1, 1, -1},
+          {1, -1, 1, -1, 1, -1, 1, -1},
+          {-1, 1, -1, 1, 1, -1, 1, -1},
+      };
+      static constexpr int off[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+                                        {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}};
+      const int ei = static_cast<int>(el) % s;
+      const int ej = (static_cast<int>(el) / s) % s;
+      const int ek = static_cast<int>(el) / (s * s);
+      double vx[8], vy[8], vz[8];
+      for (int c = 0; c < 8; ++c) {
+        const int n = dp->nodeIndex(ei + off[c][0], ej + off[c][1], ek + off[c][2]);
+        vx[c] = xd[n];
+        vy[c] = yd[n];
+        vz[c] = zd[n];
+      }
+      const double scale = coef * mass[el];
+      for (int m = 0; m < 4; ++m) {
+        double sx = 0.0, sy = 0.0, sz = 0.0;
+        for (int c = 0; c < 8; ++c) {
+          sx += vx[c] * gamma[m][c];
+          sy += vy[c] * gamma[m][c];
+          sz += vz[c] * gamma[m][c];
+        }
+        for (int c = 0; c < 8; ++c) {
+          const auto slot = static_cast<std::size_t>(el) * 8 + static_cast<std::size_t>(c);
+          fx_elem[slot] -= scale * sx * gamma[m][c] / 8.0;
+          fy_elem[slot] -= scale * sy * gamma[m][c] / 8.0;
+          fz_elem[slot] -= scale * sz * gamma[m][c] / 8.0;
+        }
+      }
+    });
+  }
+
+  {
+    const double* fx_elem = d.fx_elem.data();
+    const double* fy_elem = d.fy_elem.data();
+    const double* fz_elem = d.fz_elem.data();
+    double* fx = d.fx.data();
+    double* fy = d.fy.data();
+    double* fz = d.fz.data();
+    const Domain* dp = &d;
+    forall(sumElemForcesKernel(), nodes, [=](raja::Index n) {
+      const int i = static_cast<int>(n) % np;
+      const int j = (static_cast<int>(n) / np) % np;
+      const int k = static_cast<int>(n) / (np * np);
+      // Corner index of this node inside the element at offset (di,dj,dk):
+      // inverse of the off[] table above, indexed by di + 2*dj + 4*dk.
+      static constexpr int corner_of[8] = {0, 1, 3, 2, 4, 5, 7, 6};
+      double sum_x = 0.0, sum_y = 0.0, sum_z = 0.0;
+      for (int dk = 0; dk <= 1; ++dk) {
+        for (int dj = 0; dj <= 1; ++dj) {
+          for (int di = 0; di <= 1; ++di) {
+            const int ei = i - di, ej = j - dj, ek = k - dk;
+            if (ei < 0 || ej < 0 || ek < 0 || ei >= s || ej >= s || ek >= s) continue;
+            const auto el = static_cast<std::size_t>(dp->elemIndex(ei, ej, ek));
+            const int corner = corner_of[di + 2 * dj + 4 * dk];
+            const std::size_t slot = el * 8 + static_cast<std::size_t>(corner);
+            sum_x += fx_elem[slot];
+            sum_y += fy_elem[slot];
+            sum_z += fz_elem[slot];
+          }
+        }
+      }
+      fx[n] = sum_x;
+      fy[n] = sum_y;
+      fz[n] = sum_z;
+    });
+  }
+
+  // acceleration = force / mass
+  {
+    const double* fx = d.fx.data();
+    const double* fy = d.fy.data();
+    const double* fz = d.fz.data();
+    const double* mass = d.nodalMass.data();
+    double* xdd = d.xdd.data();
+    double* ydd = d.ydd.data();
+    double* zdd = d.zdd.data();
+    forall(accelKernel(), nodes, [=](raja::Index n) {
+      xdd[n] = fx[n] / mass[n];
+      ydd[n] = fy[n] / mass[n];
+      zdd[n] = fz[n] / mass[n];
+    });
+  }
+
+  // Symmetry boundary conditions: zero normal acceleration on each plane.
+  {
+    double* xdd = d.xdd.data();
+    double* ydd = d.ydd.data();
+    double* zdd = d.zdd.data();
+    forall(accelBCKernel(), d.symmX, [=](raja::Index n) { xdd[n] = 0.0; });
+    forall(accelBCKernel(), d.symmY, [=](raja::Index n) { ydd[n] = 0.0; });
+    forall(accelBCKernel(), d.symmZ, [=](raja::Index n) { zdd[n] = 0.0; });
+  }
+
+  const double dt = d.deltatime;
+  {
+    const double* xdd = d.xdd.data();
+    const double* ydd = d.ydd.data();
+    const double* zdd = d.zdd.data();
+    double* xd = d.xd.data();
+    double* yd = d.yd.data();
+    double* zd = d.zd.data();
+    forall(velocityKernel(), nodes, [=](raja::Index n) {
+      xd[n] += xdd[n] * dt;
+      yd[n] += ydd[n] * dt;
+      zd[n] += zdd[n] * dt;
+    });
+  }
+  {
+    const double* xd = d.xd.data();
+    const double* yd = d.yd.data();
+    const double* zd = d.zd.data();
+    double* x = d.x.data();
+    double* y = d.y.data();
+    double* z = d.z.data();
+    forall(positionKernel(), nodes, [=](raja::Index n) {
+      x[n] += xd[n] * dt;
+      y[n] += yd[n] * dt;
+      z[n] += zd[n] * dt;
+    });
+  }
+}
+
+void Simulation::lagrangeElements() {
+  Domain& d = dom_;
+  const int s = d.s;
+  const int np = s + 1;
+  const raja::IndexSet elems = raja::IndexSet::range(0, d.numElem);
+
+  // Kinematics: new relative volume from the moved hex corners.
+  {
+    const double* x = d.x.data();
+    const double* y = d.y.data();
+    const double* z = d.z.data();
+    const double* volo = d.volo.data();
+    const double* v = d.v.data();
+    double* vnew = d.vnew.data();
+    double* delv = d.delv.data();
+    double* alg = d.arealg.data();
+    const Domain* dp = &d;
+    forall(kinematicsKernel(), elems, [=](raja::Index el) {
+      const int ei = static_cast<int>(el) % s;
+      const int ej = (static_cast<int>(el) / s) % s;
+      const int ek = static_cast<int>(el) / (s * s);
+      double hx[8], hy[8], hz[8];
+      static constexpr int off[8][3] = {{0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0},
+                                        {0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {0, 1, 1}};
+      for (int c = 0; c < 8; ++c) {
+        const int n = dp->nodeIndex(ei + off[c][0], ej + off[c][1], ek + off[c][2]);
+        hx[c] = x[n];
+        hy[c] = y[n];
+        hz[c] = z[n];
+      }
+      const double volume = hex_volume(hx, hy, hz);
+      const double rel = std::max(volume / volo[el], kVmin);
+      vnew[el] = rel;
+      delv[el] = rel - v[el];
+      alg[el] = std::cbrt(volume);
+    });
+  }
+
+  // Velocity gradients -> volume change rate (vdov).
+  {
+    const double* xd = d.xd.data();
+    const double* yd = d.yd.data();
+    const double* zd = d.zd.data();
+    const double* alg = d.arealg.data();
+    double* vdov = d.vdov.data();
+    const Domain* dp = &d;
+    forall(qGradientsKernel(), elems, [=](raja::Index el) {
+      const int ei = static_cast<int>(el) % s;
+      const int ej = (static_cast<int>(el) / s) % s;
+      const int ek = static_cast<int>(el) / (s * s);
+      // Face-averaged velocities on opposite faces.
+      auto favg = [&](const double* field, int axis, int hi) {
+        double sum = 0.0;
+        for (int b = 0; b <= 1; ++b) {
+          for (int a = 0; a <= 1; ++a) {
+            int ni = ei, nj = ej, nk = ek;
+            if (axis == 0) { ni += hi; nj += a; nk += b; }
+            if (axis == 1) { nj += hi; ni += a; nk += b; }
+            if (axis == 2) { nk += hi; ni += a; nj += b; }
+            sum += field[dp->nodeIndex(ni, nj, nk)];
+          }
+        }
+        return 0.25 * sum;
+      };
+      const double h = alg[el];
+      const double dudx = (favg(xd, 0, 1) - favg(xd, 0, 0)) / h;
+      const double dvdy = (favg(yd, 1, 1) - favg(yd, 1, 0)) / h;
+      const double dwdz = (favg(zd, 2, 1) - favg(zd, 2, 0)) / h;
+      vdov[el] = dudx + dvdy + dwdz;
+    });
+    (void)np;
+  }
+
+  // Monotonic-Q style artificial viscosity (compression only).
+  {
+    const double* vdov = d.vdov.data();
+    const double* alg = d.arealg.data();
+    const double* vnew = d.vnew.data();
+    const double* ss = d.ss.data();
+    double* q = d.q.data();
+    forall(monotonicQKernel(), elems, [=](raja::Index el) {
+      if (vdov[el] < 0.0) {
+        const double rho = 1.0 / std::max(vnew[el], kVmin);
+        const double dl = alg[el];
+        const double dvel = -vdov[el] * dl;
+        q[el] = rho * (kQqc * dvel * dvel + kQlc * ss[el] * dvel);
+      } else {
+        q[el] = 0.0;
+      }
+    });
+  }
+}
+
+void Simulation::applyMaterialModel() {
+  Domain& d = dom_;
+
+  for (int r = 0; r < d.numReg; ++r) {
+    const raja::IndexSet& region = d.regions[static_cast<std::size_t>(r)];
+
+    {
+      double* e_old = d.e_old.data();
+      double* p_old = d.p_old.data();
+      double* q_old = d.q_old.data();
+      double* work = d.work.data();
+      const double* e = d.e.data();
+      const double* p = d.p.data();
+      const double* q = d.q.data();
+      forall(applyMaterialKernel(), region, [=](raja::Index el) {
+        e_old[el] = std::max(e[el], kEmin);
+        p_old[el] = std::max(p[el], kPmin);
+        q_old[el] = q[el];
+        work[el] = 0.0;
+      });
+    }
+    {
+      const double* vnew = d.vnew.data();
+      double* compression = d.compression.data();
+      forall(compressionKernel(), region, [=](raja::Index el) {
+        compression[el] = 1.0 / std::max(vnew[el], kVmin) - 1.0;
+      });
+    }
+    // Predictor energy update (PdV work from the half-step).
+    {
+      const double* e_old = d.e_old.data();
+      const double* p_old = d.p_old.data();
+      const double* q_old = d.q_old.data();
+      const double* delv = d.delv.data();
+      const double* work = d.work.data();
+      double* e_new = d.e_new.data();
+      forall(energyPredictKernel(), region, [=](raja::Index el) {
+        e_new[el] =
+            std::max(e_old[el] - 0.5 * delv[el] * (p_old[el] + q_old[el]) + 0.5 * work[el], kEmin);
+      });
+    }
+    // Pressure from the predicted energy (ideal gas).
+    {
+      const double* e_new = d.e_new.data();
+      const double* vnew = d.vnew.data();
+      double* p_new = d.p_new.data();
+      forall(pressureKernel(), region, [=](raja::Index el) {
+        p_new[el] = std::max((kGamma - 1.0) * e_new[el] / std::max(vnew[el], kVmin), kPmin);
+      });
+    }
+    // Corrector: finish the PdV update with the new pressure.
+    {
+      const double* p_old = d.p_old.data();
+      const double* q_old = d.q_old.data();
+      const double* delv = d.delv.data();
+      const double* p_new = d.p_new.data();
+      double* e_new = d.e_new.data();
+      double* q_new = d.q_new.data();
+      const double* q = d.q.data();
+      forall(energyCorrectKernel(), region, [=](raja::Index el) {
+        e_new[el] = std::max(
+            e_new[el] - 0.25 * delv[el] * (p_new[el] - p_old[el] + q[el] - q_old[el]), kEmin);
+        q_new[el] = delv[el] > 0.0 ? 0.0 : q[el];
+      });
+    }
+    // Final pressure at the corrected energy.
+    {
+      const double* e_new = d.e_new.data();
+      const double* vnew = d.vnew.data();
+      double* p_new = d.p_new.data();
+      forall(pressureKernel(), region, [=](raja::Index el) {
+        p_new[el] = std::max((kGamma - 1.0) * e_new[el] / std::max(vnew[el], kVmin), kPmin);
+      });
+    }
+    {
+      const double* p_new = d.p_new.data();
+      const double* vnew = d.vnew.data();
+      double* ss = d.ss.data();
+      forall(soundSpeedKernel(), region, [=](raja::Index el) {
+        ss[el] = std::sqrt(std::max(kGamma * p_new[el] * vnew[el], 1e-20));
+      });
+    }
+    {
+      const double* e_new = d.e_new.data();
+      const double* p_new = d.p_new.data();
+      const double* q_new = d.q_new.data();
+      double* e = d.e.data();
+      double* p = d.p.data();
+      double* q = d.q.data();
+      forall(copyEosKernel(), region, [=](raja::Index el) {
+        e[el] = e_new[el];
+        p[el] = p_new[el];
+        q[el] = q_new[el];
+      });
+    }
+  }
+
+  // The 11-iteration bookkeeping loop over regions themselves (the paper's
+  // "kernels with iteration counts dependent solely on the number of
+  // material regions").
+  {
+    double* regionMass = d.regionMass.data();
+    const double* regionSize = d.regionSize.data();
+    forall(regionSumKernel(), raja::IndexSet::range(0, d.numReg), [=](raja::Index r) {
+      regionMass[r] = 0.9 * regionMass[r] + 0.1 * regionSize[r];
+    });
+  }
+
+  // Commit volumes.
+  {
+    const double* vnew = d.vnew.data();
+    double* v = d.v.data();
+    forall(updateVolumesKernel(), raja::IndexSet::range(0, d.numElem),
+           [=](raja::Index el) { v[el] = std::max(vnew[el], kVmin); });
+  }
+}
+
+void Simulation::calcTimeConstraints() {
+  Domain& d = dom_;
+  const raja::IndexSet elems = raja::IndexSet::range(0, d.numElem);
+
+  // RAJA-style reducers combine across threads under any execution policy.
+  const raja::ReduceMin<double> courant_min(1e20);
+  const raja::ReduceMin<double> hydro_min(1e20);
+  {
+    const double* ss = d.ss.data();
+    const double* alg = d.arealg.data();
+    const double* vdov = d.vdov.data();
+    double* dtc = d.dtcourant_el.data();
+    forall(courantKernel(), elems, [=](raja::Index el) {
+      double dtf = ss[el] * ss[el];
+      if (vdov[el] < 0.0) {
+        const double term = kQqc * alg[el] * vdov[el];
+        dtf += 4.0 * term * term;
+      }
+      dtc[el] = alg[el] / std::sqrt(std::max(dtf, 1e-30));
+      courant_min.min(dtc[el]);
+    });
+  }
+  {
+    const double* vdov = d.vdov.data();
+    double* dth = d.dthydro_el.data();
+    forall(hydroConstraintKernel(), elems, [=](raja::Index el) {
+      dth[el] = vdov[el] != 0.0 ? 0.1 / std::fabs(vdov[el]) : 1e20;
+      hydro_min.min(dth[el]);
+    });
+  }
+
+  d.dtcourant = courant_min.get();
+  d.dthydro = hydro_min.get();
+
+  const double target = kCourant * std::min(d.dtcourant, d.dthydro);
+  d.deltatime = std::min(target, d.deltatime * kDtGrow);
+}
+
+void Simulation::step() {
+  lagrangeNodal();
+  lagrangeElements();
+  applyMaterialModel();
+  calcTimeConstraints();
+  dom_.time += dom_.deltatime;
+  dom_.cycle += 1;
+}
+
+void Simulation::run(int steps) {
+  for (int i = 0; i < steps; ++i) {
+    perf::ScopedAnnotation timestep("timestep", dom_.cycle);
+    step();
+  }
+}
+
+namespace {
+
+class MiniLuleshApp final : public Application {
+public:
+  [[nodiscard]] std::string name() const override { return "LULESH"; }
+  [[nodiscard]] std::vector<std::string> problems() const override { return {"sedov"}; }
+  [[nodiscard]] std::vector<int> training_sizes() const override { return {8, 14, 22, 34, 52}; }
+
+  void run(const RunConfig& config) override {
+    perf::ScopedAnnotation problem("problem_name", "lulesh-" + config.problem);
+    perf::ScopedAnnotation size("problem_size", config.size);
+    Simulation sim(config.size);
+    sim.run(config.steps);
+  }
+};
+
+}  // namespace
+
+}  // namespace apollo::apps::lulesh
+
+namespace apollo::apps {
+
+std::unique_ptr<Application> make_lulesh() {
+  return std::make_unique<lulesh::MiniLuleshApp>();
+}
+
+}  // namespace apollo::apps

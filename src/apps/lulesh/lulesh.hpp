@@ -1,0 +1,39 @@
+#pragma once
+
+// mini-LULESH: Lagrangian Sedov shock hydrodynamics on a structured hex mesh.
+// A faithful miniature of the LULESH proxy app's kernel population: every
+// loop is an apollo::forall with LULESH's kernel structure (element sweeps,
+// node sweeps, symmetry-plane node lists, and per-material-region element
+// lists, including the tiny 11-iteration region loops). Physics is a
+// simplified but genuine staggered leapfrog scheme: stress integration,
+// nodal acceleration/velocity/position, hex-volume kinematics, monotonic-Q
+// style artificial viscosity, and a per-region ideal-gas EOS pipeline.
+
+#include <memory>
+
+#include "apps/application.hpp"
+#include "apps/lulesh/domain.hpp"
+
+namespace apollo::apps::lulesh {
+
+class Simulation {
+public:
+  /// Sedov setup on an edge_elems^3 mesh.
+  explicit Simulation(int edge_elems, double initial_energy = 3.948746e+1);
+
+  void step();
+  void run(int steps);
+
+  [[nodiscard]] const Domain& domain() const noexcept { return dom_; }
+  [[nodiscard]] Domain& domain() noexcept { return dom_; }
+
+private:
+  void lagrangeNodal();
+  void lagrangeElements();
+  void applyMaterialModel();
+  void calcTimeConstraints();
+
+  Domain dom_;
+};
+
+}  // namespace apollo::apps::lulesh

@@ -1,0 +1,64 @@
+#pragma once
+
+// Per-rank time accounting for the strong-scaling experiments (Figs. 12-13).
+//
+// A distributed AMR run executes each patch's kernels on the rank that owns
+// the patch and synchronizes every step. We run the full simulation in one
+// process (so the physics and the per-launch tuning decisions are identical
+// to a distributed run) while charging each kernel's modeled runtime to the
+// owning rank; a step's cost is then max-over-ranks plus collective overhead
+// from the cluster model.
+
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace apollo {
+
+class ClusterAccountant {
+public:
+  ClusterAccountant(sim::ClusterModel model, unsigned ranks)
+      : model_(model), ranks_(ranks), rank_seconds_(ranks, 0.0), rank_patches_(ranks, 0) {}
+
+  [[nodiscard]] unsigned ranks() const noexcept { return ranks_; }
+
+  void begin_step() {
+    std::fill(rank_seconds_.begin(), rank_seconds_.end(), 0.0);
+    std::fill(rank_patches_.begin(), rank_patches_.end(), std::size_t{0});
+  }
+
+  /// Kernel charges that follow go to this rank.
+  void set_current_rank(unsigned rank) noexcept { current_rank_ = rank < ranks_ ? rank : 0; }
+  [[nodiscard]] unsigned current_rank() const noexcept { return current_rank_; }
+
+  /// Declare that the current step places one patch on `rank`.
+  void add_patch(unsigned rank) {
+    if (rank < ranks_) rank_patches_[rank] += 1;
+  }
+
+  /// Called by the Apollo runtime for every kernel execution.
+  void charge(double seconds) { rank_seconds_[current_rank_] += seconds; }
+
+  /// Work charged to all ranks equally (un-decomposed global phases).
+  void charge_all(double seconds) {
+    for (double& s : rank_seconds_) s += seconds / static_cast<double>(ranks_);
+  }
+
+  void end_step() { total_seconds_ += model_.step_seconds(rank_seconds_, rank_patches_); }
+
+  [[nodiscard]] double total_seconds() const noexcept { return total_seconds_; }
+  void reset() {
+    total_seconds_ = 0.0;
+    begin_step();
+  }
+
+private:
+  sim::ClusterModel model_;
+  unsigned ranks_;
+  unsigned current_rank_ = 0;
+  std::vector<double> rank_seconds_;
+  std::vector<std::size_t> rank_patches_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace apollo

@@ -1,0 +1,48 @@
+#pragma once
+
+// KernelHandle: the per-call-site identity an application hands to
+// apollo::forall. It names the kernel (loop_id stands in for the paper's
+// code address), carries the registered instruction signature, and lets the
+// application pin a static default policy (ARES's hand-assigned kernels).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "instr/mix.hpp"
+#include "instr/signature.hpp"
+#include "raja/policy.hpp"
+
+namespace apollo {
+
+class KernelHandle {
+public:
+  /// Registers the kernel's signature on construction (idempotent), so
+  /// instruction features are available before the first prediction.
+  KernelHandle(std::string loop_id, std::string func, instr::InstructionMix mix,
+               std::int64_t bytes_per_iteration,
+               raja::PolicyType default_policy = raja::PolicyType::seq_segit_omp_parallel_for_exec)
+      : loop_id_(std::move(loop_id)),
+        func_(std::move(func)),
+        mix_(mix),
+        bytes_per_iteration_(bytes_per_iteration),
+        default_policy_(default_policy) {
+    instr::SignatureRegistry::instance().register_signature(
+        instr::KernelSignature{loop_id_, func_, mix_, bytes_per_iteration_});
+  }
+
+  [[nodiscard]] const std::string& loop_id() const noexcept { return loop_id_; }
+  [[nodiscard]] const std::string& func() const noexcept { return func_; }
+  [[nodiscard]] const instr::InstructionMix& mix() const noexcept { return mix_; }
+  [[nodiscard]] std::int64_t bytes_per_iteration() const noexcept { return bytes_per_iteration_; }
+  [[nodiscard]] raja::PolicyType default_policy() const noexcept { return default_policy_; }
+
+private:
+  std::string loop_id_;
+  std::string func_;
+  instr::InstructionMix mix_;
+  std::int64_t bytes_per_iteration_;
+  raja::PolicyType default_policy_;
+};
+
+}  // namespace apollo

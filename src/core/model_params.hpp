@@ -1,0 +1,21 @@
+#pragma once
+
+// Model-selected execution parameters for one kernel launch. The tuner
+// evaluates its decision models in apollo::begin and publishes the result
+// here ("writes predicted model parameters to the blackboard", §III-C); the
+// forall wrapper consumes it to pick the template variant via policySwitcher.
+
+#include <cstdint>
+
+#include "raja/policy.hpp"
+
+namespace apollo {
+
+struct ModelParams {
+  raja::PolicyType policy = raja::PolicyType::seq_segit_omp_parallel_for_exec;
+  std::int64_t chunk_size = 0;  ///< OpenMP static chunk; 0 = default N/t
+  unsigned threads = 0;         ///< OpenMP team size; 0 = full team
+  int selection = 0;            ///< raw class index (used by generated code)
+};
+
+}  // namespace apollo

@@ -1,0 +1,88 @@
+#include "core/model_set.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "core/features.hpp"
+
+namespace apollo {
+
+ModelSet ModelSet::train_per_kernel(const std::vector<perf::SampleRecord>& records,
+                                    TunedParameter parameter, const ml::TreeParams& params) {
+  std::map<std::string, std::vector<perf::SampleRecord>> by_kernel;
+  for (const auto& record : records) {
+    auto it = record.find(features::kLoopId);
+    if (it == record.end()) continue;
+    by_kernel[it->second.as_string()].push_back(record);
+  }
+  if (by_kernel.empty()) throw std::invalid_argument("ModelSet: no records with loop_id");
+
+  ModelSet set;
+  set.fallback_ = Trainer::train(records, parameter, params);
+  for (auto& [loop_id, kernel_records] : by_kernel) {
+    try {
+      set.models_.emplace(loop_id, Trainer::train(kernel_records, parameter, params));
+    } catch (const std::invalid_argument&) {
+      // Not enough usable samples for this kernel: the fallback covers it.
+    }
+  }
+  return set;
+}
+
+const TunerModel& ModelSet::model_for(const std::string& loop_id) const {
+  auto it = models_.find(loop_id);
+  if (it != models_.end()) return it->second;
+  if (!fallback_) throw std::logic_error("ModelSet: no fallback model");
+  return *fallback_;
+}
+
+int ModelSet::predict(const std::string& loop_id, const TunerModel::Resolver& resolve) const {
+  return model_for(loop_id).predict(resolve);
+}
+
+const std::string& ModelSet::label_name(const std::string& loop_id, int label) const {
+  return model_for(loop_id).label_name(label);
+}
+
+std::size_t ModelSet::total_nodes() const {
+  std::size_t nodes = fallback_ ? fallback_->tree().node_count() : 0;
+  for (const auto& [loop_id, model] : models_) nodes += model.tree().node_count();
+  return nodes;
+}
+
+void ModelSet::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ModelSet: cannot open " + path);
+  out << "apollo-model-set 1\n";
+  out << models_.size() << '\n';
+  if (!fallback_) throw std::logic_error("ModelSet: no fallback to save");
+  fallback_->save(out);
+  for (const auto& [loop_id, model] : models_) {
+    out << "kernel " << perf::escape_cell(loop_id) << '\n';
+    model.save(out);
+  }
+}
+
+ModelSet ModelSet::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ModelSet: cannot open " + path);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "apollo-model-set" || version != 1) {
+    throw std::runtime_error("ModelSet: bad header");
+  }
+  std::size_t count = 0;
+  in >> count;
+  ModelSet set;
+  set.fallback_ = TunerModel::load(in);
+  for (std::size_t m = 0; m < count; ++m) {
+    std::string keyword, escaped;
+    in >> keyword >> escaped;
+    if (keyword != "kernel") throw std::runtime_error("ModelSet: expected kernel");
+    set.models_.emplace(perf::unescape_cell(escaped), TunerModel::load(in));
+  }
+  return set;
+}
+
+}  // namespace apollo

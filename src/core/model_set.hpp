@@ -1,0 +1,51 @@
+#pragma once
+
+// Per-kernel model sets. The paper's workflow (Fig. 3) trains "a per-kernel
+// decision model"; its evaluation (SIV-A) also builds single per-application
+// models over all features. Both are supported: a ModelSet holds one model
+// per loop_id plus a global fallback, so callers can trade model size and
+// training data requirements against specialization.
+// bench/ablation_classifiers quantifies the trade.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/trainer.hpp"
+#include "core/tuner_model.hpp"
+#include "perf/record.hpp"
+
+namespace apollo {
+
+class ModelSet {
+public:
+  ModelSet() = default;
+
+  /// Train one model per kernel (records partitioned by loop_id) plus the
+  /// global fallback model trained on everything.
+  static ModelSet train_per_kernel(const std::vector<perf::SampleRecord>& records,
+                                   TunedParameter parameter, const ml::TreeParams& params = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return models_.size(); }
+  [[nodiscard]] bool has_kernel(const std::string& loop_id) const {
+    return models_.count(loop_id) > 0;
+  }
+  [[nodiscard]] const TunerModel& fallback() const { return fallback_.value(); }
+  [[nodiscard]] const TunerModel& model_for(const std::string& loop_id) const;
+
+  /// Predict with the kernel's own model when one exists, else the fallback.
+  [[nodiscard]] int predict(const std::string& loop_id, const TunerModel::Resolver& resolve) const;
+  [[nodiscard]] const std::string& label_name(const std::string& loop_id, int label) const;
+
+  /// Total decision-tree nodes across all models (deployment footprint).
+  [[nodiscard]] std::size_t total_nodes() const;
+
+  void save_file(const std::string& path) const;
+  static ModelSet load_file(const std::string& path);
+
+private:
+  std::map<std::string, TunerModel> models_;
+  std::optional<TunerModel> fallback_;
+};
+
+}  // namespace apollo

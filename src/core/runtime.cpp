@@ -1,0 +1,332 @@
+#include "core/runtime.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "core/cluster_accountant.hpp"
+#include "core/features.hpp"
+#include "perf/blackboard.hpp"
+
+namespace apollo {
+
+const char* mode_name(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::Off: return "off";
+    case Mode::Record: return "record";
+    case Mode::Tune: return "tune";
+  }
+  return "?";
+}
+
+Runtime::Runtime() {
+  if (const char* env = std::getenv("APOLLO_MODE")) {
+    const std::string value(env);
+    if (value == "record") {
+      mode_ = Mode::Record;
+    } else if (value == "tune") {
+      mode_ = Mode::Tune;
+    }
+  }
+  // The paper's training protocol: re-run the same binary once per parameter
+  // value, selected through the RAJA_POLICY / RAJA_CHUNK_SIZE environment
+  // variables (SIII-A). An explicit policy disables sweep recording.
+  if (const auto env_policy = raja::apollo::policy_from_env()) {
+    training_.sweep_variants = false;
+    training_.forced_policy = env_policy->policy;
+    training_.forced_chunk = env_policy->chunk;
+  }
+}
+
+Runtime& Runtime::instance() {
+  static Runtime runtime;
+  return runtime;
+}
+
+unsigned Runtime::threads() const noexcept {
+  return threads_ > 0 ? threads_ : machine_.config().cores;
+}
+
+std::vector<Runtime::CompiledFeature> Runtime::compile_features(const TunerModel& model) const {
+  using Source = CompiledFeature::Source;
+  std::vector<CompiledFeature> compiled;
+  compiled.reserve(model.tree().feature_names().size());
+  for (const auto& name : model.tree().feature_names()) {
+    CompiledFeature feature;
+    if (name == features::kFunc) {
+      feature.source = Source::Func;
+    } else if (name == features::kFuncSize) {
+      feature.source = Source::FuncSize;
+    } else if (name == features::kIndexType) {
+      feature.source = Source::IndexType;
+    } else if (name == features::kLoopId) {
+      feature.source = Source::LoopId;
+    } else if (name == features::kNumIndices) {
+      feature.source = Source::NumIndices;
+    } else if (name == features::kNumSegments) {
+      feature.source = Source::NumSegments;
+    } else if (name == features::kStride) {
+      feature.source = Source::Stride;
+    } else {
+      feature.source = Source::App;
+      feature.key = name;
+      for (std::size_t m = 0; m < instr::kMnemonicCount; ++m) {
+        const auto mnemonic = static_cast<instr::Mnemonic>(m);
+        if (name == instr::mnemonic_name(mnemonic)) {
+          feature.source = Source::Mnemonic;
+          feature.mnemonic = mnemonic;
+          break;
+        }
+      }
+    }
+    auto dict_it = model.dictionaries().find(name);
+    if (dict_it != model.dictionaries().end()) {
+      for (std::size_t code = 0; code < dict_it->second.size(); ++code) {
+        feature.dictionary.emplace(dict_it->second[code], static_cast<double>(code));
+      }
+    }
+    compiled.push_back(std::move(feature));
+  }
+  return compiled;
+}
+
+int Runtime::predict_compiled(const TunerModel& model,
+                              const std::vector<CompiledFeature>& features,
+                              const KernelHandle& kernel, const raja::IndexSet& iset) {
+  using Source = CompiledFeature::Source;
+  feature_buffer_.resize(features.size());
+  auto& board = perf::Blackboard::instance();
+  for (std::size_t f = 0; f < features.size(); ++f) {
+    const CompiledFeature& feature = features[f];
+    double value = -1.0;
+    const auto categorical = [&](const std::string& text) {
+      auto it = feature.dictionary.find(text);
+      return it != feature.dictionary.end() ? it->second : -1.0;
+    };
+    switch (feature.source) {
+      case Source::Func: value = categorical(kernel.func()); break;
+      case Source::FuncSize: value = static_cast<double>(kernel.mix().total()); break;
+      case Source::IndexType: value = categorical(iset.type_name()); break;
+      case Source::LoopId: value = categorical(kernel.loop_id()); break;
+      case Source::NumIndices: value = static_cast<double>(iset.getLength()); break;
+      case Source::NumSegments: value = static_cast<double>(iset.getNumSegments()); break;
+      case Source::Stride: value = static_cast<double>(iset.stride()); break;
+      case Source::Mnemonic: value = static_cast<double>(kernel.mix().count(feature.mnemonic)); break;
+      case Source::App: {
+        const auto attr = board.get(feature.key);
+        if (attr) value = attr->is_string() ? categorical(attr->as_string()) : attr->as_number();
+        break;
+      }
+    }
+    feature_buffer_[f] = value;
+  }
+  return model.tree().predict(feature_buffer_.data());
+}
+
+void Runtime::set_policy_model(TunerModel model) {
+  if (model.parameter() != TunedParameter::Policy) {
+    throw std::invalid_argument("Runtime: not a policy model");
+  }
+  policy_model_ = std::move(model);
+  policy_features_ = compile_features(*policy_model_);
+}
+
+void Runtime::set_chunk_model(TunerModel model) {
+  if (model.parameter() != TunedParameter::ChunkSize) {
+    throw std::invalid_argument("Runtime: not a chunk-size model");
+  }
+  chunk_model_ = std::move(model);
+  chunk_features_ = compile_features(*chunk_model_);
+}
+
+void Runtime::set_threads_model(TunerModel model) {
+  if (model.parameter() != TunedParameter::Threads) {
+    throw std::invalid_argument("Runtime: not a team-size model");
+  }
+  threads_model_ = std::move(model);
+  threads_features_ = compile_features(*threads_model_);
+}
+
+void Runtime::clear_models() noexcept {
+  policy_model_.reset();
+  chunk_model_.reset();
+  threads_model_.reset();
+  policy_features_.clear();
+  chunk_features_.clear();
+  threads_features_.clear();
+}
+
+void Runtime::flush_records(const std::string& path) {
+  perf::append_records_file(path, records_);
+  records_.clear();
+}
+
+void Runtime::reset() {
+  mode_ = Mode::Off;
+  timing_ = TimingSource::Model;
+  machine_ = sim::MachineModel{};
+  threads_ = 0;
+  training_ = TrainingConfig{};
+  default_override_.reset();
+  execute_selected_ = true;
+  accountant_ = nullptr;
+  clear_models();
+  reset_stats();
+  clear_records();
+  sample_counter_ = 0;
+}
+
+std::optional<perf::Value> Runtime::resolve_feature(const std::string& name,
+                                                    const KernelHandle& kernel,
+                                                    const raja::IndexSet& iset) const {
+  using namespace features;
+  if (name == kFunc) return perf::Value(kernel.func());
+  if (name == kFuncSize) return perf::Value(kernel.mix().total());
+  if (name == kIndexType) return perf::Value(iset.type_name());
+  if (name == kLoopId) return perf::Value(kernel.loop_id());
+  if (name == kNumIndices) return perf::Value(iset.getLength());
+  if (name == kNumSegments) return perf::Value(static_cast<std::int64_t>(iset.getNumSegments()));
+  if (name == kStride) return perf::Value(iset.stride());
+  for (std::size_t m = 0; m < instr::kMnemonicCount; ++m) {
+    const auto mnemonic = static_cast<instr::Mnemonic>(m);
+    if (name == instr::mnemonic_name(mnemonic)) return perf::Value(kernel.mix().count(mnemonic));
+  }
+  return perf::Blackboard::instance().get(name);
+}
+
+sim::CostQuery Runtime::make_query(const KernelHandle& kernel, const raja::IndexSet& iset,
+                                   raja::PolicyType policy, std::int64_t chunk,
+                                   unsigned team) const {
+  sim::CostQuery query;
+  query.num_indices = iset.getLength();
+  query.num_segments = static_cast<std::int64_t>(iset.getNumSegments());
+  query.mix = kernel.mix();
+  query.bytes_per_iteration = kernel.bytes_per_iteration();
+  query.policy = policy == raja::PolicyType::seq_segit_seq_exec ? sim::PolicyKind::Sequential
+                                                                : sim::PolicyKind::OpenMP;
+  query.threads = team > 0 ? team : threads();
+  query.chunk = chunk;
+  query.kernel_seed = std::hash<std::string>{}(kernel.loop_id());
+  auto& board = perf::Blackboard::instance();
+  if (const auto problem = board.get(features::kProblemName); problem && problem->is_string()) {
+    query.context_seed = std::hash<std::string>{}(problem->as_string());
+  }
+  if (const auto step = board.get(features::kTimestep)) {
+    query.epoch = step->as_number();
+  }
+  return query;
+}
+
+double Runtime::measure_seconds(const sim::CostQuery& query) {
+  return machine_.measured_seconds(query, sample_counter_++);
+}
+
+void Runtime::charge(const std::string& loop_id, double seconds) {
+  if (accountant_ != nullptr) accountant_->charge(seconds);
+  stats_.total_seconds += seconds;
+  stats_.invocations += 1;
+  auto& kernel_stats = stats_.per_kernel[loop_id];
+  kernel_stats.seconds += seconds;
+  kernel_stats.invocations += 1;
+}
+
+void Runtime::emit_record(const KernelHandle& kernel, const raja::IndexSet& iset,
+                          raja::PolicyType policy, std::int64_t chunk, double seconds,
+                          unsigned team) {
+  perf::SampleRecord record = perf::Blackboard::instance().snapshot();
+  features::fill_kernel_features(record, kernel.loop_id(), kernel.func(), kernel.mix(), iset);
+  record[features::kParamPolicy] = raja::policy_name(policy);
+  record[features::kParamChunk] = chunk;
+  if (team > 0) record[features::kParamThreads] = static_cast<std::int64_t>(team);
+  record[features::kMeasureRuntime] = seconds;
+  records_.push_back(std::move(record));
+}
+
+void Runtime::charge_external(const std::string& loop_id, const sim::CostQuery& query) {
+  if (timing_ != TimingSource::Model) return;
+  charge(loop_id, measure_seconds(query));
+}
+
+ModelParams Runtime::begin(const KernelHandle& kernel, const raja::IndexSet& iset) {
+  ModelParams params;
+  params.policy = default_override_.value_or(kernel.default_policy());
+  params.chunk_size = 0;
+
+  switch (mode_) {
+    case Mode::Off:
+      break;
+    case Mode::Record:
+      if (!training_.sweep_variants) {
+        params.policy = training_.forced_policy;
+        params.chunk_size = training_.forced_chunk;
+      }
+      break;
+    case Mode::Tune: {
+      if (policy_model_) {
+        const int label = predict_compiled(*policy_model_, policy_features_, kernel, iset);
+        params.selection = label;
+        params.policy = raja::policy_from_name(policy_model_->label_name(label));
+      }
+      if (chunk_model_ && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
+        const int label = predict_compiled(*chunk_model_, chunk_features_, kernel, iset);
+        params.chunk_size = std::stoll(chunk_model_->label_name(label));
+      }
+      if (threads_model_ && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
+        const int label = predict_compiled(*threads_model_, threads_features_, kernel, iset);
+        params.threads = static_cast<unsigned>(std::stoul(threads_model_->label_name(label)));
+      }
+      break;
+    }
+  }
+
+  if (timing_ == TimingSource::Wallclock) stopwatch_.start();
+  return params;
+}
+
+void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
+                  const ModelParams& params) {
+  double seconds = 0.0;
+  if (timing_ == TimingSource::Wallclock) {
+    seconds = stopwatch_.stop();
+  } else {
+    seconds = measure_seconds(
+        make_query(kernel, iset, params.policy, params.chunk_size, params.threads));
+  }
+  charge(kernel.loop_id(), seconds);
+
+  if (mode_ != Mode::Record) return;
+
+  if (!training_.sweep_variants) {
+    emit_record(kernel, iset, params.policy, params.chunk_size, seconds);
+    return;
+  }
+
+  // Sweep recording: price every parameter variant of this launch. Requires
+  // the machine-model timing source (one real execution cannot yield
+  // wall-clock times for variants that did not run).
+  if (timing_ == TimingSource::Wallclock) {
+    throw std::logic_error(
+        "Runtime: sweep_variants recording requires TimingSource::Model; "
+        "use forced-policy recording for wall-clock training runs");
+  }
+  const double seq_seconds =
+      measure_seconds(make_query(kernel, iset, raja::PolicyType::seq_segit_seq_exec, 0));
+  emit_record(kernel, iset, raja::PolicyType::seq_segit_seq_exec, 0, seq_seconds);
+  const double omp_seconds = measure_seconds(
+      make_query(kernel, iset, raja::PolicyType::seq_segit_omp_parallel_for_exec, 0));
+  emit_record(kernel, iset, raja::PolicyType::seq_segit_omp_parallel_for_exec, 0, omp_seconds);
+  for (std::int64_t chunk : training_.chunk_values) {
+    const double chunk_seconds = measure_seconds(
+        make_query(kernel, iset, raja::PolicyType::seq_segit_omp_parallel_for_exec, chunk));
+    emit_record(kernel, iset, raja::PolicyType::seq_segit_omp_parallel_for_exec, chunk,
+                chunk_seconds);
+  }
+  for (unsigned team : training_.thread_values) {
+    const double team_seconds = measure_seconds(
+        make_query(kernel, iset, raja::PolicyType::seq_segit_omp_parallel_for_exec, 0, team));
+    emit_record(kernel, iset, raja::PolicyType::seq_segit_omp_parallel_for_exec, 0, team_seconds,
+                team);
+  }
+}
+
+}  // namespace apollo

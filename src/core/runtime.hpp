@@ -1,0 +1,238 @@
+#pragma once
+
+// The Apollo runtime: the begin/end hooks around every RAJA loop (§III,
+// Fig. 5). One of two components is active per run:
+//
+//   Recorder — executes the launch, measures it, and appends a training
+//              sample (kernel + instruction + application features, the
+//              parameter values used, and the runtime);
+//   Tuner    — evaluates the loaded decision models on the launch's feature
+//              vector and selects the execution policy / chunk size.
+//
+// Mode Off executes with the kernel's static default policy — the baseline
+// configurations the paper compares against. The same executable runs in any
+// mode (env var APOLLO_MODE or API), and models load from files at runtime,
+// so retraining never requires recompilation.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/kernel.hpp"
+#include "core/model_params.hpp"
+#include "core/tuner_model.hpp"
+#include "perf/record.hpp"
+#include "perf/timer.hpp"
+#include "raja/env_policy.hpp"
+#include "raja/forall.hpp"
+#include "raja/index_set.hpp"
+#include "raja/policy_switcher.hpp"
+#include "sim/machine.hpp"
+
+namespace apollo {
+
+class ClusterAccountant;
+
+enum class Mode : std::uint8_t { Off, Record, Tune };
+enum class TimingSource : std::uint8_t { Model, Wallclock };
+
+[[nodiscard]] const char* mode_name(Mode mode) noexcept;
+
+/// How a recording run sets the tuned parameters.
+struct TrainingConfig {
+  /// When true (requires TimingSource::Model), one application execution
+  /// records a sample for *every* parameter variant per launch — equivalent
+  /// to the paper's one-run-per-value protocol on a deterministic app, at a
+  /// fraction of the cost. When false, every launch runs `forced_policy` /
+  /// `forced_chunk` and records exactly one sample (the paper's protocol).
+  bool sweep_variants = true;
+  raja::PolicyType forced_policy = raja::PolicyType::seq_segit_omp_parallel_for_exec;
+  std::int64_t forced_chunk = 0;
+  /// Chunk sizes recorded for the OpenMP variant (paper: 1..1024).
+  std::vector<std::int64_t> chunk_values = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  /// OpenMP team sizes recorded at the default schedule (extension; empty =
+  /// team-size sweep disabled).
+  std::vector<unsigned> thread_values = {};
+};
+
+struct KernelStats {
+  double seconds = 0.0;
+  std::int64_t invocations = 0;
+};
+
+struct RunStats {
+  double total_seconds = 0.0;
+  std::int64_t invocations = 0;
+  std::map<std::string, KernelStats> per_kernel;  ///< keyed by loop_id
+};
+
+class Runtime {
+public:
+  /// Process-wide instance. Initial mode comes from APOLLO_MODE
+  /// (off|record|tune) when set.
+  static Runtime& instance();
+
+  // --- configuration -------------------------------------------------------
+  void set_mode(Mode mode) noexcept { mode_ = mode; }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  void set_timing_source(TimingSource source) noexcept { timing_ = source; }
+  [[nodiscard]] TimingSource timing_source() const noexcept { return timing_; }
+
+  void set_machine(sim::MachineModel machine) { machine_ = machine; }
+  [[nodiscard]] const sim::MachineModel& machine() const noexcept { return machine_; }
+
+  /// OpenMP team size assumed by the machine model (defaults to all cores).
+  void set_threads(unsigned threads) noexcept { threads_ = threads; }
+  [[nodiscard]] unsigned threads() const noexcept;
+
+  void set_training_config(TrainingConfig config) { training_ = std::move(config); }
+  [[nodiscard]] const TrainingConfig& training_config() const noexcept { return training_; }
+
+  /// Override every kernel's static default policy (the paper's "OpenMP
+  /// everywhere" baseline). nullopt restores per-kernel defaults.
+  void set_default_policy_override(std::optional<raja::PolicyType> policy) noexcept {
+    default_override_ = policy;
+  }
+
+  /// When false, apollo::forall executes every body sequentially while still
+  /// *charging* the selected variant's modeled cost. Model-timed experiment
+  /// harnesses use this so wall-clock does not depend on the host's thread
+  /// count; it is invalid (and ignored) under wall-clock timing.
+  void set_execute_selected(bool execute) noexcept { execute_selected_ = execute; }
+  [[nodiscard]] bool execute_selected() const noexcept {
+    return execute_selected_ || timing_ == TimingSource::Wallclock;
+  }
+
+  // --- models --------------------------------------------------------------
+  void set_policy_model(TunerModel model);
+  void set_chunk_model(TunerModel model);
+  void set_threads_model(TunerModel model);
+  void clear_models() noexcept;
+  [[nodiscard]] bool has_policy_model() const noexcept { return policy_model_.has_value(); }
+  [[nodiscard]] bool has_chunk_model() const noexcept { return chunk_model_.has_value(); }
+  [[nodiscard]] bool has_threads_model() const noexcept { return threads_model_.has_value(); }
+  [[nodiscard]] const TunerModel& policy_model() const { return policy_model_.value(); }
+
+  void load_policy_model_file(const std::string& path) { set_policy_model(TunerModel::load_file(path)); }
+  void load_chunk_model_file(const std::string& path) { set_chunk_model(TunerModel::load_file(path)); }
+
+  // --- results -------------------------------------------------------------
+  [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = RunStats{}; }
+
+  [[nodiscard]] const std::vector<perf::SampleRecord>& records() const noexcept { return records_; }
+  void clear_records() noexcept { records_.clear(); }
+  /// Append all buffered records to `path` and clear the buffer.
+  void flush_records(const std::string& path);
+
+  /// Mirror every kernel charge into a per-rank accountant (strong-scaling
+  /// experiments). Pass nullptr to detach. Not owned.
+  void set_cluster_accountant(ClusterAccountant* accountant) noexcept { accountant_ = accountant; }
+  [[nodiscard]] ClusterAccountant* cluster_accountant() const noexcept { return accountant_; }
+
+  /// Reset everything (mode, models, stats, records, counters). For tests.
+  void reset();
+
+  // --- hooks (called by apollo::forall) -------------------------------------
+  /// Decide execution parameters for this launch (and arm the stopwatch when
+  /// measuring wall-clock).
+  ModelParams begin(const KernelHandle& kernel, const raja::IndexSet& iset);
+
+  /// Account for a finished launch: charge stats and, in Record mode, emit
+  /// training samples.
+  void end(const KernelHandle& kernel, const raja::IndexSet& iset, const ModelParams& params);
+
+  /// Account for a loop in a physics package that has NOT been ported to
+  /// RAJA/Apollo (ARES only has one ported package): charges its modeled
+  /// runtime to the stats (and cluster accountant) with no tuning decision
+  /// and no training sample. No-op under wall-clock timing, where such work
+  /// is already inside the measured interval.
+  void charge_external(const std::string& loop_id, const sim::CostQuery& query);
+
+  /// Feature resolver used by the tuner (exposed for tests): maps a feature
+  /// name to its raw value for this launch.
+  [[nodiscard]] std::optional<perf::Value> resolve_feature(const std::string& name,
+                                                           const KernelHandle& kernel,
+                                                           const raja::IndexSet& iset) const;
+
+private:
+  Runtime();
+
+  /// One feature of a loaded model, pre-resolved so tune-time evaluation
+  /// does no string matching: the source is fixed and categorical encodings
+  /// are hash lookups. Built once when a model is loaded.
+  struct CompiledFeature {
+    enum class Source : std::uint8_t {
+      Func, FuncSize, IndexType, LoopId, NumIndices, NumSegments, Stride, Mnemonic, App
+    };
+    Source source = Source::App;
+    instr::Mnemonic mnemonic = instr::Mnemonic::count_;
+    std::string key;  ///< blackboard attribute name (App source)
+    std::unordered_map<std::string, double> dictionary;  ///< categorical codes
+  };
+
+  [[nodiscard]] std::vector<CompiledFeature> compile_features(const TunerModel& model) const;
+  [[nodiscard]] int predict_compiled(const TunerModel& model,
+                                     const std::vector<CompiledFeature>& features,
+                                     const KernelHandle& kernel, const raja::IndexSet& iset);
+
+  [[nodiscard]] sim::CostQuery make_query(const KernelHandle& kernel, const raja::IndexSet& iset,
+                                          raja::PolicyType policy, std::int64_t chunk,
+                                          unsigned team = 0) const;
+  [[nodiscard]] double measure_seconds(const sim::CostQuery& query);
+  void charge(const std::string& loop_id, double seconds);
+  void emit_record(const KernelHandle& kernel, const raja::IndexSet& iset,
+                   raja::PolicyType policy, std::int64_t chunk, double seconds,
+                   unsigned team = 0);
+
+  Mode mode_ = Mode::Off;
+  TimingSource timing_ = TimingSource::Model;
+  sim::MachineModel machine_{};
+  unsigned threads_ = 0;  // 0 = machine cores
+  TrainingConfig training_{};
+  std::optional<raja::PolicyType> default_override_;
+  std::optional<TunerModel> policy_model_;
+  std::optional<TunerModel> chunk_model_;
+  std::optional<TunerModel> threads_model_;
+  std::vector<CompiledFeature> policy_features_;
+  std::vector<CompiledFeature> chunk_features_;
+  std::vector<CompiledFeature> threads_features_;
+  std::vector<double> feature_buffer_;
+
+  bool execute_selected_ = true;
+  ClusterAccountant* accountant_ = nullptr;
+  RunStats stats_{};
+  std::vector<perf::SampleRecord> records_;
+  std::uint64_t sample_counter_ = 0;
+  perf::Stopwatch stopwatch_{};
+};
+
+/// The application-facing execution method: decide, run, account.
+template <typename Body>
+void forall(const KernelHandle& kernel, const raja::IndexSet& iset, Body&& body) {
+  auto& runtime = Runtime::instance();
+  const ModelParams params = runtime.begin(kernel, iset);
+  if (runtime.execute_selected()) {
+    raja::apollo::policySwitcher(params.policy, params.chunk_size, [&](auto exec) {
+      if constexpr (std::is_same_v<decltype(exec), raja::omp_parallel_for_exec>) {
+        exec.threads = params.threads;
+      }
+      raja::forall(exec, iset, body);
+    });
+  } else {
+    raja::forall(raja::seq_exec{}, iset, body);
+  }
+  runtime.end(kernel, iset, params);
+}
+
+/// Convenience overload for a contiguous [0, n) range.
+template <typename Body>
+void forall(const KernelHandle& kernel, raja::Index n, Body&& body) {
+  forall(kernel, raja::IndexSet::range(0, n), std::forward<Body>(body));
+}
+
+}  // namespace apollo

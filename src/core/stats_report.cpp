@@ -1,0 +1,53 @@
+#include "core/stats_report.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace apollo {
+
+namespace {
+
+std::vector<std::pair<std::string, KernelStats>> sorted_kernels(const RunStats& stats) {
+  std::vector<std::pair<std::string, KernelStats>> kernels(stats.per_kernel.begin(),
+                                                           stats.per_kernel.end());
+  std::stable_sort(kernels.begin(), kernels.end(),
+                   [](const auto& a, const auto& b) { return a.second.seconds > b.second.seconds; });
+  return kernels;
+}
+
+}  // namespace
+
+std::string format_stats(const RunStats& stats) {
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "total: " << stats.total_seconds * 1e3 << " ms over " << stats.invocations
+      << " kernel launches\n";
+  for (const auto& [loop_id, kernel] : sorted_kernels(stats)) {
+    const double share =
+        stats.total_seconds > 0 ? kernel.seconds / stats.total_seconds * 100.0 : 0.0;
+    out << "  " << loop_id << "  " << kernel.seconds * 1e3 << " ms  (" << kernel.invocations
+        << " launches, " << share << "%)\n";
+  }
+  return out.str();
+}
+
+void write_stats_csv(std::ostream& out, const RunStats& stats) {
+  out << "loop_id,invocations,seconds,percent\n";
+  out.precision(9);
+  for (const auto& [loop_id, kernel] : sorted_kernels(stats)) {
+    const double share =
+        stats.total_seconds > 0 ? kernel.seconds / stats.total_seconds * 100.0 : 0.0;
+    out << loop_id << ',' << kernel.invocations << ',' << kernel.seconds << ',' << share << '\n';
+  }
+}
+
+void write_stats_csv_file(const std::string& path, const RunStats& stats) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_stats_csv_file: cannot open " + path);
+  write_stats_csv(out, stats);
+}
+
+}  // namespace apollo

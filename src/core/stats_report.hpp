@@ -1,0 +1,21 @@
+#pragma once
+
+// Reporting helpers for RunStats: a sorted per-kernel table for humans and a
+// CSV export for downstream analysis (the paper's workflow feeds recorded
+// performance data into external tooling; this is the stats-side analogue).
+
+#include <iosfwd>
+#include <string>
+
+#include "core/runtime.hpp"
+
+namespace apollo {
+
+/// Human-readable table, most expensive kernel first.
+[[nodiscard]] std::string format_stats(const RunStats& stats);
+
+/// CSV with header: loop_id,invocations,seconds,percent.
+void write_stats_csv(std::ostream& out, const RunStats& stats);
+void write_stats_csv_file(const std::string& path, const RunStats& stats);
+
+}  // namespace apollo

@@ -1,0 +1,116 @@
+#include "core/tuner_model.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "perf/record.hpp"
+
+namespace apollo {
+
+const char* tuned_parameter_name(TunedParameter p) noexcept {
+  switch (p) {
+    case TunedParameter::Policy: return "policy";
+    case TunedParameter::ChunkSize: return "chunk_size";
+    case TunedParameter::Threads: return "threads";
+  }
+  return "?";
+}
+
+TunerModel::TunerModel(TunedParameter parameter, ml::DecisionTree tree,
+                       std::map<std::string, std::vector<std::string>> dictionaries)
+    : parameter_(parameter), tree_(std::move(tree)), dictionaries_(std::move(dictionaries)) {}
+
+double TunerModel::encode(const std::string& feature, const std::optional<perf::Value>& value) const {
+  if (!value) return -1.0;
+  if (!value->is_string()) return value->as_number();
+  auto dict_it = dictionaries_.find(feature);
+  if (dict_it == dictionaries_.end()) return -1.0;
+  const auto& categories = dict_it->second;
+  auto cat_it = std::find(categories.begin(), categories.end(), value->as_string());
+  if (cat_it == categories.end()) return -1.0;
+  return static_cast<double>(cat_it - categories.begin());
+}
+
+int TunerModel::predict(const Resolver& resolve) const {
+  const auto& names = tree_.feature_names();
+  std::vector<double> features(names.size(), -1.0);
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    features[f] = encode(names[f], resolve(names[f]));
+  }
+  return tree_.predict(features.data());
+}
+
+const std::string& TunerModel::label_name(int label) const {
+  return tree_.label_names().at(static_cast<std::size_t>(label));
+}
+
+void TunerModel::save(std::ostream& out) const {
+  out << "apollo-model 1\n";
+  out << "parameter " << tuned_parameter_name(parameter_) << '\n';
+  out << "dicts " << dictionaries_.size() << '\n';
+  for (const auto& [feature, categories] : dictionaries_) {
+    out << perf::escape_cell(feature);
+    for (const auto& category : categories) out << '|' << perf::escape_cell(category);
+    out << '\n';
+  }
+  tree_.save(out);
+}
+
+TunerModel TunerModel::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "apollo-model" || version != 1) {
+    throw std::runtime_error("TunerModel::load: bad header");
+  }
+  TunerModel model;
+  std::string keyword, parameter;
+  in >> keyword >> parameter;
+  if (keyword != "parameter") throw std::runtime_error("TunerModel::load: expected parameter");
+  model.parameter_ = parameter == "chunk_size"
+                         ? TunedParameter::ChunkSize
+                         : (parameter == "threads" ? TunedParameter::Threads
+                                                   : TunedParameter::Policy);
+
+  std::size_t dict_count = 0;
+  in >> keyword >> dict_count;
+  if (keyword != "dicts") throw std::runtime_error("TunerModel::load: expected dicts");
+  std::string line;
+  std::getline(in, line);  // consume end of the dicts header line
+  for (std::size_t d = 0; d < dict_count; ++d) {
+    if (!std::getline(in, line)) throw std::runtime_error("TunerModel::load: truncated dicts");
+    std::vector<std::string> cells;
+    std::size_t pos = 0;
+    while (pos <= line.size()) {
+      std::size_t end = pos;
+      while (end < line.size() && line[end] != '|') {
+        if (line[end] == '\\') ++end;
+        ++end;
+      }
+      cells.push_back(perf::unescape_cell(line.substr(pos, end - pos)));
+      if (end >= line.size()) break;
+      pos = end + 1;
+    }
+    if (cells.empty()) throw std::runtime_error("TunerModel::load: empty dict line");
+    std::vector<std::string> categories(cells.begin() + 1, cells.end());
+    model.dictionaries_[cells[0]] = std::move(categories);
+  }
+  model.tree_ = ml::DecisionTree::load(in);
+  return model;
+}
+
+void TunerModel::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TunerModel::save_file: cannot open " + path);
+  save(out);
+}
+
+TunerModel TunerModel::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("TunerModel::load_file: cannot open " + path);
+  return load(in);
+}
+
+}  // namespace apollo

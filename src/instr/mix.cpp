@@ -1,0 +1,116 @@
+#include "instr/mix.hpp"
+
+#include <numeric>
+
+namespace apollo::instr {
+
+const char* mnemonic_name(Mnemonic m) noexcept {
+  switch (m) {
+    case Mnemonic::add: return "add";
+    case Mnemonic::and_: return "and";
+    case Mnemonic::call: return "call";
+    case Mnemonic::cmp: return "cmp";
+    case Mnemonic::comisd: return "comisd";
+    case Mnemonic::divsd: return "divsd";
+    case Mnemonic::inc: return "inc";
+    case Mnemonic::jb: return "jb";
+    case Mnemonic::lea: return "lea";
+    case Mnemonic::loop: return "loop";
+    case Mnemonic::maxsd: return "maxsd";
+    case Mnemonic::minsd: return "minsd";
+    case Mnemonic::mov: return "mov";
+    case Mnemonic::movsd: return "movsd";
+    case Mnemonic::mulpd: return "mulpd";
+    case Mnemonic::nop: return "nop";
+    case Mnemonic::pop: return "pop";
+    case Mnemonic::push: return "push";
+    case Mnemonic::pxor: return "pxor";
+    case Mnemonic::ret: return "ret";
+    case Mnemonic::sar: return "sar";
+    case Mnemonic::shl: return "shl";
+    case Mnemonic::sqrtsd: return "sqrtsd";
+    case Mnemonic::sub: return "sub";
+    case Mnemonic::test: return "test";
+    case Mnemonic::ucomisd: return "ucomisd";
+    case Mnemonic::unpckhpd: return "unpckhpd";
+    case Mnemonic::unpcklpd: return "unpcklpd";
+    case Mnemonic::xor_: return "xor";
+    case Mnemonic::xorps: return "xorps";
+    case Mnemonic::count_: break;
+  }
+  return "?";
+}
+
+std::int64_t InstructionMix::total() const noexcept {
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < kMnemonicCount; ++i) sum += counts_[i];
+  return sum;
+}
+
+std::int64_t InstructionMix::flops() const noexcept {
+  return count(Mnemonic::add) + count(Mnemonic::sub) + count(Mnemonic::mulpd) +
+         count(Mnemonic::maxsd) + count(Mnemonic::minsd);
+}
+
+std::int64_t InstructionMix::memory_ops() const noexcept {
+  return count(Mnemonic::mov) + count(Mnemonic::movsd) + count(Mnemonic::push) +
+         count(Mnemonic::pop) + count(Mnemonic::lea);
+}
+
+std::int64_t InstructionMix::expensive_ops() const noexcept {
+  return count(Mnemonic::divsd) + count(Mnemonic::sqrtsd);
+}
+
+MixBuilder& MixBuilder::fp(std::int64_t n) {
+  mix_.add(Mnemonic::add, (n + 1) / 2);
+  mix_.add(Mnemonic::mulpd, n / 2);
+  return *this;
+}
+
+MixBuilder& MixBuilder::div(std::int64_t n) {
+  mix_.add(Mnemonic::divsd, n);
+  return *this;
+}
+
+MixBuilder& MixBuilder::sqrt(std::int64_t n) {
+  mix_.add(Mnemonic::sqrtsd, n);
+  return *this;
+}
+
+MixBuilder& MixBuilder::minmax(std::int64_t n) {
+  mix_.add(Mnemonic::maxsd, (n + 1) / 2);
+  mix_.add(Mnemonic::minsd, n / 2);
+  return *this;
+}
+
+MixBuilder& MixBuilder::load(std::int64_t n) {
+  mix_.add(Mnemonic::movsd, n);
+  return *this;
+}
+
+MixBuilder& MixBuilder::store(std::int64_t n) {
+  mix_.add(Mnemonic::mov, n);
+  return *this;
+}
+
+MixBuilder& MixBuilder::compare(std::int64_t n) {
+  mix_.add(Mnemonic::comisd, (n + 1) / 2);
+  mix_.add(Mnemonic::ucomisd, n / 2);
+  return *this;
+}
+
+MixBuilder& MixBuilder::control(std::int64_t n) {
+  mix_.add(Mnemonic::cmp, (n + 2) / 3);
+  mix_.add(Mnemonic::jb, (n + 1) / 3);
+  mix_.add(Mnemonic::test, n / 3);
+  return *this;
+}
+
+MixBuilder& MixBuilder::logic(std::int64_t n) {
+  mix_.add(Mnemonic::and_, (n + 2) / 3);
+  mix_.add(Mnemonic::xor_, (n + 1) / 3);
+  mix_.add(Mnemonic::sar, n / 3);
+  return *this;
+}
+
+}  // namespace apollo::instr

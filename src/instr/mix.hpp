@@ -1,0 +1,83 @@
+#pragma once
+
+// Instruction-mix features (the paper's Dyninst-derived features, Table I).
+//
+// The paper disassembles each kernel lambda in the application binary and
+// counts occurrences of grouped x86 mnemonics; those counts become model
+// features (`func_size` is the total). Here each kernel registers a static
+// InstructionMix describing its body — the same information, available at the
+// same point (before any prediction is made). See DESIGN.md substitution 2.
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace apollo::instr {
+
+/// Grouped mnemonics from Table I (e.g. `add` covers add/addpd/addsd), plus
+/// `movsd` which the paper calls out separately in the feature-importance
+/// analysis (Fig. 8) as the scalar-load indicator.
+enum class Mnemonic : std::uint8_t {
+  add, and_, call, cmp, comisd, divsd, inc, jb, lea, loop, maxsd, minsd,
+  mov, movsd, mulpd, nop, pop, push, pxor, ret, sar, shl, sqrtsd, sub,
+  test, ucomisd, unpckhpd, unpcklpd, xor_, xorps,
+  count_  // sentinel
+};
+
+inline constexpr std::size_t kMnemonicCount = static_cast<std::size_t>(Mnemonic::count_);
+
+/// Feature-name spelling for each mnemonic group ("and"/"xor" lose the
+/// trailing underscore used to dodge C++ keywords).
+[[nodiscard]] const char* mnemonic_name(Mnemonic m) noexcept;
+
+/// Mnemonic counts for one kernel body.
+class InstructionMix {
+public:
+  InstructionMix() { counts_.fill(0); }
+
+  [[nodiscard]] std::int64_t count(Mnemonic m) const noexcept {
+    return counts_[static_cast<std::size_t>(m)];
+  }
+  void set(Mnemonic m, std::int64_t n) noexcept { counts_[static_cast<std::size_t>(m)] = n; }
+  void add(Mnemonic m, std::int64_t n) noexcept { counts_[static_cast<std::size_t>(m)] += n; }
+
+  /// Total instruction count == the paper's `func_size` feature.
+  [[nodiscard]] std::int64_t total() const noexcept;
+
+  /// Floating-point arithmetic instructions (the compute weight).
+  [[nodiscard]] std::int64_t flops() const noexcept;
+
+  /// Memory-movement instructions (mov + movsd + stack ops): the bandwidth
+  /// weight used by the machine model.
+  [[nodiscard]] std::int64_t memory_ops() const noexcept;
+
+  /// Expensive scalar math (divsd + sqrtsd), which dominates per-iteration
+  /// latency when present.
+  [[nodiscard]] std::int64_t expensive_ops() const noexcept;
+
+private:
+  std::array<std::int64_t, kMnemonicCount> counts_{};
+};
+
+/// Fluent builder so application kernels can declare their bodies tersely:
+///   MixBuilder{}.fp(6).div(1).load(4).store(2).control(3).build()
+class MixBuilder {
+public:
+  /// n mixed fp add/mul instructions (split between add and mulpd groups).
+  MixBuilder& fp(std::int64_t n);
+  MixBuilder& div(std::int64_t n);
+  MixBuilder& sqrt(std::int64_t n);
+  MixBuilder& minmax(std::int64_t n);
+  MixBuilder& load(std::int64_t n);   // movsd (scalar loads)
+  MixBuilder& store(std::int64_t n);  // mov
+  MixBuilder& compare(std::int64_t n);
+  MixBuilder& control(std::int64_t n);  // cmp/jb/call/ret bookkeeping
+  MixBuilder& logic(std::int64_t n);    // and/xor/shifts
+
+  [[nodiscard]] InstructionMix build() const { return mix_; }
+
+private:
+  InstructionMix mix_;
+};
+
+}  // namespace apollo::instr

@@ -1,0 +1,41 @@
+#include "instr/signature.hpp"
+
+namespace apollo::instr {
+
+SignatureRegistry& SignatureRegistry::instance() {
+  static SignatureRegistry registry;
+  return registry;
+}
+
+const std::string& SignatureRegistry::register_signature(KernelSignature signature) {
+  std::lock_guard lock(mutex_);
+  auto [it, inserted] = signatures_.insert_or_assign(signature.loop_id, signature);
+  return it->first;
+}
+
+std::optional<KernelSignature> SignatureRegistry::lookup(const std::string& loop_id) const {
+  std::lock_guard lock(mutex_);
+  auto it = signatures_.find(loop_id);
+  if (it == signatures_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> SignatureRegistry::loop_ids() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(signatures_.size());
+  for (const auto& [id, sig] : signatures_) ids.push_back(id);
+  return ids;
+}
+
+std::size_t SignatureRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return signatures_.size();
+}
+
+void SignatureRegistry::clear() {
+  std::lock_guard lock(mutex_);
+  signatures_.clear();
+}
+
+}  // namespace apollo::instr

@@ -1,0 +1,61 @@
+#pragma once
+
+// Kernel signatures and the process-wide signature registry.
+//
+// A signature binds a kernel's stable identity (`loop_id` — the paper uses
+// the kernel's code address; we use a string id chosen at the call site) to
+// its name, instruction mix, and per-iteration working-set footprint. The
+// registry is consulted by the Apollo recorder when it assembles a feature
+// vector, and by the machine model when it prices an execution.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "instr/mix.hpp"
+
+namespace apollo::instr {
+
+struct KernelSignature {
+  std::string loop_id;       ///< stable identifier (paper: kernel address)
+  std::string func;          ///< human-readable function name
+  InstructionMix mix;        ///< mnemonic-group counts for the body
+  std::int64_t bytes_per_iteration = 0;  ///< streamed bytes/iter (working set)
+
+  /// Table I `func_size`: total instructions in the kernel body.
+  [[nodiscard]] std::int64_t func_size() const noexcept { return mix.total(); }
+};
+
+/// Process-wide registry, keyed by loop_id. Registration is idempotent for
+/// an identical id (kernels register from static initializers or first call).
+class SignatureRegistry {
+public:
+  static SignatureRegistry& instance();
+
+  /// Register (or overwrite) a signature. Returns the loop_id for chaining.
+  const std::string& register_signature(KernelSignature signature);
+
+  [[nodiscard]] std::optional<KernelSignature> lookup(const std::string& loop_id) const;
+  [[nodiscard]] std::vector<std::string> loop_ids() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+private:
+  SignatureRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, KernelSignature> signatures_;
+};
+
+/// Helper for static registration at kernel definition sites:
+///   static const auto reg = apollo::instr::RegisterKernel{{...}};
+struct RegisterKernel {
+  explicit RegisterKernel(KernelSignature signature) {
+    SignatureRegistry::instance().register_signature(std::move(signature));
+  }
+};
+
+}  // namespace apollo::instr

@@ -1,0 +1,53 @@
+#pragma once
+
+// Decision-tree -> C++ code generation (§III-C): internal nodes become `if`
+// statements on feature values, leaves become parameter assignments. The
+// generated translation unit can be compiled to a shared object and loaded
+// into a running process, reproducing the paper's "models linked into the
+// application dynamically, without recompilation" deployment.
+
+#include <string>
+
+#include "ml/decision_tree.hpp"
+
+namespace apollo::ml {
+
+/// Generate a free function
+///   extern "C" int <function_name>(const double* features);
+/// returning the predicted class index. Features are indexed in
+/// tree.feature_names() order; a header comment documents the mapping.
+[[nodiscard]] std::string generate_cpp(const DecisionTree& tree, const std::string& function_name);
+
+/// Generate the paper-style tuner entry point (its apollo_begin_forall_iset
+/// example): reads named features, writes the selected policy to the model
+/// params struct via nested conditionals.
+[[nodiscard]] std::string generate_tuner_cpp(const DecisionTree& tree,
+                                             const std::string& function_name);
+
+/// A predictor loaded from a compiled shared object.
+class CompiledPredictor {
+public:
+  CompiledPredictor() = default;
+  ~CompiledPredictor();
+
+  CompiledPredictor(CompiledPredictor&& other) noexcept;
+  CompiledPredictor& operator=(CompiledPredictor&& other) noexcept;
+  CompiledPredictor(const CompiledPredictor&) = delete;
+  CompiledPredictor& operator=(const CompiledPredictor&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return fn_ != nullptr; }
+  [[nodiscard]] int predict(const double* features) const;
+
+  /// Compile `source` with the system C++ compiler into `work_dir` and dlopen
+  /// the result. Throws std::runtime_error when no compiler is available or
+  /// compilation fails.
+  static CompiledPredictor compile(const std::string& source, const std::string& function_name,
+                                   const std::string& work_dir);
+
+private:
+  using PredictFn = int (*)(const double*);
+  void* handle_ = nullptr;
+  PredictFn fn_ = nullptr;
+};
+
+}  // namespace apollo::ml

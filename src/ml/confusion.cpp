@@ -1,0 +1,86 @@
+#include "ml/confusion.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace apollo::ml {
+
+ConfusionMatrix ConfusionMatrix::from(const std::vector<int>& truth,
+                                      const std::vector<int>& predicted,
+                                      std::size_t num_classes) {
+  if (truth.size() != predicted.size()) {
+    throw std::invalid_argument("ConfusionMatrix: size mismatch");
+  }
+  ConfusionMatrix matrix(num_classes);
+  for (std::size_t i = 0; i < truth.size(); ++i) matrix.add(truth[i], predicted[i]);
+  return matrix;
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  if (truth < 0 || predicted < 0 || static_cast<std::size_t>(truth) >= num_classes_ ||
+      static_cast<std::size_t>(predicted) >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix: label out of range");
+  }
+  counts_[static_cast<std::size_t>(truth) * num_classes_ + static_cast<std::size_t>(predicted)]++;
+}
+
+std::int64_t ConfusionMatrix::count(int truth, int predicted) const {
+  return counts_.at(static_cast<std::size_t>(truth) * num_classes_ +
+                    static_cast<std::size_t>(predicted));
+}
+
+std::int64_t ConfusionMatrix::total() const noexcept {
+  std::int64_t sum = 0;
+  for (std::int64_t c : counts_) sum += c;
+  return sum;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::int64_t all = total();
+  if (all == 0) return 0.0;
+  std::int64_t trace = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) trace += counts_[c * num_classes_ + c];
+  return static_cast<double>(trace) / static_cast<double>(all);
+}
+
+std::vector<double> ConfusionMatrix::recall() const {
+  std::vector<double> out(num_classes_, 0.0);
+  for (std::size_t t = 0; t < num_classes_; ++t) {
+    std::int64_t row = 0;
+    for (std::size_t p = 0; p < num_classes_; ++p) row += counts_[t * num_classes_ + p];
+    if (row > 0) {
+      out[t] = static_cast<double>(counts_[t * num_classes_ + t]) / static_cast<double>(row);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::precision() const {
+  std::vector<double> out(num_classes_, 0.0);
+  for (std::size_t p = 0; p < num_classes_; ++p) {
+    std::int64_t column = 0;
+    for (std::size_t t = 0; t < num_classes_; ++t) column += counts_[t * num_classes_ + p];
+    if (column > 0) {
+      out[p] = static_cast<double>(counts_[p * num_classes_ + p]) / static_cast<double>(column);
+    }
+  }
+  return out;
+}
+
+std::string ConfusionMatrix::to_text(const std::vector<std::string>& labels) const {
+  if (labels.size() != num_classes_) {
+    throw std::invalid_argument("ConfusionMatrix: label count mismatch");
+  }
+  std::ostringstream out;
+  out << "true\\pred";
+  for (const auto& label : labels) out << '\t' << label;
+  out << '\n';
+  for (std::size_t t = 0; t < num_classes_; ++t) {
+    out << labels[t];
+    for (std::size_t p = 0; p < num_classes_; ++p) out << '\t' << counts_[t * num_classes_ + p];
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace apollo::ml

@@ -1,0 +1,47 @@
+#pragma once
+
+// Confusion matrices for classifier evaluation: rows = true class, columns =
+// predicted class. Used by the experiment harnesses to look past headline
+// accuracy (e.g. chunk-size models: which near-ties get confused?).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace apollo::ml {
+
+class ConfusionMatrix {
+public:
+  explicit ConfusionMatrix(std::size_t num_classes)
+      : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {}
+
+  /// Build from ground truth and predictions (same length, labels in range).
+  static ConfusionMatrix from(const std::vector<int>& truth, const std::vector<int>& predicted,
+                              std::size_t num_classes);
+
+  void add(int truth, int predicted);
+
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+  [[nodiscard]] std::int64_t count(int truth, int predicted) const;
+  [[nodiscard]] std::int64_t total() const noexcept;
+
+  /// Overall accuracy: trace / total (0 when empty).
+  [[nodiscard]] double accuracy() const;
+
+  /// Per-class recall: correct / row total (0 for absent classes).
+  [[nodiscard]] std::vector<double> recall() const;
+
+  /// Per-class precision: correct / column total (0 for never-predicted).
+  [[nodiscard]] std::vector<double> precision() const;
+
+  /// Render with class labels (row = truth).
+  [[nodiscard]] std::string to_text(const std::vector<std::string>& labels) const;
+
+private:
+  std::size_t num_classes_;
+  std::vector<std::int64_t> counts_;  // row-major [truth][predicted]
+};
+
+}  // namespace apollo::ml

@@ -1,0 +1,38 @@
+#include "ml/cross_validation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace apollo::ml {
+
+CrossValidationResult cross_validate(const Dataset& data, const TreeParams& params, int folds,
+                                     std::uint64_t seed) {
+  if (data.num_rows() < static_cast<std::size_t>(folds)) {
+    throw std::invalid_argument("cross_validate: fewer rows than folds");
+  }
+  const std::vector<int> fold_of = kfold_assignment(data.num_rows(), folds, seed);
+
+  CrossValidationResult result;
+  result.fold_accuracies.reserve(static_cast<std::size_t>(folds));
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<std::size_t> train_rows, test_rows;
+    for (std::size_t r = 0; r < data.num_rows(); ++r) {
+      (fold_of[r] == fold ? test_rows : train_rows).push_back(r);
+    }
+    const Dataset train = data.subset(train_rows);
+    const Dataset test = data.subset(test_rows);
+    const DecisionTree tree = DecisionTree::fit(train, params);
+    result.fold_accuracies.push_back(tree.score(test));
+  }
+
+  const auto [min_it, max_it] =
+      std::minmax_element(result.fold_accuracies.begin(), result.fold_accuracies.end());
+  result.min_accuracy = *min_it;
+  result.max_accuracy = *max_it;
+  double sum = 0.0;
+  for (double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy = sum / static_cast<double>(folds);
+  return result;
+}
+
+}  // namespace apollo::ml

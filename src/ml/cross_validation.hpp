@@ -1,0 +1,27 @@
+#pragma once
+
+// k-fold cross-validation (the paper's Table II protocol: 10 folds, report
+// the mean accuracy of the ten held-out scores).
+
+#include <cstdint>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace apollo::ml {
+
+struct CrossValidationResult {
+  double mean_accuracy = 0.0;
+  double min_accuracy = 0.0;
+  double max_accuracy = 0.0;
+  std::vector<double> fold_accuracies;
+};
+
+/// Shuffle rows with `seed`, split into `folds` groups, train on folds-1 and
+/// score the held-out fold, rotating.
+[[nodiscard]] CrossValidationResult cross_validate(const Dataset& data,
+                                                   const TreeParams& params = {},
+                                                   int folds = 10,
+                                                   std::uint64_t seed = 0x9e3779b9u);
+
+}  // namespace apollo::ml

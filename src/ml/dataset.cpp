@@ -1,0 +1,79 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace apollo::ml {
+
+void Dataset::add_row(std::vector<double> features, int label) {
+  if (features.size() != feature_names_.size()) {
+    throw std::invalid_argument("Dataset::add_row: feature count mismatch");
+  }
+  if (label < 0 || static_cast<std::size_t>(label) >= label_names_.size()) {
+    throw std::invalid_argument("Dataset::add_row: label out of range");
+  }
+  rows_.push_back(std::move(features));
+  labels_.push_back(label);
+}
+
+std::size_t Dataset::feature_index(const std::string& name) const {
+  auto it = std::find(feature_names_.begin(), feature_names_.end(), name);
+  if (it == feature_names_.end()) {
+    throw std::invalid_argument("Dataset: unknown feature '" + name + "'");
+  }
+  return static_cast<std::size_t>(it - feature_names_.begin());
+}
+
+Dataset Dataset::select_features(const std::vector<std::string>& names) const {
+  std::vector<std::size_t> cols;
+  cols.reserve(names.size());
+  for (const auto& name : names) cols.push_back(feature_index(name));
+
+  Dataset out(names, label_names_);
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    std::vector<double> row;
+    row.reserve(cols.size());
+    for (std::size_t c : cols) row.push_back(rows_[r][c]);
+    out.add_row(std::move(row), labels_[r]);
+  }
+  return out;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& row_indices) const {
+  Dataset out(feature_names_, label_names_);
+  for (std::size_t r : row_indices) {
+    if (r >= num_rows()) throw std::out_of_range("Dataset::subset: row index out of range");
+    out.add_row(rows_[r], labels_[r]);
+  }
+  return out;
+}
+
+std::vector<int> kfold_assignment(std::size_t n, int folds, std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument("kfold_assignment: need at least 2 folds");
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(order.begin(), order.end(), rng);
+
+  std::vector<int> fold(n, 0);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    fold[order[pos]] = static_cast<int>(pos % static_cast<std::size_t>(folds));
+  }
+  return fold;
+}
+
+double accuracy(const std::vector<int>& predicted, const std::vector<int>& truth) {
+  if (predicted.size() != truth.size()) {
+    throw std::invalid_argument("accuracy: size mismatch");
+  }
+  if (predicted.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == truth[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(predicted.size());
+}
+
+}  // namespace apollo::ml

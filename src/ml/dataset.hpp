@@ -1,0 +1,55 @@
+#pragma once
+
+// Labeled datasets for the model-generation pipeline (the paper's
+// pandas/NumPy stage, natively). Rows are dense double feature vectors;
+// categorical features (problem name, index type, ...) are dictionary-encoded
+// to doubles upstream. Labels are small integers naming the winning parameter
+// value (execution policy or chunk size).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apollo::ml {
+
+class Dataset {
+public:
+  Dataset() = default;
+  Dataset(std::vector<std::string> feature_names, std::vector<std::string> label_names)
+      : feature_names_(std::move(feature_names)), label_names_(std::move(label_names)) {}
+
+  void add_row(std::vector<double> features, int label);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return labels_.size(); }
+  [[nodiscard]] std::size_t num_features() const noexcept { return feature_names_.size(); }
+  [[nodiscard]] std::size_t num_classes() const noexcept { return label_names_.size(); }
+
+  [[nodiscard]] const std::vector<double>& row(std::size_t r) const { return rows_[r]; }
+  [[nodiscard]] int label(std::size_t r) const { return labels_[r]; }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const noexcept { return feature_names_; }
+  [[nodiscard]] const std::vector<std::string>& label_names() const noexcept { return label_names_; }
+
+  /// New dataset keeping only the named feature columns (order preserved as
+  /// given). Throws if a name is unknown.
+  [[nodiscard]] Dataset select_features(const std::vector<std::string>& names) const;
+
+  /// New dataset containing the given row indices.
+  [[nodiscard]] Dataset subset(const std::vector<std::size_t>& row_indices) const;
+
+  /// Index of a feature name; throws if unknown.
+  [[nodiscard]] std::size_t feature_index(const std::string& name) const;
+
+private:
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> label_names_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> labels_;
+};
+
+/// Deterministic shuffled k-fold partition of [0, n): returns fold id per row.
+[[nodiscard]] std::vector<int> kfold_assignment(std::size_t n, int folds, std::uint64_t seed);
+
+/// Fraction of rows where `predicted == truth`.
+[[nodiscard]] double accuracy(const std::vector<int>& predicted, const std::vector<int>& truth);
+
+}  // namespace apollo::ml

@@ -1,0 +1,347 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace apollo::ml {
+
+namespace {
+
+double gini_from_counts(const std::vector<std::int64_t>& counts, std::int64_t total) {
+  if (total <= 0) return 0.0;
+  double sum_sq = 0.0;
+  for (std::int64_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+int argmax_count(const std::vector<std::int64_t>& counts) {
+  return static_cast<int>(std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+}  // namespace
+
+/// Builds the flat node array recursively. Kept out of the public header.
+class TreeBuilder {
+public:
+  TreeBuilder(const Dataset& data, const TreeParams& params) : data_(data), params_(params) {}
+
+  DecisionTree build() {
+    DecisionTree tree;
+    tree.feature_names_ = data_.feature_names();
+    tree.label_names_ = data_.label_names();
+    if (data_.num_rows() == 0) return tree;
+
+    std::vector<std::size_t> all(data_.num_rows());
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    build_node(tree, all, 0);
+    return tree;
+  }
+
+private:
+  struct Split {
+    int feature = -1;
+    double threshold = 0.0;
+    double gain = 0.0;
+  };
+
+  std::vector<std::int64_t> class_counts(const std::vector<std::size_t>& rows) const {
+    std::vector<std::int64_t> counts(data_.num_classes(), 0);
+    for (std::size_t r : rows) counts[static_cast<std::size_t>(data_.label(r))]++;
+    return counts;
+  }
+
+  Split best_split(const std::vector<std::size_t>& rows, double node_impurity) const {
+    const auto n = static_cast<std::int64_t>(rows.size());
+    // Like scikit-learn's best splitter, a zero-gain split is still accepted
+    // on an impure node (gini gain is never negative); greedy refusal would
+    // make symmetric patterns such as XOR unlearnable at any depth.
+    Split best;
+    best.gain = -1.0;
+
+    std::vector<std::pair<double, int>> column(rows.size());
+    const std::vector<std::int64_t> totals = class_counts(rows);
+    std::vector<std::int64_t> left(data_.num_classes());
+
+    for (std::size_t f = 0; f < data_.num_features(); ++f) {
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        column[i] = {data_.row(rows[i])[f], data_.label(rows[i])};
+      }
+      std::sort(column.begin(), column.end());
+      if (column.front().first == column.back().first) continue;  // constant feature
+
+      std::fill(left.begin(), left.end(), 0);
+      std::int64_t n_left = 0;
+      for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+        left[static_cast<std::size_t>(column[i].second)]++;
+        ++n_left;
+        if (column[i].first == column[i + 1].first) continue;  // not a boundary
+        if (n_left < params_.min_samples_leaf || n - n_left < params_.min_samples_leaf) continue;
+
+        double gini_left = 0.0, gini_right = 0.0;
+        {
+          double sum_sq_l = 0.0, sum_sq_r = 0.0;
+          const double nl = static_cast<double>(n_left);
+          const double nr = static_cast<double>(n - n_left);
+          for (std::size_t c = 0; c < left.size(); ++c) {
+            const double l = static_cast<double>(left[c]);
+            const double r = static_cast<double>(totals[c] - left[c]);
+            sum_sq_l += (l / nl) * (l / nl);
+            sum_sq_r += (r / nr) * (r / nr);
+          }
+          gini_left = 1.0 - sum_sq_l;
+          gini_right = 1.0 - sum_sq_r;
+        }
+        const double weighted = (static_cast<double>(n_left) * gini_left +
+                                 static_cast<double>(n - n_left) * gini_right) /
+                                static_cast<double>(n);
+        const double gain = node_impurity - weighted;
+        if (gain > best.gain + 1e-12) {
+          best.feature = static_cast<int>(f);
+          best.threshold = 0.5 * (column[i].first + column[i + 1].first);
+          best.gain = gain;
+        }
+      }
+    }
+    return best;
+  }
+
+  int build_node(DecisionTree& tree, const std::vector<std::size_t>& rows, int depth) {
+    const auto counts = class_counts(rows);
+    const auto n = static_cast<std::int64_t>(rows.size());
+    const double impurity = gini_from_counts(counts, n);
+
+    const int index = static_cast<int>(tree.nodes_.size());
+    tree.nodes_.push_back(DecisionTree::Node{
+        .feature = -1,
+        .threshold = 0.0,
+        .left = -1,
+        .right = -1,
+        .label = argmax_count(counts),
+        .samples = n,
+        .impurity = impurity,
+    });
+
+    if (depth >= params_.max_depth || n < params_.min_samples_split || impurity <= 1e-12) {
+      return index;
+    }
+
+    const Split split = best_split(rows, impurity);
+    if (split.feature < 0) return index;
+
+    std::vector<std::size_t> left_rows, right_rows;
+    left_rows.reserve(rows.size());
+    right_rows.reserve(rows.size());
+    for (std::size_t r : rows) {
+      const double value = data_.row(r)[static_cast<std::size_t>(split.feature)];
+      (value <= split.threshold ? left_rows : right_rows).push_back(r);
+    }
+    if (left_rows.empty() || right_rows.empty()) return index;  // degenerate
+
+    tree.nodes_[static_cast<std::size_t>(index)].feature = split.feature;
+    tree.nodes_[static_cast<std::size_t>(index)].threshold = split.threshold;
+    const int left_child = build_node(tree, left_rows, depth + 1);
+    tree.nodes_[static_cast<std::size_t>(index)].left = left_child;
+    const int right_child = build_node(tree, right_rows, depth + 1);
+    tree.nodes_[static_cast<std::size_t>(index)].right = right_child;
+    return index;
+  }
+
+  const Dataset& data_;
+  const TreeParams& params_;
+};
+
+DecisionTree DecisionTree::fit(const Dataset& data, const TreeParams& params) {
+  return TreeBuilder(data, params).build();
+}
+
+int DecisionTree::predict(const double* features) const {
+  if (nodes_.empty()) return 0;
+  int node = 0;
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<std::size_t>(node)].label;
+}
+
+int DecisionTree::predict(const std::vector<double>& features) const {
+  if (features.size() != feature_names_.size()) {
+    throw std::invalid_argument("DecisionTree::predict: feature count mismatch");
+  }
+  return predict(features.data());
+}
+
+std::vector<int> DecisionTree::predict_all(const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) out.push_back(predict(data.row(r).data()));
+  return out;
+}
+
+double DecisionTree::score(const Dataset& data) const {
+  if (data.num_rows() == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    if (predict(data.row(r).data()) == data.label(r)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.num_rows());
+}
+
+int DecisionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  // Iterative depth over the flat array.
+  std::vector<std::pair<int, int>> stack{{0, 0}};
+  int deepest = 0;
+  while (!stack.empty()) {
+    auto [node, d] = stack.back();
+    stack.pop_back();
+    deepest = std::max(deepest, d);
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.feature >= 0) {
+      stack.emplace_back(n.left, d + 1);
+      stack.emplace_back(n.right, d + 1);
+    }
+  }
+  return deepest;
+}
+
+std::vector<double> DecisionTree::feature_importances() const {
+  std::vector<double> importances(feature_names_.size(), 0.0);
+  if (nodes_.empty()) return importances;
+  const double root_samples = static_cast<double>(nodes_[0].samples);
+  for (const Node& n : nodes_) {
+    if (n.feature < 0) continue;
+    const Node& l = nodes_[static_cast<std::size_t>(n.left)];
+    const Node& r = nodes_[static_cast<std::size_t>(n.right)];
+    const double weighted_child =
+        (static_cast<double>(l.samples) * l.impurity + static_cast<double>(r.samples) * r.impurity) /
+        static_cast<double>(n.samples);
+    const double decrease =
+        (static_cast<double>(n.samples) / root_samples) * (n.impurity - weighted_child);
+    importances[static_cast<std::size_t>(n.feature)] += std::max(decrease, 0.0);
+  }
+  const double total = std::accumulate(importances.begin(), importances.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importances) v /= total;
+  }
+  return importances;
+}
+
+DecisionTree DecisionTree::prune_to_depth(int depth) const {
+  DecisionTree out;
+  out.feature_names_ = feature_names_;
+  out.label_names_ = label_names_;
+  if (nodes_.empty()) return out;
+
+  const std::function<int(int, int)> copy_node = [&](int src, int d) -> int {
+    const Node& n = nodes_[static_cast<std::size_t>(src)];
+    const int index = static_cast<int>(out.nodes_.size());
+    out.nodes_.push_back(n);
+    if (n.feature < 0 || d >= depth) {
+      // Collapse into a leaf keeping the majority label.
+      out.nodes_[static_cast<std::size_t>(index)].feature = -1;
+      out.nodes_[static_cast<std::size_t>(index)].left = -1;
+      out.nodes_[static_cast<std::size_t>(index)].right = -1;
+      return index;
+    }
+    const int left_child = copy_node(n.left, d + 1);
+    out.nodes_[static_cast<std::size_t>(index)].left = left_child;
+    const int right_child = copy_node(n.right, d + 1);
+    out.nodes_[static_cast<std::size_t>(index)].right = right_child;
+    return index;
+  };
+  copy_node(0, 0);
+  return out;
+}
+
+std::string DecisionTree::to_text() const {
+  std::ostringstream out;
+  if (nodes_.empty()) {
+    out << "(empty tree)\n";
+    return out.str();
+  }
+  const std::function<void(int, int)> render = [&](int node, int indent) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    if (n.feature < 0) {
+      out << pad << "-> " << label_names_[static_cast<std::size_t>(n.label)] << "  [samples="
+          << n.samples << "]\n";
+      return;
+    }
+    out << pad << "if (" << feature_names_[static_cast<std::size_t>(n.feature)] << " <= "
+        << n.threshold << ")\n";
+    render(n.left, indent + 1);
+    out << pad << "else\n";
+    render(n.right, indent + 1);
+  };
+  render(0, 0);
+  return out.str();
+}
+
+void DecisionTree::save(std::ostream& out) const {
+  out << "apollo-tree 1\n";
+  out << "features " << feature_names_.size();
+  for (const auto& name : feature_names_) out << ' ' << name;
+  out << "\nlabels " << label_names_.size();
+  for (const auto& name : label_names_) out << ' ' << name;
+  out << "\nnodes " << nodes_.size() << '\n';
+  out.precision(17);
+  for (const Node& n : nodes_) {
+    out << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right << ' ' << n.label
+        << ' ' << n.samples << ' ' << n.impurity << '\n';
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "apollo-tree" || version != 1) {
+    throw std::runtime_error("DecisionTree::load: bad header");
+  }
+  DecisionTree tree;
+  std::string keyword;
+  std::size_t count = 0;
+
+  in >> keyword >> count;
+  if (keyword != "features") throw std::runtime_error("DecisionTree::load: expected features");
+  tree.feature_names_.resize(count);
+  for (auto& name : tree.feature_names_) in >> name;
+
+  in >> keyword >> count;
+  if (keyword != "labels") throw std::runtime_error("DecisionTree::load: expected labels");
+  tree.label_names_.resize(count);
+  for (auto& name : tree.label_names_) in >> name;
+
+  in >> keyword >> count;
+  if (keyword != "nodes") throw std::runtime_error("DecisionTree::load: expected nodes");
+  tree.nodes_.resize(count);
+  for (auto& n : tree.nodes_) {
+    in >> n.feature >> n.threshold >> n.left >> n.right >> n.label >> n.samples >> n.impurity;
+  }
+  if (!in) throw std::runtime_error("DecisionTree::load: truncated model");
+  return tree;
+}
+
+void DecisionTree::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("DecisionTree::save_file: cannot open " + path);
+  save(out);
+}
+
+DecisionTree DecisionTree::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("DecisionTree::load_file: cannot open " + path);
+  return load(in);
+}
+
+}  // namespace apollo::ml

@@ -1,0 +1,87 @@
+#pragma once
+
+// CART decision-tree classifier (gini impurity), the model family the paper
+// selects for its tuners: easy to convert to nested conditionals, easy to
+// prune to a depth budget, and cheap to evaluate at every kernel launch.
+//
+// The tree is stored as a flat node array so runtime evaluation is a short
+// loop over cache-resident structs; `prune_to_depth` implements the paper's
+// model-reduction knob (Fig. 10) and `feature_importances` the analysis
+// behind Figs. 8-9 (mean decrease in impurity).
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace apollo::ml {
+
+struct TreeParams {
+  int max_depth = 25;
+  int min_samples_leaf = 2;
+  int min_samples_split = 4;
+};
+
+class DecisionTree {
+public:
+  struct Node {
+    int feature = -1;        ///< -1 marks a leaf
+    double threshold = 0.0;  ///< go left when value <= threshold
+    int left = -1;
+    int right = -1;
+    int label = 0;           ///< majority class (valid for every node)
+    std::int64_t samples = 0;
+    double impurity = 0.0;   ///< gini at this node
+  };
+
+  DecisionTree() = default;
+
+  /// Train on the dataset. Feature/label names are copied in so a persisted
+  /// model is self-describing.
+  static DecisionTree fit(const Dataset& data, const TreeParams& params = {});
+
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] int depth() const noexcept;
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] const std::vector<std::string>& feature_names() const noexcept { return feature_names_; }
+  [[nodiscard]] const std::vector<std::string>& label_names() const noexcept { return label_names_; }
+
+  /// Predicted class for one feature vector (indexed like feature_names()).
+  [[nodiscard]] int predict(const std::vector<double>& features) const;
+  [[nodiscard]] int predict(const double* features) const;
+
+  [[nodiscard]] std::vector<int> predict_all(const Dataset& data) const;
+
+  /// Fraction of dataset rows classified correctly.
+  [[nodiscard]] double score(const Dataset& data) const;
+
+  /// Mean-decrease-in-impurity importance per feature, normalized to sum 1
+  /// (all-zero when the tree is a single leaf).
+  [[nodiscard]] std::vector<double> feature_importances() const;
+
+  /// Copy of this tree with every node deeper than `depth` collapsed into a
+  /// majority-class leaf (depth 0 = root only).
+  [[nodiscard]] DecisionTree prune_to_depth(int depth) const;
+
+  /// Human-readable indented rendering (for logs and the Fig. 4 bench).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Machine round-trip format for runtime model loading (the paper's
+  /// "re-train without recompiling" property).
+  void save(std::ostream& out) const;
+  static DecisionTree load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static DecisionTree load_file(const std::string& path);
+
+private:
+  std::vector<Node> nodes_;
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> label_names_;
+
+  friend class TreeBuilder;
+};
+
+}  // namespace apollo::ml

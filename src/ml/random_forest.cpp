@@ -1,0 +1,131 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <random>
+#include <stdexcept>
+
+namespace apollo::ml {
+
+RandomForest RandomForest::fit(const Dataset& data, const ForestParams& params) {
+  if (params.num_trees < 1) throw std::invalid_argument("RandomForest: num_trees must be >= 1");
+  RandomForest forest;
+  forest.num_classes_ = data.num_classes();
+  forest.num_features_ = data.num_features();
+  if (data.num_rows() == 0) return forest;
+
+  std::mt19937_64 rng(params.seed);
+  const auto feature_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::min(1.0, params.feature_fraction) * static_cast<double>(data.num_features())));
+  const auto row_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(params.row_fraction * static_cast<double>(data.num_rows())));
+
+  std::vector<std::size_t> all_features(data.num_features());
+  std::iota(all_features.begin(), all_features.end(), std::size_t{0});
+
+  for (int t = 0; t < params.num_trees; ++t) {
+    // Feature subset (sorted so select_features keeps a stable order).
+    std::vector<std::size_t> chosen = all_features;
+    std::shuffle(chosen.begin(), chosen.end(), rng);
+    chosen.resize(feature_count);
+    std::sort(chosen.begin(), chosen.end());
+    std::vector<std::string> names;
+    names.reserve(chosen.size());
+    for (std::size_t f : chosen) names.push_back(data.feature_names()[f]);
+
+    // Bootstrap rows (with replacement).
+    std::uniform_int_distribution<std::size_t> row_dist(0, data.num_rows() - 1);
+    std::vector<std::size_t> rows(row_count);
+    for (auto& r : rows) r = row_dist(rng);
+
+    const Dataset sample = data.subset(rows).select_features(names);
+    forest.trees_.push_back(DecisionTree::fit(sample, params.tree));
+    forest.feature_maps_.push_back(std::move(chosen));
+  }
+  return forest;
+}
+
+int RandomForest::predict(const double* features) const {
+  if (trees_.empty()) return 0;
+  std::vector<int> votes(std::max<std::size_t>(num_classes_, 1), 0);
+  std::vector<double> local;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const auto& map = feature_maps_[t];
+    local.resize(map.size());
+    for (std::size_t f = 0; f < map.size(); ++f) local[f] = features[map[f]];
+    const int label = trees_[t].predict(local.data());
+    if (static_cast<std::size_t>(label) < votes.size()) votes[static_cast<std::size_t>(label)]++;
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+int RandomForest::predict(const std::vector<double>& features) const {
+  if (features.size() != num_features_) {
+    throw std::invalid_argument("RandomForest::predict: feature count mismatch");
+  }
+  return predict(features.data());
+}
+
+double RandomForest::score(const Dataset& data) const {
+  if (data.num_rows() == 0) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    if (predict(data.row(r).data()) == data.label(r)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.num_rows());
+}
+
+std::vector<double> RandomForest::feature_importances() const {
+  std::vector<double> importances(num_features_, 0.0);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const auto local = trees_[t].feature_importances();
+    for (std::size_t f = 0; f < local.size(); ++f) {
+      importances[feature_maps_[t][f]] += local[f];
+    }
+  }
+  const double total = std::accumulate(importances.begin(), importances.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : importances) v /= total;
+  }
+  return importances;
+}
+
+void RandomForest::save(std::ostream& out) const {
+  out << "apollo-forest 1\n";
+  out << num_classes_ << ' ' << num_features_ << ' ' << trees_.size() << '\n';
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    out << "map " << feature_maps_[t].size();
+    for (std::size_t f : feature_maps_[t]) out << ' ' << f;
+    out << '\n';
+    trees_[t].save(out);
+  }
+}
+
+RandomForest RandomForest::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "apollo-forest" || version != 1) {
+    throw std::runtime_error("RandomForest::load: bad header");
+  }
+  RandomForest forest;
+  std::size_t trees = 0;
+  in >> forest.num_classes_ >> forest.num_features_ >> trees;
+  for (std::size_t t = 0; t < trees; ++t) {
+    std::string keyword;
+    std::size_t count = 0;
+    in >> keyword >> count;
+    if (keyword != "map") throw std::runtime_error("RandomForest::load: expected map");
+    std::vector<std::size_t> map(count);
+    for (auto& f : map) in >> f;
+    forest.feature_maps_.push_back(std::move(map));
+    forest.trees_.push_back(DecisionTree::load(in));
+  }
+  if (!in) throw std::runtime_error("RandomForest::load: truncated");
+  return forest;
+}
+
+}  // namespace apollo::ml

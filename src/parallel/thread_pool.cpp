@@ -1,0 +1,106 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace apollo::par {
+
+namespace {
+
+unsigned default_thread_count() {
+  if (const char* env = std::getenv("APOLLO_NUM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<unsigned>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = threads > 0 ? threads : default_thread_count();
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::run_share(const Job& job, unsigned worker_index, unsigned worker_total) {
+  const std::int64_t n = job.end - job.begin;
+  if (n <= 0) return;
+  std::int64_t chunk = job.chunk;
+  if (chunk <= 0) chunk = (n + worker_total - 1) / worker_total;  // OpenMP default
+  const std::int64_t num_blocks = (n + chunk - 1) / chunk;
+  for (std::int64_t block = worker_index; block < num_blocks; block += worker_total) {
+    const std::int64_t lo = job.begin + block * chunk;
+    const std::int64_t hi = std::min(job.end, lo + chunk);
+    for (std::int64_t i = lo; i < hi; ++i) (*job.body)(i);
+  }
+}
+
+void ThreadPool::worker_loop(unsigned worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] { return shutting_down_ || epoch_ != seen_epoch; });
+      if (shutting_down_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    try {
+      if (worker_index < job.team) run_share(job, worker_index, job.team);
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (--remaining_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+                              const std::function<void(std::int64_t)>& body, unsigned team) {
+  if (end <= begin) return;
+  const unsigned effective =
+      team == 0 ? thread_count() : std::min(std::max(team, 1u), thread_count());
+  if (effective == 1 || thread_count() == 1) {
+    // A one-thread team executes its whole share in order; run it inline on
+    // the caller and skip the wakeup round-trip entirely.
+    run_share(Job{&body, begin, end, chunk, 1}, 0, 1);
+    return;
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    work_done_.wait(lock, [&] { return remaining_ == 0; });  // serialize jobs
+    job_ = Job{&body, begin, end, chunk, effective};
+    first_error_ = nullptr;
+    remaining_ = thread_count();
+    ++epoch_;
+    work_ready_.notify_all();
+    work_done_.wait(lock, [&] { return remaining_ == 0; });
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace apollo::par

@@ -1,0 +1,70 @@
+#pragma once
+
+// A persistent worker pool with an OpenMP-style static-schedule parallel_for.
+//
+// RAJA's omp_parallel_for_exec backend maps loop iterations to threads using
+// OpenMP's `schedule(static, chunk)`: iterations are cut into `chunk`-sized
+// blocks that are dealt round-robin to threads in order. This pool implements
+// identical semantics on std::thread so the backend is deterministic,
+// testable, and available on hosts without OpenMP. The real `#pragma omp`
+// backend also exists in src/raja and is selected when OpenMP is compiled in.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apollo::par {
+
+class ThreadPool {
+public:
+  /// Creates `threads` workers (0 = hardware concurrency, minimum 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned thread_count() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs body(i) for i in [begin, end) with OpenMP static,chunk assignment:
+  /// block k (iterations [begin + k*chunk, ...)) runs on thread k % T, and
+  /// each thread executes its blocks in ascending k. chunk <= 0 selects the
+  /// OpenMP default: ceil(N/T) — one contiguous block per thread.
+  /// `team` caps the number of participating workers (OMP_NUM_THREADS for
+  /// one region); 0 or >= thread_count() uses the whole pool.
+  /// Blocks the caller until every iteration has completed. Exceptions from
+  /// the body are captured and the first one is rethrown on the caller.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+                    const std::function<void(std::int64_t)>& body, unsigned team = 0);
+
+  /// Process-wide pool used by the RAJA backend (sized once, on first use,
+  /// from APOLLO_NUM_THREADS or hardware concurrency).
+  static ThreadPool& global();
+
+private:
+  struct Job {
+    const std::function<void(std::int64_t)>* body = nullptr;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t chunk = 1;
+    unsigned team = 0;  ///< participating workers (<= pool size)
+  };
+
+  void worker_loop(unsigned worker_index);
+  void run_share(const Job& job, unsigned worker_index, unsigned worker_total);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Job job_;
+  std::uint64_t epoch_ = 0;       // increments when a new job is published
+  unsigned remaining_ = 0;        // workers still running the current job
+  bool shutting_down_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace apollo::par

@@ -1,0 +1,52 @@
+#include "perf/blackboard.hpp"
+
+namespace apollo::perf {
+
+Blackboard& Blackboard::instance() {
+  static Blackboard board;
+  return board;
+}
+
+void Blackboard::set(const std::string& key, Value value) {
+  std::lock_guard lock(mutex_);
+  attributes_[key] = std::move(value);
+}
+
+void Blackboard::unset(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  attributes_.erase(key);
+}
+
+std::optional<Value> Blackboard::get(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  auto it = attributes_.find(key);
+  if (it == attributes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::map<std::string, Value> Blackboard::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return attributes_;
+}
+
+void Blackboard::clear() {
+  std::lock_guard lock(mutex_);
+  attributes_.clear();
+}
+
+ScopedAnnotation::ScopedAnnotation(std::string key, Value value) : key_(std::move(key)) {
+  auto& board = Blackboard::instance();
+  previous_ = board.get(key_);
+  board.set(key_, std::move(value));
+}
+
+ScopedAnnotation::~ScopedAnnotation() {
+  auto& board = Blackboard::instance();
+  if (previous_) {
+    board.set(key_, *previous_);
+  } else {
+    board.unset(key_);
+  }
+}
+
+}  // namespace apollo::perf

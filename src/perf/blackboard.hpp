@@ -1,0 +1,58 @@
+#pragma once
+
+// The blackboard is the mini-Caliper attribute store: a key/value snapshot of
+// "what is true right now" in the application (current timestep, problem
+// name, patch id, ...). Application code publishes semantic annotations here;
+// the Apollo recorder snapshots them into each training sample and the tuner
+// reads them as model features.
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "perf/value.hpp"
+
+namespace apollo::perf {
+
+/// Process-wide attribute blackboard. Thread-safe; writers are typically the
+/// application driver thread, readers the Apollo hooks around each kernel.
+class Blackboard {
+public:
+  static Blackboard& instance();
+
+  void set(const std::string& key, Value value);
+  void unset(const std::string& key);
+  [[nodiscard]] std::optional<Value> get(const std::string& key) const;
+
+  /// Snapshot of all current attributes (used when building a sample record).
+  [[nodiscard]] std::map<std::string, Value> snapshot() const;
+
+  /// Remove every attribute. Intended for test isolation and between
+  /// independent training runs inside one process.
+  void clear();
+
+private:
+  Blackboard() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Value> attributes_;
+};
+
+/// RAII annotation: sets an attribute for the lifetime of the scope and
+/// restores the previous value (or absence) on exit. Mirrors Caliper's
+/// begin/end annotation API.
+class ScopedAnnotation {
+public:
+  ScopedAnnotation(std::string key, Value value);
+  ~ScopedAnnotation();
+
+  ScopedAnnotation(const ScopedAnnotation&) = delete;
+  ScopedAnnotation& operator=(const ScopedAnnotation&) = delete;
+
+private:
+  std::string key_;
+  std::optional<Value> previous_;
+};
+
+}  // namespace apollo::perf

@@ -1,0 +1,64 @@
+#include "perf/csv_export.hpp"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace apollo::perf {
+
+std::string csv_quote(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+namespace {
+
+std::string cell_text(const Value& value) {
+  if (value.is_string()) return value.as_string();
+  if (value.is_int()) return std::to_string(value.as_int());
+  std::ostringstream out;
+  out.precision(17);
+  out << value.as_real();
+  return out.str();
+}
+
+}  // namespace
+
+void write_records_csv(std::ostream& out, const std::vector<SampleRecord>& records) {
+  std::set<std::string> keys;
+  for (const auto& record : records) {
+    for (const auto& [key, value] : record) keys.insert(key);
+  }
+  bool first = true;
+  for (const auto& key : keys) {
+    if (!first) out << ',';
+    first = false;
+    out << csv_quote(key);
+  }
+  out << '\n';
+  for (const auto& record : records) {
+    first = true;
+    for (const auto& key : keys) {
+      if (!first) out << ',';
+      first = false;
+      auto it = record.find(key);
+      if (it != record.end()) out << csv_quote(cell_text(it->second));
+    }
+    out << '\n';
+  }
+}
+
+void write_records_csv_file(const std::string& path, const std::vector<SampleRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_records_csv_file: cannot open " + path);
+  write_records_csv(out, records);
+}
+
+}  // namespace apollo::perf

@@ -1,0 +1,23 @@
+#pragma once
+
+// CSV export of training records for external analysis — the paper feeds
+// sample data into a pandas pipeline; this produces the equivalent flat
+// table. Columns are the union of keys across records (sorted); missing
+// cells are empty; strings are RFC-4180 quoted when needed.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "perf/record.hpp"
+
+namespace apollo::perf {
+
+/// Quote a CSV field if it contains a comma, quote, or newline.
+[[nodiscard]] std::string csv_quote(const std::string& field);
+
+/// Write header + one row per record.
+void write_records_csv(std::ostream& out, const std::vector<SampleRecord>& records);
+void write_records_csv_file(const std::string& path, const std::vector<SampleRecord>& records);
+
+}  // namespace apollo::perf

@@ -1,0 +1,113 @@
+#include "perf/record.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace apollo::perf {
+
+std::string escape_cell(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '|': out += "\\p"; break;
+      case '=': out += "\\e"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string unescape_cell(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\') {
+      out += escaped[i];
+      continue;
+    }
+    if (i + 1 >= escaped.size()) throw std::runtime_error("perf: dangling escape");
+    switch (escaped[++i]) {
+      case '\\': out += '\\'; break;
+      case 'p': out += '|'; break;
+      case 'e': out += '='; break;
+      case 'n': out += '\n'; break;
+      default: throw std::runtime_error("perf: unknown escape");
+    }
+  }
+  return out;
+}
+
+std::string encode_record(const SampleRecord& record) {
+  std::string line;
+  bool first = true;
+  for (const auto& [key, value] : record) {
+    if (!first) line += '|';
+    first = false;
+    line += escape_cell(key);
+    line += '=';
+    line += escape_cell(value.encode());
+  }
+  return line;
+}
+
+SampleRecord decode_record(const std::string& line) {
+  SampleRecord record;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    // Find the next unescaped '|'.
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != '|') {
+      if (line[end] == '\\') ++end;  // skip escaped char
+      ++end;
+    }
+    const std::string cell = line.substr(pos, end - pos);
+    if (!cell.empty()) {
+      // Find the unescaped '=' separator.
+      std::size_t eq = 0;
+      while (eq < cell.size() && cell[eq] != '=') {
+        if (cell[eq] == '\\') ++eq;
+        ++eq;
+      }
+      if (eq >= cell.size()) throw std::runtime_error("perf: record cell missing '='");
+      record[unescape_cell(cell.substr(0, eq))] = Value::decode(unescape_cell(cell.substr(eq + 1)));
+    }
+    if (end >= line.size()) break;
+    pos = end + 1;
+  }
+  return record;
+}
+
+void write_records(std::ostream& out, const std::vector<SampleRecord>& records) {
+  for (const auto& record : records) {
+    out << encode_record(record) << '\n';
+  }
+}
+
+std::vector<SampleRecord> read_records(std::istream& in) {
+  std::vector<SampleRecord> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    records.push_back(decode_record(line));
+  }
+  return records;
+}
+
+void append_records_file(const std::string& path, const std::vector<SampleRecord>& records) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) throw std::runtime_error("perf: cannot open record file for append: " + path);
+  write_records(out, records);
+  if (!out) throw std::runtime_error("perf: write failed: " + path);
+}
+
+std::vector<SampleRecord> read_records_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("perf: cannot open record file: " + path);
+  return read_records(in);
+}
+
+}  // namespace apollo::perf

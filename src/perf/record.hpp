@@ -1,0 +1,41 @@
+#pragma once
+
+// Training-sample records and their on-disk form.
+//
+// A record is a flat attribute map — kernel features, instruction features,
+// application annotations, the parameter values used, and the measured
+// runtime. Records stream to a line-oriented text file ("|"-separated
+// `key=value` cells with escaping) so a recording run can be post-processed
+// by the trainer without recompiling anything, mirroring the paper's
+// decoupled record-then-train workflow.
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "perf/value.hpp"
+
+namespace apollo::perf {
+
+/// One observation: every attribute known for a single kernel invocation.
+using SampleRecord = std::map<std::string, Value>;
+
+/// Escape a string for use inside a record cell ("|", "=", newline, "\").
+[[nodiscard]] std::string escape_cell(const std::string& raw);
+[[nodiscard]] std::string unescape_cell(const std::string& escaped);
+
+/// Serialize a record to a single line: `k1=v1|k2=v2|...` with encoded values.
+[[nodiscard]] std::string encode_record(const SampleRecord& record);
+[[nodiscard]] SampleRecord decode_record(const std::string& line);
+
+/// Append records to a stream / parse all records from a stream.
+void write_records(std::ostream& out, const std::vector<SampleRecord>& records);
+[[nodiscard]] std::vector<SampleRecord> read_records(std::istream& in);
+
+/// File convenience wrappers. `append_records_file` creates the file if
+/// missing. Both throw std::runtime_error on I/O failure.
+void append_records_file(const std::string& path, const std::vector<SampleRecord>& records);
+[[nodiscard]] std::vector<SampleRecord> read_records_file(const std::string& path);
+
+}  // namespace apollo::perf

@@ -1,0 +1,69 @@
+#include "perf/regions.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+
+namespace apollo::perf {
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RegionProfiler& RegionProfiler::instance() {
+  static RegionProfiler profiler;
+  return profiler;
+}
+
+void RegionProfiler::begin(const std::string& name) {
+  Node* parent = stack_.empty() ? &root_ : stack_.back().node;
+  Node* child = nullptr;
+  for (auto& existing : parent->children) {
+    if (existing.name == name) {
+      child = &existing;
+      break;
+    }
+  }
+  if (child == nullptr) {
+    // Only the innermost open region's child vector ever grows, so the
+    // Node pointers held by the open stack (its ancestors) stay valid.
+    parent->children.push_back(Node{name, 0.0, 0, {}});
+    child = &parent->children.back();
+  }
+  child->visits += 1;
+  stack_.push_back(Open{child, now_seconds()});
+}
+
+void RegionProfiler::end() {
+  if (stack_.empty()) throw std::logic_error("RegionProfiler::end without begin");
+  Open open = stack_.back();
+  stack_.pop_back();
+  open.node->inclusive_seconds += now_seconds() - open.started;
+}
+
+std::string RegionProfiler::report() const {
+  std::ostringstream out;
+  const auto render = [&](const Node& node, int depth, auto&& self) -> void {
+    if (depth >= 0) {
+      out << std::string(static_cast<std::size_t>(depth) * 2, ' ') << node.name << "  "
+          << node.inclusive_seconds * 1e3 << " ms  (" << node.visits << " visits)\n";
+    }
+    for (const auto& child : node.children) self(child, depth + 1, self);
+  };
+  render(root_, -1, render);
+  return out.str();
+}
+
+void RegionProfiler::reset() {
+  root_.children.clear();
+  root_.inclusive_seconds = 0.0;
+  root_.visits = 0;
+  stack_.clear();
+}
+
+}  // namespace apollo::perf

@@ -1,0 +1,60 @@
+#pragma once
+
+// Hierarchical phase profiling (mini-Caliper's annotation regions): nestable
+// named regions with inclusive wall-clock time and visit counts, reported as
+// an indented tree. Orthogonal to Apollo's per-kernel accounting — this is
+// the "where does the run spend its time" view applications wrap around
+// physics packages and solver phases.
+
+#include <string>
+#include <vector>
+
+namespace apollo::perf {
+
+class RegionProfiler {
+public:
+  struct Node {
+    std::string name;
+    double inclusive_seconds = 0.0;
+    std::int64_t visits = 0;
+    std::vector<Node> children;
+  };
+
+  static RegionProfiler& instance();
+
+  void begin(const std::string& name);
+  void end();
+
+  /// Depth of the currently open region stack (0 = idle).
+  [[nodiscard]] std::size_t depth() const noexcept { return stack_.size(); }
+
+  /// The accumulated region tree (stable across report calls).
+  [[nodiscard]] const Node& root() const noexcept { return root_; }
+
+  /// Indented text report: name, inclusive time, visit count.
+  [[nodiscard]] std::string report() const;
+
+  void reset();
+
+private:
+  RegionProfiler() { root_.name = "<root>"; }
+
+  struct Open {
+    Node* node;
+    double started;
+  };
+
+  Node root_;
+  std::vector<Open> stack_;
+};
+
+/// RAII region guard.
+class ScopedRegion {
+public:
+  explicit ScopedRegion(const std::string& name) { RegionProfiler::instance().begin(name); }
+  ~ScopedRegion() { RegionProfiler::instance().end(); }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+};
+
+}  // namespace apollo::perf

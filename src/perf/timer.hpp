@@ -1,0 +1,43 @@
+#pragma once
+
+// Timing sources for kernel measurement.
+//
+// Apollo records one runtime per kernel invocation. On the paper's testbed
+// that is a wall-clock measurement (via Caliper); in this reproduction the
+// default source for experiments is the calibrated machine model in
+// `src/sim/` (see DESIGN.md, substitution 1). Both plug in behind the same
+// interface so the recorder code path is identical either way.
+
+#include <chrono>
+
+namespace apollo::perf {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+public:
+  void start() noexcept { begin_ = clock::now(); }
+
+  /// Seconds elapsed since the last start().
+  [[nodiscard]] double stop() const noexcept {
+    const auto end = clock::now();
+    return std::chrono::duration<double>(end - begin_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point begin_{};
+};
+
+/// Accumulates simulated seconds. The machine model charges costs here so
+/// experiment harnesses can report deterministic "virtual" runtimes.
+class VirtualClock {
+public:
+  void advance(double seconds) noexcept { now_ += seconds; }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  void reset() noexcept { now_ = 0.0; }
+
+private:
+  double now_ = 0.0;
+};
+
+}  // namespace apollo::perf

@@ -1,0 +1,36 @@
+#pragma once
+
+// The paper's RAJA extension for training runs (§III-A): "we developed a
+// RAJA extension which reads the execution policy from an environment
+// variable", letting one binary be re-run once per parameter value without
+// recompiling. RAJA_POLICY selects the policy ("seq" / "omp"),
+// RAJA_CHUNK_SIZE the OpenMP static chunk.
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "raja/policy.hpp"
+
+namespace raja::apollo {
+
+struct EnvPolicy {
+  PolicyType policy = PolicyType::seq_segit_omp_parallel_for_exec;
+  Index chunk = 0;
+};
+
+/// Read RAJA_POLICY / RAJA_CHUNK_SIZE; nullopt when RAJA_POLICY is unset.
+[[nodiscard]] inline std::optional<EnvPolicy> policy_from_env(
+    const char* policy_var = "RAJA_POLICY", const char* chunk_var = "RAJA_CHUNK_SIZE") {
+  const char* policy_env = std::getenv(policy_var);
+  if (policy_env == nullptr) return std::nullopt;
+  EnvPolicy result;
+  result.policy = policy_from_name(policy_env);
+  if (const char* chunk_env = std::getenv(chunk_var)) {
+    const long long parsed = std::strtoll(chunk_env, nullptr, 10);
+    if (parsed > 0) result.chunk = static_cast<Index>(parsed);
+  }
+  return result;
+}
+
+}  // namespace raja::apollo

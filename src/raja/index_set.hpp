@@ -1,0 +1,94 @@
+#pragma once
+
+// IndexSet: an ordered collection of segments describing a kernel's iteration
+// space. The Apollo kernel features `num_indices`, `num_segments`, `stride`
+// and `index_type` (Table I) are all derived from this object.
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "raja/segments.hpp"
+
+namespace raja {
+
+class IndexSet {
+public:
+  using Segment = std::variant<RangeSegment, StridedSegment, ListSegment>;
+
+  IndexSet() = default;
+
+  /// Convenience: a single contiguous range [0, n) or [begin, end).
+  static IndexSet range(Index begin, Index end) {
+    IndexSet iset;
+    iset.push_back(RangeSegment{begin, end});
+    return iset;
+  }
+
+  void push_back(RangeSegment segment) { segments_.emplace_back(segment); }
+  void push_back(StridedSegment segment) { segments_.emplace_back(segment); }
+  void push_back(ListSegment segment) { segments_.emplace_back(std::move(segment)); }
+
+  [[nodiscard]] std::size_t getNumSegments() const noexcept { return segments_.size(); }
+  [[nodiscard]] const Segment& segment(std::size_t s) const { return segments_[s]; }
+
+  /// Total number of indices across all segments.
+  [[nodiscard]] Index getLength() const noexcept {
+    Index total = 0;
+    for (const auto& seg : segments_) {
+      std::visit([&](const auto& s) { total += s.size(); }, seg);
+    }
+    return total;
+  }
+
+  /// Common stride across segments: 1 for pure ranges, the shared stride for
+  /// strided segments, 0 when segments disagree or contain index lists.
+  [[nodiscard]] Index stride() const noexcept {
+    Index common = -1;
+    for (const auto& seg : segments_) {
+      Index s = 0;
+      if (std::holds_alternative<RangeSegment>(seg)) {
+        s = 1;
+      } else if (const auto* strided = std::get_if<StridedSegment>(&seg)) {
+        s = strided->stride;
+      } else {
+        return 0;  // list segment: no uniform stride
+      }
+      if (common == -1) {
+        common = s;
+      } else if (common != s) {
+        return 0;
+      }
+    }
+    return common == -1 ? 1 : common;
+  }
+
+  /// Table I `index_type` feature.
+  [[nodiscard]] std::string type_name() const {
+    bool has_range = false, has_list = false, has_strided = false;
+    for (const auto& seg : segments_) {
+      has_range |= std::holds_alternative<RangeSegment>(seg);
+      has_strided |= std::holds_alternative<StridedSegment>(seg);
+      has_list |= std::holds_alternative<ListSegment>(seg);
+    }
+    const int kinds = int(has_range) + int(has_list) + int(has_strided);
+    if (kinds == 0) return "empty";
+    if (kinds > 1) return "mixed";
+    if (has_range) return "range";
+    if (has_strided) return "strided";
+    return "list";
+  }
+
+  /// Sequential traversal of every index, segment order preserved.
+  template <typename Body>
+  void for_each_index(Body&& body) const {
+    for (const auto& seg : segments_) {
+      std::visit([&](const auto& s) { s.for_each(body); }, seg);
+    }
+  }
+
+private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace raja

@@ -1,0 +1,54 @@
+#pragma once
+
+// Execution policies. Like RAJA, a policy is a compile-time tag selecting the
+// forall backend; Apollo additionally needs a *runtime* enumeration of the
+// same choices (PolicyType) so its decision models can pick a variant per
+// launch and hand it to policySwitcher for static re-dispatch.
+
+#include <cstdint>
+#include <string>
+
+#include "raja/segments.hpp"
+
+namespace raja {
+
+/// Run every segment, and every index within it, on the calling thread.
+struct seq_exec {};
+
+/// Sequential over segments, OpenMP-static parallel within each segment.
+/// `chunk` follows OpenMP schedule(static, chunk): <=0 means the default
+/// one-block-per-thread split; `threads` 0 means the team's full size.
+struct omp_parallel_for_exec {
+  Index chunk = 0;
+  unsigned threads = 0;
+};
+
+/// Parallel over *segments*, sequential within each segment (RAJA's
+/// omp_parallel_segit / seq_exec nesting) — the right shape when an
+/// IndexSet holds many similar-sized segments (e.g. one per material
+/// region) whose bodies are small.
+struct omp_segit_seq_exec {};
+
+/// Runtime policy ids (the tuned parameter values). Names follow the paper's
+/// RAJA spellings.
+enum class PolicyType : std::uint8_t {
+  seq_segit_seq_exec = 0,
+  seq_segit_omp_parallel_for_exec = 1,
+};
+
+inline constexpr int kNumPolicyTypes = 2;
+
+[[nodiscard]] inline const char* policy_name(PolicyType policy) noexcept {
+  switch (policy) {
+    case PolicyType::seq_segit_seq_exec: return "seq";
+    case PolicyType::seq_segit_omp_parallel_for_exec: return "omp";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline PolicyType policy_from_name(const std::string& name) {
+  return name == "omp" ? PolicyType::seq_segit_omp_parallel_for_exec
+                       : PolicyType::seq_segit_seq_exec;
+}
+
+}  // namespace raja

@@ -1,0 +1,29 @@
+#pragma once
+
+// The paper's policySwitcher (§III-A): a switch over the runtime policy
+// enumerator whose cases invoke a C++14 generic lambda with the concrete
+// policy *type*. Every case keeps its own template instantiation of forall,
+// so dynamic selection costs one switch — not the loss of static
+// optimization a shared generic execution function would incur.
+
+#include <utility>
+
+#include "raja/policy.hpp"
+
+namespace raja::apollo {
+
+/// Invoke `body` with a statically typed policy object chosen by `policy`.
+/// `body` is typically `[&](auto exec) { raja::forall(exec, iset, kernel); }`.
+template <typename Body>
+void policySwitcher(PolicyType policy, Index chunk, Body&& body) {
+  switch (policy) {
+    case PolicyType::seq_segit_seq_exec:
+      std::forward<Body>(body)(seq_exec{});
+      break;
+    case PolicyType::seq_segit_omp_parallel_for_exec:
+      std::forward<Body>(body)(omp_parallel_for_exec{chunk, 0});
+      break;
+  }
+}
+
+}  // namespace raja::apollo

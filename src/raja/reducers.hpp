@@ -1,0 +1,71 @@
+#pragma once
+
+// RAJA-style reduction objects: usable from forall bodies under any
+// execution policy. Like RAJA's ReduceMin/ReduceMax/ReduceSum, a reducer is
+// copyable (copies share state) so lambdas can capture it by value; updates
+// are lock-free atomics, and get() reads the combined result after forall
+// returns. LULESH's Courant/hydro timestep constraints use these.
+
+#include <atomic>
+#include <memory>
+
+namespace raja {
+
+namespace detail {
+
+/// Atomically combine `value` into `slot` with `better(candidate, current)`.
+template <typename T, typename Better>
+void atomic_combine(std::atomic<T>& slot, T value, Better better) {
+  T current = slot.load(std::memory_order_relaxed);
+  while (better(value, current) &&
+         !slot.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+template <typename T>
+class ReduceMin {
+public:
+  explicit ReduceMin(T initial) : state_(std::make_shared<std::atomic<T>>(initial)) {}
+
+  void min(T value) const {
+    detail::atomic_combine(*state_, value, [](T a, T b) { return a < b; });
+  }
+  [[nodiscard]] T get() const { return state_->load(std::memory_order_relaxed); }
+
+private:
+  std::shared_ptr<std::atomic<T>> state_;
+};
+
+template <typename T>
+class ReduceMax {
+public:
+  explicit ReduceMax(T initial) : state_(std::make_shared<std::atomic<T>>(initial)) {}
+
+  void max(T value) const {
+    detail::atomic_combine(*state_, value, [](T a, T b) { return a > b; });
+  }
+  [[nodiscard]] T get() const { return state_->load(std::memory_order_relaxed); }
+
+private:
+  std::shared_ptr<std::atomic<T>> state_;
+};
+
+template <typename T>
+class ReduceSum {
+public:
+  explicit ReduceSum(T initial = T{}) : state_(std::make_shared<std::atomic<T>>(initial)) {}
+
+  void add(T value) const {
+    T current = state_->load(std::memory_order_relaxed);
+    while (!state_->compare_exchange_weak(current, current + value, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] T get() const { return state_->load(std::memory_order_relaxed); }
+
+private:
+  std::shared_ptr<std::atomic<T>> state_;
+};
+
+}  // namespace raja

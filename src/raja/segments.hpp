@@ -1,0 +1,61 @@
+#pragma once
+
+// Iteration-space segments, mirroring RAJA's RangeSegment / RangeStrideSegment
+// / ListSegment. An IndexSet is an ordered collection of these; kernels are
+// written against indices, not storage, so the same body runs under any
+// execution policy.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace raja {
+
+using Index = std::int64_t;
+
+/// Contiguous half-open range [begin, end).
+struct RangeSegment {
+  Index begin = 0;
+  Index end = 0;
+
+  [[nodiscard]] Index size() const noexcept { return end > begin ? end - begin : 0; }
+
+  template <typename Body>
+  void for_each(Body&& body) const {
+    for (Index i = begin; i < end; ++i) body(i);
+  }
+};
+
+/// Strided half-open range: begin, begin+stride, ... (< end), stride >= 1.
+struct StridedSegment {
+  Index begin = 0;
+  Index end = 0;
+  Index stride = 1;
+
+  [[nodiscard]] Index size() const noexcept {
+    if (end <= begin || stride <= 0) return 0;
+    return (end - begin + stride - 1) / stride;
+  }
+
+  template <typename Body>
+  void for_each(Body&& body) const {
+    for (Index i = begin; i < end; i += stride) body(i);
+  }
+};
+
+/// Arbitrary index list (e.g. the cells of one material region).
+struct ListSegment {
+  std::vector<Index> indices;
+
+  ListSegment() = default;
+  explicit ListSegment(std::vector<Index> idx) : indices(std::move(idx)) {}
+
+  [[nodiscard]] Index size() const noexcept { return static_cast<Index>(indices.size()); }
+
+  template <typename Body>
+  void for_each(Body&& body) const {
+    for (Index i : indices) body(i);
+  }
+};
+
+}  // namespace raja

@@ -1,0 +1,54 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace apollo::sim {
+
+double ClusterModel::step_seconds(const std::vector<double>& rank_compute_seconds,
+                                  const std::vector<std::size_t>& rank_patch_counts) const {
+  if (rank_compute_seconds.empty()) return 0.0;
+  if (rank_patch_counts.size() != rank_compute_seconds.size()) {
+    throw std::invalid_argument("ClusterModel::step_seconds: rank vector size mismatch");
+  }
+  double critical = 0.0;
+  for (std::size_t r = 0; r < rank_compute_seconds.size(); ++r) {
+    const double halo = static_cast<double>(rank_patch_counts[r]) * config_.halo_per_patch_us * 1e-6;
+    critical = std::max(critical, rank_compute_seconds[r] + halo);
+  }
+  const double ranks = static_cast<double>(rank_compute_seconds.size());
+  const double collective =
+      (config_.collective_base_us + config_.collective_per_hop_us * std::log2(std::max(ranks, 1.0))) *
+      1e-6;
+  return critical + collective;
+}
+
+std::vector<unsigned> ClusterModel::decompose(const std::vector<double>& weights, unsigned ranks) {
+  if (ranks == 0) throw std::invalid_argument("ClusterModel::decompose: ranks must be > 0");
+  std::vector<unsigned> assignment(weights.size(), 0);
+  if (ranks == 1) return assignment;
+
+  // Longest-processing-time: sort items by descending weight, always give the
+  // next item to the currently lightest rank.
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return weights[a] > weights[b]; });
+
+  using Load = std::pair<double, unsigned>;  // (current load, rank)
+  std::priority_queue<Load, std::vector<Load>, std::greater<>> heap;
+  for (unsigned r = 0; r < ranks; ++r) heap.emplace(0.0, r);
+
+  for (std::size_t item : order) {
+    auto [load, rank] = heap.top();
+    heap.pop();
+    assignment[item] = rank;
+    heap.emplace(load + weights[item], rank);
+  }
+  return assignment;
+}
+
+}  // namespace apollo::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+// Bulk-synchronous cluster model for the strong-scaling experiments.
+//
+// Figures 12 and 13 strong-scale CleverLeaf and ARES from 16 to 256 cores:
+// MPI ranks (one per 16-core node) each own a share of the AMR patches and
+// synchronize every step. We model a step as max-over-ranks of the per-rank
+// compute time plus a logarithmic collective cost, and provide the greedy
+// load-balancing decomposition the SAMRAI-style mesh distribution performs.
+
+#include <cstdint>
+#include <vector>
+
+namespace apollo::sim {
+
+struct ClusterConfig {
+  unsigned cores_per_node = 16;      ///< one MPI rank per node
+  double collective_base_us = 20.0;  ///< latency floor for a step's reductions
+  double collective_per_hop_us = 9.0;///< added per log2(ranks) tree level
+  double halo_per_patch_us = 3.0;    ///< boundary exchange cost per local patch
+};
+
+class ClusterModel {
+public:
+  explicit ClusterModel(ClusterConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] unsigned ranks_for_cores(unsigned cores) const noexcept {
+    return cores <= config_.cores_per_node ? 1u : cores / config_.cores_per_node;
+  }
+
+  /// Time of one bulk-synchronous step given each rank's local compute time
+  /// and how many patches it owns (for halo-exchange pricing).
+  [[nodiscard]] double step_seconds(const std::vector<double>& rank_compute_seconds,
+                                    const std::vector<std::size_t>& rank_patch_counts) const;
+
+  /// Greedy longest-processing-time assignment of weighted items to ranks;
+  /// returns item -> rank. This is the load balancing a patch-based AMR
+  /// framework applies when distributing boxes.
+  [[nodiscard]] static std::vector<unsigned> decompose(const std::vector<double>& weights,
+                                                       unsigned ranks);
+
+private:
+  ClusterConfig config_;
+};
+
+}  // namespace apollo::sim

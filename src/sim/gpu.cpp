@@ -1,0 +1,40 @@
+#include "sim/gpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apollo::sim {
+
+double GpuModel::cost_seconds(const CostQuery& query) const {
+  const std::int64_t n = std::max<std::int64_t>(query.num_indices, 0);
+  const double fixed =
+      (config_.launch_overhead_us + config_.transfer_overhead_us) * 1e-6 +
+      static_cast<double>(std::max<std::int64_t>(query.num_segments, 1)) * 0.5e-6;
+  if (n == 0) return fixed;
+
+  // Per-iteration cost on one host core (reuse the host model's pricing).
+  MachineModel host(host_);
+  CostQuery one_core = query;
+  one_core.policy = PolicyKind::Sequential;
+  const double core_iter = host.iteration_seconds(one_core, 1);
+
+  // Occupancy-scaled speedup: full device speedup only at wide launches.
+  const double occupancy =
+      std::min(1.0, static_cast<double>(n) / static_cast<double>(config_.full_occupancy));
+  const double speedup = std::max(1.0, config_.peak_speedup * occupancy);
+  double compute = static_cast<double>(n) * core_iter / speedup;
+
+  // Bandwidth ceiling: the stream cannot beat device HBM.
+  if (query.bytes_per_iteration > 0) {
+    const double stream = static_cast<double>(n) * static_cast<double>(query.bytes_per_iteration) /
+                          (config_.memory_bandwidth_gbs * 1e9);
+    compute = std::max(compute, stream);
+  }
+  return fixed + compute;
+}
+
+double GpuModel::measured_seconds(const CostQuery& query, std::uint64_t sample_id) const {
+  return cost_seconds(query) * noise_multiplier(sample_id, host_.noise_sigma);
+}
+
+}  // namespace apollo::sim

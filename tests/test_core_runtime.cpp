@@ -1,0 +1,352 @@
+// Unit tests for the Apollo runtime: modes, recording protocols, tuning
+// decisions, stats accounting, and the cluster accountant hook.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/cluster_accountant.hpp"
+#include "core/features.hpp"
+#include "core/runtime.hpp"
+#include "core/trainer.hpp"
+#include "perf/blackboard.hpp"
+
+using namespace apollo;
+
+namespace {
+
+const KernelHandle& small_kernel() {
+  static const KernelHandle k{"test:small", "SmallKernel",
+                              instr::MixBuilder{}.fp(2).load(2).store(1).build(), 24,
+                              raja::PolicyType::seq_segit_omp_parallel_for_exec};
+  return k;
+}
+
+const KernelHandle& seq_default_kernel() {
+  static const KernelHandle k{"test:seqdef", "SeqDefault",
+                              instr::MixBuilder{}.fp(2).build(), 8,
+                              raja::PolicyType::seq_segit_seq_exec};
+  return k;
+}
+
+class RuntimeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Runtime::instance().reset();
+    perf::Blackboard::instance().clear();
+  }
+  void TearDown() override {
+    Runtime::instance().reset();
+    perf::Blackboard::instance().clear();
+  }
+};
+
+}  // namespace
+
+TEST_F(RuntimeTest, ModeNames) {
+  EXPECT_STREQ(mode_name(Mode::Off), "off");
+  EXPECT_STREQ(mode_name(Mode::Record), "record");
+  EXPECT_STREQ(mode_name(Mode::Tune), "tune");
+}
+
+TEST_F(RuntimeTest, OffModeUsesKernelDefaultPolicy) {
+  auto& rt = Runtime::instance();
+  const raja::IndexSet iset = raja::IndexSet::range(0, 10);
+  const ModelParams omp_params = rt.begin(small_kernel(), iset);
+  EXPECT_EQ(omp_params.policy, raja::PolicyType::seq_segit_omp_parallel_for_exec);
+  const ModelParams seq_params = rt.begin(seq_default_kernel(), iset);
+  EXPECT_EQ(seq_params.policy, raja::PolicyType::seq_segit_seq_exec);
+}
+
+TEST_F(RuntimeTest, DefaultPolicyOverride) {
+  auto& rt = Runtime::instance();
+  rt.set_default_policy_override(raja::PolicyType::seq_segit_seq_exec);
+  const raja::IndexSet iset = raja::IndexSet::range(0, 10);
+  EXPECT_EQ(rt.begin(small_kernel(), iset).policy, raja::PolicyType::seq_segit_seq_exec);
+  rt.set_default_policy_override(std::nullopt);
+  EXPECT_EQ(rt.begin(small_kernel(), iset).policy,
+            raja::PolicyType::seq_segit_omp_parallel_for_exec);
+}
+
+TEST_F(RuntimeTest, StatsAccumulatePerKernel) {
+  auto& rt = Runtime::instance();
+  forall(small_kernel(), 100, [](raja::Index) {});
+  forall(small_kernel(), 100, [](raja::Index) {});
+  forall(seq_default_kernel(), 10, [](raja::Index) {});
+  EXPECT_EQ(rt.stats().invocations, 3);
+  EXPECT_GT(rt.stats().total_seconds, 0.0);
+  EXPECT_EQ(rt.stats().per_kernel.at("test:small").invocations, 2);
+  EXPECT_EQ(rt.stats().per_kernel.at("test:seqdef").invocations, 1);
+  rt.reset_stats();
+  EXPECT_EQ(rt.stats().invocations, 0);
+}
+
+TEST_F(RuntimeTest, ForallExecutesBody) {
+  std::vector<int> hits(64, 0);
+  forall(small_kernel(), 64, [&](raja::Index i) { hits[static_cast<std::size_t>(i)]++; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(RuntimeTest, RecordSweepEmitsAllVariants) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  forall(small_kernel(), 100, [](raja::Index) {});
+  // 1 seq + 1 omp default + 11 chunk variants.
+  const auto& records = rt.records();
+  ASSERT_EQ(records.size(), 13u);
+  int seq = 0, omp = 0;
+  for (const auto& r : records) {
+    const std::string policy = r.at(features::kParamPolicy).as_string();
+    (policy == "seq" ? seq : omp)++;
+    EXPECT_GT(r.at(features::kMeasureRuntime).as_real(), 0.0);
+    EXPECT_EQ(r.at(features::kNumIndices).as_int(), 100);
+    EXPECT_EQ(r.at(features::kLoopId).as_string(), "test:small");
+  }
+  EXPECT_EQ(seq, 1);
+  EXPECT_EQ(omp, 12);
+}
+
+TEST_F(RuntimeTest, RecordSweepRespectsChunkList) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  TrainingConfig cfg;
+  cfg.chunk_values = {8, 64};
+  rt.set_training_config(cfg);
+  forall(small_kernel(), 100, [](raja::Index) {});
+  EXPECT_EQ(rt.records().size(), 4u);  // seq + omp-default + 2 chunks
+}
+
+TEST_F(RuntimeTest, ForcedRecordingEmitsOneRecord) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  TrainingConfig cfg;
+  cfg.sweep_variants = false;
+  cfg.forced_policy = raja::PolicyType::seq_segit_seq_exec;
+  cfg.forced_chunk = 0;
+  rt.set_training_config(cfg);
+  forall(small_kernel(), 100, [](raja::Index) {});
+  ASSERT_EQ(rt.records().size(), 1u);
+  EXPECT_EQ(rt.records()[0].at(features::kParamPolicy).as_string(), "seq");
+}
+
+TEST_F(RuntimeTest, SweepWithWallclockThrows) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  rt.set_timing_source(TimingSource::Wallclock);
+  EXPECT_THROW(forall(small_kernel(), 100, [](raja::Index) {}), std::logic_error);
+}
+
+TEST_F(RuntimeTest, WallclockForcedRecordingWorks) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  rt.set_timing_source(TimingSource::Wallclock);
+  TrainingConfig cfg;
+  cfg.sweep_variants = false;
+  rt.set_training_config(cfg);
+  forall(small_kernel(), 1000, [](raja::Index) {});
+  ASSERT_EQ(rt.records().size(), 1u);
+  EXPECT_GT(rt.records()[0].at(features::kMeasureRuntime).as_real(), 0.0);
+}
+
+TEST_F(RuntimeTest, BlackboardAttributesLandInRecords) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  perf::ScopedAnnotation problem("problem_name", "sedov");
+  perf::ScopedAnnotation step("timestep", 7);
+  forall(small_kernel(), 100, [](raja::Index) {});
+  const auto& r = rt.records().front();
+  EXPECT_EQ(r.at("problem_name").as_string(), "sedov");
+  EXPECT_EQ(r.at("timestep").as_int(), 7);
+}
+
+TEST_F(RuntimeTest, TuneModeAppliesPolicyModel) {
+  auto& rt = Runtime::instance();
+  // Record a sweep over both a small and a large launch, train, tune.
+  rt.set_mode(Mode::Record);
+  for (int rep = 0; rep < 3; ++rep) {
+    perf::ScopedAnnotation step("timestep", rep);
+    forall(small_kernel(), 50, [](raja::Index) {});
+    forall(small_kernel(), 200000, [](raja::Index) {});
+  }
+  const TunerModel model = Trainer::train(rt.records(), TunedParameter::Policy);
+
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(model);
+  const ModelParams small = rt.begin(small_kernel(), raja::IndexSet::range(0, 50));
+  const ModelParams large = rt.begin(small_kernel(), raja::IndexSet::range(0, 200000));
+  EXPECT_EQ(small.policy, raja::PolicyType::seq_segit_seq_exec);
+  EXPECT_EQ(large.policy, raja::PolicyType::seq_segit_omp_parallel_for_exec);
+}
+
+TEST_F(RuntimeTest, TuneModeAppliesChunkModelOnlyForOmp) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  for (int rep = 0; rep < 3; ++rep) {
+    forall(small_kernel(), 100000, [](raja::Index) {});
+  }
+  const TunerModel policy_model = Trainer::train(rt.records(), TunedParameter::Policy);
+  const TunerModel chunk_model = Trainer::train(rt.records(), TunedParameter::ChunkSize);
+
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(policy_model);
+  rt.set_chunk_model(chunk_model);
+  const ModelParams large = rt.begin(small_kernel(), raja::IndexSet::range(0, 100000));
+  if (large.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
+    EXPECT_GT(large.chunk_size, 0);
+  } else {
+    EXPECT_EQ(large.chunk_size, 0);
+  }
+}
+
+TEST_F(RuntimeTest, ThreadSweepRecordsTeamSizes) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  TrainingConfig cfg;
+  cfg.chunk_values.clear();
+  cfg.thread_values = {2, 8, 16};
+  rt.set_training_config(cfg);
+  forall(small_kernel(), 5000, [](raja::Index) {});
+  // seq + omp-default + 3 team-size variants.
+  ASSERT_EQ(rt.records().size(), 5u);
+  int with_team = 0;
+  for (const auto& r : rt.records()) {
+    if (r.count(features::kParamThreads)) ++with_team;
+  }
+  EXPECT_EQ(with_team, 3);
+}
+
+TEST_F(RuntimeTest, ThreadsModelSelectsTeamSize) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  TrainingConfig cfg;
+  cfg.chunk_values.clear();
+  cfg.thread_values = {2, 4, 8, 16};
+  rt.set_training_config(cfg);
+  for (int rep = 0; rep < 3; ++rep) {
+    perf::ScopedAnnotation step("timestep", rep);
+    forall(small_kernel(), 30000, [](raja::Index) {});
+    forall(small_kernel(), 500000, [](raja::Index) {});
+  }
+  const TunerModel policy_model = Trainer::train(rt.records(), TunedParameter::Policy);
+  const TunerModel threads_model = Trainer::train(rt.records(), TunedParameter::Threads);
+  EXPECT_EQ(threads_model.parameter(), TunedParameter::Threads);
+
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(policy_model);
+  rt.set_threads_model(threads_model);
+  const ModelParams params = rt.begin(small_kernel(), raja::IndexSet::range(0, 500000));
+  if (params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
+    EXPECT_GT(params.threads, 0u);
+    EXPECT_LE(params.threads, 16u);
+  }
+  EXPECT_THROW(rt.set_threads_model(policy_model), std::invalid_argument);
+}
+
+TEST_F(RuntimeTest, SetPolicyModelRejectsWrongParameter) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  forall(small_kernel(), 100, [](raja::Index) {});
+  const TunerModel chunk_model = Trainer::train(rt.records(), TunedParameter::ChunkSize);
+  EXPECT_THROW(rt.set_policy_model(chunk_model), std::invalid_argument);
+  const TunerModel policy_model = Trainer::train(rt.records(), TunedParameter::Policy);
+  EXPECT_THROW(rt.set_chunk_model(policy_model), std::invalid_argument);
+}
+
+TEST_F(RuntimeTest, ResolveFeatureCoversAllSources) {
+  auto& rt = Runtime::instance();
+  perf::ScopedAnnotation size("problem_size", 48);
+  const raja::IndexSet iset = raja::IndexSet::range(0, 123);
+  EXPECT_EQ(rt.resolve_feature("func", small_kernel(), iset)->as_string(), "SmallKernel");
+  EXPECT_EQ(rt.resolve_feature("num_indices", small_kernel(), iset)->as_int(), 123);
+  EXPECT_EQ(rt.resolve_feature("index_type", small_kernel(), iset)->as_string(), "range");
+  EXPECT_EQ(rt.resolve_feature("movsd", small_kernel(), iset)->as_int(), 2);
+  EXPECT_EQ(rt.resolve_feature("problem_size", small_kernel(), iset)->as_int(), 48);
+  EXPECT_FALSE(rt.resolve_feature("unknown_feature", small_kernel(), iset).has_value());
+}
+
+TEST_F(RuntimeTest, FlushRecordsToFile) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  forall(small_kernel(), 100, [](raja::Index) {});
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "apollo_runtime_records.txt").string();
+  std::filesystem::remove(path);
+  const std::size_t count = rt.records().size();
+  rt.flush_records(path);
+  EXPECT_TRUE(rt.records().empty());
+  EXPECT_EQ(perf::read_records_file(path).size(), count);
+  std::filesystem::remove(path);
+}
+
+TEST_F(RuntimeTest, ModelFileLoadIntoRuntime) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  forall(small_kernel(), 100, [](raja::Index) {});
+  forall(small_kernel(), 100000, [](raja::Index) {});
+  const TunerModel model = Trainer::train(rt.records(), TunedParameter::Policy);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "apollo_runtime.model").string();
+  model.save_file(path);
+  rt.load_policy_model_file(path);
+  EXPECT_TRUE(rt.has_policy_model());
+  std::filesystem::remove(path);
+}
+
+TEST_F(RuntimeTest, ExecuteSelectedFalseStillCharges) {
+  auto& rt = Runtime::instance();
+  rt.set_execute_selected(false);
+  std::vector<int> hits(100, 0);
+  forall(small_kernel(), 100, [&](raja::Index i) { hits[static_cast<std::size_t>(i)]++; });
+  EXPECT_EQ(hits[99], 1);  // body still ran (sequentially)
+  EXPECT_GT(rt.stats().total_seconds, 0.0);
+  // Wall-clock timing force-enables execution of the selected variant.
+  rt.set_timing_source(TimingSource::Wallclock);
+  EXPECT_TRUE(rt.execute_selected());
+}
+
+TEST_F(RuntimeTest, ChargeExternalAddsUntunedCost) {
+  auto& rt = Runtime::instance();
+  sim::CostQuery query;
+  query.num_indices = 1000;
+  query.mix = instr::MixBuilder{}.fp(4).build();
+  query.policy = sim::PolicyKind::OpenMP;
+  query.threads = 16;
+  rt.charge_external("pkg:conduction", query);
+  EXPECT_GT(rt.stats().per_kernel.at("pkg:conduction").seconds, 0.0);
+  EXPECT_TRUE(rt.records().empty());
+}
+
+TEST_F(RuntimeTest, ClusterAccountantReceivesCharges) {
+  auto& rt = Runtime::instance();
+  ClusterAccountant acc(sim::ClusterModel{}, 4);
+  rt.set_cluster_accountant(&acc);
+  acc.begin_step();
+  acc.add_patch(2);
+  acc.set_current_rank(2);
+  forall(small_kernel(), 1000, [](raja::Index) {});
+  acc.end_step();
+  EXPECT_GT(acc.total_seconds(), 0.0);
+  rt.set_cluster_accountant(nullptr);
+}
+
+TEST_F(RuntimeTest, AccountantChargeAllSplitsEvenly) {
+  ClusterAccountant acc(sim::ClusterModel{}, 4);
+  acc.begin_step();
+  acc.charge_all(4.0);
+  acc.end_step();
+  // Each rank got 1.0s; step = max + collective ~= 1.0s.
+  EXPECT_NEAR(acc.total_seconds(), 1.0, 0.01);
+}
+
+TEST_F(RuntimeTest, ModeledTimeTracksPolicyChoice) {
+  // A tiny launch must be charged far more under OpenMP than sequential.
+  auto& rt = Runtime::instance();
+  rt.set_default_policy_override(raja::PolicyType::seq_segit_omp_parallel_for_exec);
+  forall(small_kernel(), 11, [](raja::Index) {});
+  const double omp_cost = rt.stats().total_seconds;
+  rt.reset_stats();
+  rt.set_default_policy_override(raja::PolicyType::seq_segit_seq_exec);
+  forall(small_kernel(), 11, [](raja::Index) {});
+  const double seq_cost = rt.stats().total_seconds;
+  EXPECT_GT(omp_cost / seq_cost, 20.0);
+}

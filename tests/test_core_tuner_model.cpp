@@ -1,0 +1,110 @@
+// Unit tests for TunerModel: categorical encoding, resolver-driven
+// prediction, and file round-trips (the retrain-without-recompile property).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/tuner_model.hpp"
+#include "ml/decision_tree.hpp"
+
+using apollo::TunedParameter;
+using apollo::TunerModel;
+using apollo::ml::Dataset;
+using apollo::ml::DecisionTree;
+using apollo::ml::TreeParams;
+using apollo::perf::Value;
+
+namespace {
+
+/// problem "small" -> seq, "big" -> omp (a purely categorical decision).
+TunerModel categorical_model() {
+  Dataset d({"num_indices", "problem_name"}, {"omp", "seq"});
+  for (int i = 0; i < 50; ++i) {
+    d.add_row({100.0, 1.0}, 1);  // problem_name code 1 = "small" -> seq
+    d.add_row({100.0, 0.0}, 0);  // problem_name code 0 = "big" -> omp
+  }
+  TreeParams p;
+  p.min_samples_leaf = 1;
+  DecisionTree tree = DecisionTree::fit(d, p);
+  return TunerModel(TunedParameter::Policy, std::move(tree),
+                    {{"problem_name", {"big", "small"}}});
+}
+
+}  // namespace
+
+TEST(TunerModel, ParameterNames) {
+  EXPECT_STREQ(apollo::tuned_parameter_name(TunedParameter::Policy), "policy");
+  EXPECT_STREQ(apollo::tuned_parameter_name(TunedParameter::ChunkSize), "chunk_size");
+}
+
+TEST(TunerModel, EncodeNumericPassThrough) {
+  const TunerModel model = categorical_model();
+  EXPECT_DOUBLE_EQ(model.encode("num_indices", Value(std::int64_t{42})), 42.0);
+  EXPECT_DOUBLE_EQ(model.encode("num_indices", Value(1.5)), 1.5);
+}
+
+TEST(TunerModel, EncodeCategorical) {
+  const TunerModel model = categorical_model();
+  EXPECT_DOUBLE_EQ(model.encode("problem_name", Value("big")), 0.0);
+  EXPECT_DOUBLE_EQ(model.encode("problem_name", Value("small")), 1.0);
+}
+
+TEST(TunerModel, EncodeUnseenOrMissingIsMinusOne) {
+  const TunerModel model = categorical_model();
+  EXPECT_DOUBLE_EQ(model.encode("problem_name", Value("never-seen")), -1.0);
+  EXPECT_DOUBLE_EQ(model.encode("problem_name", std::nullopt), -1.0);
+  EXPECT_DOUBLE_EQ(model.encode("no_dictionary", Value("text")), -1.0);
+}
+
+TEST(TunerModel, PredictViaResolver) {
+  const TunerModel model = categorical_model();
+  const auto resolver_for = [](const std::string& problem) {
+    return [problem](const std::string& name) -> std::optional<Value> {
+      if (name == "num_indices") return Value(std::int64_t{100});
+      if (name == "problem_name") return Value(problem);
+      return std::nullopt;
+    };
+  };
+  const int small = model.predict(resolver_for("small"));
+  const int big = model.predict(resolver_for("big"));
+  EXPECT_EQ(model.label_name(small), "seq");
+  EXPECT_EQ(model.label_name(big), "omp");
+}
+
+TEST(TunerModel, SaveLoadRoundTrip) {
+  const TunerModel model = categorical_model();
+  std::stringstream stream;
+  model.save(stream);
+  const TunerModel back = TunerModel::load(stream);
+  EXPECT_EQ(back.parameter(), TunedParameter::Policy);
+  EXPECT_EQ(back.dictionaries(), model.dictionaries());
+  EXPECT_EQ(back.tree().node_count(), model.tree().node_count());
+  const auto resolve = [](const std::string& name) -> std::optional<Value> {
+    if (name == "num_indices") return Value(std::int64_t{100});
+    if (name == "problem_name") return Value("small");
+    return std::nullopt;
+  };
+  EXPECT_EQ(back.predict(resolve), model.predict(resolve));
+}
+
+TEST(TunerModel, FileRoundTrip) {
+  const TunerModel model = categorical_model();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "apollo_model_test.model").string();
+  model.save_file(path);
+  const TunerModel back = TunerModel::load_file(path);
+  EXPECT_EQ(back.num_labels(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(TunerModel, LoadRejectsGarbage) {
+  std::stringstream bad("garbage 9\n");
+  EXPECT_THROW((void)TunerModel::load(bad), std::runtime_error);
+}
+
+TEST(TunerModel, LabelNameBoundsChecked) {
+  const TunerModel model = categorical_model();
+  EXPECT_THROW((void)model.label_name(99), std::out_of_range);
+}

@@ -1,0 +1,130 @@
+// Unit tests for instruction-mix features and the kernel signature registry.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "instr/mix.hpp"
+#include "instr/signature.hpp"
+
+namespace instr = apollo::instr;
+
+TEST(Mnemonic, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (std::size_t m = 0; m < instr::kMnemonicCount; ++m) {
+    const std::string name = instr::mnemonic_name(static_cast<instr::Mnemonic>(m));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), instr::kMnemonicCount);
+}
+
+TEST(Mnemonic, TableOneSpellings) {
+  EXPECT_STREQ(instr::mnemonic_name(instr::Mnemonic::and_), "and");
+  EXPECT_STREQ(instr::mnemonic_name(instr::Mnemonic::xor_), "xor");
+  EXPECT_STREQ(instr::mnemonic_name(instr::Mnemonic::shl), "shl");
+  EXPECT_STREQ(instr::mnemonic_name(instr::Mnemonic::movsd), "movsd");
+}
+
+TEST(InstructionMix, StartsEmpty) {
+  const instr::InstructionMix mix;
+  EXPECT_EQ(mix.total(), 0);
+  EXPECT_EQ(mix.flops(), 0);
+  EXPECT_EQ(mix.memory_ops(), 0);
+  EXPECT_EQ(mix.expensive_ops(), 0);
+}
+
+TEST(InstructionMix, SetAddCount) {
+  instr::InstructionMix mix;
+  mix.set(instr::Mnemonic::add, 5);
+  mix.add(instr::Mnemonic::add, 3);
+  EXPECT_EQ(mix.count(instr::Mnemonic::add), 8);
+  EXPECT_EQ(mix.total(), 8);
+}
+
+TEST(InstructionMix, CategoryAccessors) {
+  instr::InstructionMix mix;
+  mix.set(instr::Mnemonic::add, 2);
+  mix.set(instr::Mnemonic::mulpd, 3);
+  mix.set(instr::Mnemonic::divsd, 1);
+  mix.set(instr::Mnemonic::sqrtsd, 2);
+  mix.set(instr::Mnemonic::mov, 4);
+  mix.set(instr::Mnemonic::movsd, 5);
+  mix.set(instr::Mnemonic::cmp, 7);
+  EXPECT_EQ(mix.flops(), 5);
+  EXPECT_EQ(mix.expensive_ops(), 3);
+  EXPECT_EQ(mix.memory_ops(), 9);
+  EXPECT_EQ(mix.total(), 24);
+}
+
+TEST(MixBuilder, TotalsMatchRequests) {
+  const auto mix = instr::MixBuilder{}.fp(7).div(2).sqrt(1).load(4).store(3).control(6).build();
+  EXPECT_EQ(mix.flops(), 7);
+  EXPECT_EQ(mix.expensive_ops(), 3);
+  EXPECT_EQ(mix.count(instr::Mnemonic::movsd), 4);
+  EXPECT_EQ(mix.count(instr::Mnemonic::mov), 3);
+  // control(6) distributes across cmp/jb/test and sums to 6.
+  EXPECT_EQ(mix.count(instr::Mnemonic::cmp) + mix.count(instr::Mnemonic::jb) +
+                mix.count(instr::Mnemonic::test),
+            6);
+  EXPECT_EQ(mix.total(), 7 + 3 + 4 + 3 + 6);
+}
+
+TEST(MixBuilder, MinmaxCompareLogicDistribute) {
+  const auto mix = instr::MixBuilder{}.minmax(3).compare(5).logic(7).build();
+  EXPECT_EQ(mix.count(instr::Mnemonic::maxsd) + mix.count(instr::Mnemonic::minsd), 3);
+  EXPECT_EQ(mix.count(instr::Mnemonic::comisd) + mix.count(instr::Mnemonic::ucomisd), 5);
+  EXPECT_EQ(mix.count(instr::Mnemonic::and_) + mix.count(instr::Mnemonic::xor_) +
+                mix.count(instr::Mnemonic::sar),
+            7);
+}
+
+TEST(SignatureRegistry, RegisterAndLookup) {
+  auto& registry = instr::SignatureRegistry::instance();
+  const auto before = registry.size();
+  instr::KernelSignature sig;
+  sig.loop_id = "test:unique_kernel_1";
+  sig.func = "UniqueKernel";
+  sig.mix = instr::MixBuilder{}.fp(4).build();
+  sig.bytes_per_iteration = 32;
+  registry.register_signature(sig);
+  EXPECT_EQ(registry.size(), before + 1);
+
+  const auto found = registry.lookup("test:unique_kernel_1");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->func, "UniqueKernel");
+  EXPECT_EQ(found->func_size(), 4);
+  EXPECT_EQ(found->bytes_per_iteration, 32);
+}
+
+TEST(SignatureRegistry, ReRegisterOverwrites) {
+  auto& registry = instr::SignatureRegistry::instance();
+  instr::KernelSignature sig;
+  sig.loop_id = "test:overwrite";
+  sig.func = "v1";
+  registry.register_signature(sig);
+  const auto size_after_first = registry.size();
+  sig.func = "v2";
+  registry.register_signature(sig);
+  EXPECT_EQ(registry.size(), size_after_first);
+  EXPECT_EQ(registry.lookup("test:overwrite")->func, "v2");
+}
+
+TEST(SignatureRegistry, LookupMissingReturnsNullopt) {
+  EXPECT_FALSE(instr::SignatureRegistry::instance().lookup("no:such:kernel").has_value());
+}
+
+TEST(SignatureRegistry, RegisterKernelHelper) {
+  auto& registry = instr::SignatureRegistry::instance();
+  static const instr::RegisterKernel reg{
+      instr::KernelSignature{"test:helper_registered", "Helper", {}, 8}};
+  EXPECT_TRUE(registry.lookup("test:helper_registered").has_value());
+}
+
+TEST(SignatureRegistry, LoopIdsContainsRegistered) {
+  auto& registry = instr::SignatureRegistry::instance();
+  registry.register_signature(instr::KernelSignature{"test:listed", "Listed", {}, 0});
+  const auto ids = registry.loop_ids();
+  EXPECT_NE(std::find(ids.begin(), ids.end(), "test:listed"), ids.end());
+}

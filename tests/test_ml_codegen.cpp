@@ -1,0 +1,111 @@
+// Tests for decision-tree -> C++ code generation, including the full
+// compile-to-shared-object-and-dlopen deployment path (§III-C).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+
+#include "ml/codegen.hpp"
+#include "ml/decision_tree.hpp"
+
+using apollo::ml::CompiledPredictor;
+using apollo::ml::Dataset;
+using apollo::ml::DecisionTree;
+using apollo::ml::generate_cpp;
+using apollo::ml::generate_tuner_cpp;
+using apollo::ml::TreeParams;
+
+namespace {
+
+DecisionTree trained_tree() {
+  Dataset d({"num_indices", "func_size"}, {"seq", "omp"});
+  std::mt19937 rng(21);
+  std::uniform_real_distribution<double> size_dist(1, 100000);
+  for (int i = 0; i < 500; ++i) {
+    const double n = size_dist(rng);
+    const double fs = size_dist(rng) / 1000.0;
+    d.add_row({n, fs}, n > 19965.5 ? 1 : 0);
+  }
+  TreeParams p;
+  p.min_samples_leaf = 1;
+  return DecisionTree::fit(d, p);
+}
+
+}  // namespace
+
+TEST(Codegen, GeneratedSourceStructure) {
+  const DecisionTree tree = trained_tree();
+  const std::string source = generate_cpp(tree, "apollo_predict");
+  EXPECT_NE(source.find("extern \"C\" int apollo_predict(const double* features)"),
+            std::string::npos);
+  EXPECT_NE(source.find("if (features[0] <="), std::string::npos);
+  EXPECT_NE(source.find("return 0;"), std::string::npos);
+  EXPECT_NE(source.find("return 1;"), std::string::npos);
+  EXPECT_NE(source.find("num_indices"), std::string::npos);  // feature map comment
+}
+
+TEST(Codegen, EmptyTreeGeneratesDefaultReturn) {
+  const DecisionTree tree;
+  const std::string source = generate_cpp(tree, "empty_model");
+  EXPECT_NE(source.find("return 0;"), std::string::npos);
+}
+
+TEST(Codegen, TunerStyleSourceAssignsSelection) {
+  const DecisionTree tree = trained_tree();
+  const std::string source = generate_tuner_cpp(tree, "apollo_begin_forall_iset");
+  EXPECT_NE(source.find("void apollo_begin_forall_iset"), std::string::npos);
+  EXPECT_NE(source.find("p.selection = 0;  // seq"), std::string::npos);
+  EXPECT_NE(source.find("p.selection = 1;  // omp"), std::string::npos);
+}
+
+TEST(Codegen, CompiledPredictorMatchesInterpreter) {
+  const DecisionTree tree = trained_tree();
+  const std::string source = generate_cpp(tree, "apollo_test_model");
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "apollo_codegen_test").string();
+  std::filesystem::create_directories(dir);
+
+  const CompiledPredictor predictor =
+      CompiledPredictor::compile(source, "apollo_test_model", dir);
+  ASSERT_TRUE(predictor.valid());
+
+  std::mt19937 rng(77);
+  std::uniform_real_distribution<double> dist(0, 120000);
+  for (int i = 0; i < 2000; ++i) {
+    const double features[2] = {dist(rng), dist(rng) / 1000.0};
+    EXPECT_EQ(predictor.predict(features), tree.predict(features)) << "sample " << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Codegen, CompileFailureThrows) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "apollo_codegen_bad").string();
+  std::filesystem::create_directories(dir);
+  EXPECT_THROW((void)CompiledPredictor::compile("this is not C++", "broken", dir),
+               std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Codegen, UnloadedPredictorThrows) {
+  const CompiledPredictor predictor;
+  EXPECT_FALSE(predictor.valid());
+  const double f[1] = {0.0};
+  EXPECT_THROW((void)predictor.predict(f), std::runtime_error);
+}
+
+TEST(Codegen, MoveTransfersOwnership) {
+  const DecisionTree tree = trained_tree();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "apollo_codegen_move").string();
+  std::filesystem::create_directories(dir);
+  CompiledPredictor a =
+      CompiledPredictor::compile(generate_cpp(tree, "move_model"), "move_model", dir);
+  CompiledPredictor b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(b.valid());
+  const double f[2] = {100.0, 1.0};
+  EXPECT_EQ(b.predict(f), tree.predict(f));
+  std::filesystem::remove_all(dir);
+}

@@ -1,0 +1,91 @@
+// Unit tests for the confusion matrix and the RunStats reporting helpers.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "core/runtime.hpp"
+#include "core/stats_report.hpp"
+#include "ml/confusion.hpp"
+
+using apollo::ml::ConfusionMatrix;
+
+TEST(ConfusionMatrix, FromVectorsCountsCells) {
+  const auto m = ConfusionMatrix::from({0, 0, 1, 1, 2}, {0, 1, 1, 1, 0}, 3);
+  EXPECT_EQ(m.count(0, 0), 1);
+  EXPECT_EQ(m.count(0, 1), 1);
+  EXPECT_EQ(m.count(1, 1), 2);
+  EXPECT_EQ(m.count(2, 0), 1);
+  EXPECT_EQ(m.count(2, 2), 0);
+  EXPECT_EQ(m.total(), 5);
+}
+
+TEST(ConfusionMatrix, AccuracyIsTraceOverTotal) {
+  const auto m = ConfusionMatrix::from({0, 0, 1, 1}, {0, 1, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(ConfusionMatrix(2).accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrix, RecallAndPrecision) {
+  // truth 0: predicted {0, 0, 1}; truth 1: predicted {1}.
+  const auto m = ConfusionMatrix::from({0, 0, 0, 1}, {0, 0, 1, 1}, 2);
+  const auto recall = m.recall();
+  EXPECT_NEAR(recall[0], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(recall[1], 1.0);
+  const auto precision = m.precision();
+  EXPECT_DOUBLE_EQ(precision[0], 1.0);
+  EXPECT_DOUBLE_EQ(precision[1], 0.5);
+}
+
+TEST(ConfusionMatrix, AbsentClassesScoreZero) {
+  const auto m = ConfusionMatrix::from({0, 0}, {0, 0}, 3);
+  EXPECT_DOUBLE_EQ(m.recall()[2], 0.0);
+  EXPECT_DOUBLE_EQ(m.precision()[1], 0.0);
+}
+
+TEST(ConfusionMatrix, Validation) {
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.add(2, 0), std::out_of_range);
+  EXPECT_THROW(m.add(0, -1), std::out_of_range);
+  EXPECT_THROW((void)ConfusionMatrix::from({0}, {0, 1}, 2), std::invalid_argument);
+  EXPECT_THROW((void)m.to_text({"only-one"}), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, TextRendering) {
+  const auto m = ConfusionMatrix::from({0, 1}, {0, 0}, 2);
+  const std::string text = m.to_text({"seq", "omp"});
+  EXPECT_NE(text.find("true\\pred\tseq\tomp"), std::string::npos);
+  EXPECT_NE(text.find("omp\t1\t0"), std::string::npos);
+}
+
+TEST(StatsReport, FormatsSortedTable) {
+  apollo::RunStats stats;
+  stats.total_seconds = 0.003;
+  stats.invocations = 30;
+  stats.per_kernel["app:cheap"] = apollo::KernelStats{0.001, 20};
+  stats.per_kernel["app:hot"] = apollo::KernelStats{0.002, 10};
+  const std::string text = apollo::format_stats(stats);
+  EXPECT_NE(text.find("3.000 ms over 30"), std::string::npos);
+  EXPECT_LT(text.find("app:hot"), text.find("app:cheap"));  // sorted by cost
+  EXPECT_NE(text.find("66.6"), std::string::npos);          // share of total
+}
+
+TEST(StatsReport, CsvRoundTrip) {
+  apollo::RunStats stats;
+  stats.total_seconds = 0.004;
+  stats.invocations = 4;
+  stats.per_kernel["k1"] = apollo::KernelStats{0.003, 3};
+  stats.per_kernel["k2"] = apollo::KernelStats{0.001, 1};
+  std::ostringstream out;
+  apollo::write_stats_csv(out, stats);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("loop_id,invocations,seconds,percent"), std::string::npos);
+  EXPECT_NE(csv.find("k1,3,0.003"), std::string::npos);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "apollo_stats_test.csv").string();
+  apollo::write_stats_csv_file(path, stats);
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}

@@ -1,0 +1,83 @@
+// Unit tests for k-fold cross-validation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ml/cross_validation.hpp"
+
+using apollo::ml::cross_validate;
+using apollo::ml::Dataset;
+using apollo::ml::TreeParams;
+
+namespace {
+
+Dataset noisy_separable(int n, double flip_fraction, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0, 1);
+  Dataset d({"x", "y"}, {"a", "b"});
+  for (int i = 0; i < n; ++i) {
+    const double x = dist(rng), y = dist(rng);
+    int label = x > 0.5 ? 1 : 0;
+    if (dist(rng) < flip_fraction) label = 1 - label;
+    d.add_row({x, y}, label);
+  }
+  return d;
+}
+
+}  // namespace
+
+TEST(CrossValidation, HighAccuracyOnCleanData) {
+  const auto result = cross_validate(noisy_separable(500, 0.0, 1), TreeParams{}, 10, 42);
+  EXPECT_GT(result.mean_accuracy, 0.95);
+  EXPECT_EQ(result.fold_accuracies.size(), 10u);
+  EXPECT_LE(result.min_accuracy, result.mean_accuracy);
+  EXPECT_GE(result.max_accuracy, result.mean_accuracy);
+}
+
+TEST(CrossValidation, NoiseLowersAccuracy) {
+  const auto clean = cross_validate(noisy_separable(600, 0.0, 2), TreeParams{}, 5, 42);
+  const auto noisy = cross_validate(noisy_separable(600, 0.3, 2), TreeParams{}, 5, 42);
+  EXPECT_GT(clean.mean_accuracy, noisy.mean_accuracy);
+  // 30% label flips cap achievable held-out accuracy around 70%.
+  EXPECT_LT(noisy.mean_accuracy, 0.85);
+}
+
+TEST(CrossValidation, DeterministicPerSeed) {
+  const auto a = cross_validate(noisy_separable(300, 0.1, 3), TreeParams{}, 5, 7);
+  const auto b = cross_validate(noisy_separable(300, 0.1, 3), TreeParams{}, 5, 7);
+  EXPECT_EQ(a.fold_accuracies, b.fold_accuracies);
+}
+
+TEST(CrossValidation, MeanIsAverageOfFolds) {
+  const auto result = cross_validate(noisy_separable(200, 0.05, 4), TreeParams{}, 4, 1);
+  double sum = 0.0;
+  for (double a : result.fold_accuracies) sum += a;
+  EXPECT_NEAR(result.mean_accuracy, sum / 4.0, 1e-12);
+}
+
+TEST(CrossValidation, TooFewRowsThrows) {
+  Dataset d({"x"}, {"a"});
+  d.add_row({1.0}, 0);
+  d.add_row({2.0}, 0);
+  EXPECT_THROW((void)cross_validate(d, TreeParams{}, 10, 0), std::invalid_argument);
+}
+
+TEST(CrossValidation, RespectsTreeParams) {
+  // A depth-1 tree cannot learn the XOR-ish checkerboard; deep trees can.
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> dist(0, 1);
+  Dataset d({"x", "y"}, {"a", "b"});
+  for (int i = 0; i < 800; ++i) {
+    const double x = dist(rng), y = dist(rng);
+    d.add_row({x, y}, (x - 0.5) * (y - 0.5) > 0 ? 1 : 0);
+  }
+  TreeParams shallow;
+  shallow.max_depth = 1;
+  TreeParams deep;
+  deep.max_depth = 8;
+  const auto s = cross_validate(d, shallow, 5, 9);
+  const auto dp = cross_validate(d, deep, 5, 9);
+  EXPECT_LT(s.mean_accuracy, 0.7);
+  EXPECT_GT(dp.mean_accuracy, 0.9);
+}

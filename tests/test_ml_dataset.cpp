@@ -1,0 +1,94 @@
+// Unit tests for Dataset, k-fold assignment, and accuracy helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ml/dataset.hpp"
+
+using apollo::ml::Dataset;
+
+namespace {
+
+Dataset tiny() {
+  Dataset d({"a", "b"}, {"x", "y"});
+  d.add_row({1.0, 2.0}, 0);
+  d.add_row({3.0, 4.0}, 1);
+  d.add_row({5.0, 6.0}, 0);
+  return d;
+}
+
+}  // namespace
+
+TEST(Dataset, AddRowAndAccessors) {
+  const Dataset d = tiny();
+  EXPECT_EQ(d.num_rows(), 3u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.num_classes(), 2u);
+  EXPECT_EQ(d.row(1), (std::vector<double>{3.0, 4.0}));
+  EXPECT_EQ(d.label(1), 1);
+}
+
+TEST(Dataset, AddRowValidation) {
+  Dataset d({"a"}, {"x"});
+  EXPECT_THROW(d.add_row({1.0, 2.0}, 0), std::invalid_argument);
+  EXPECT_THROW(d.add_row({1.0}, 1), std::invalid_argument);
+  EXPECT_THROW(d.add_row({1.0}, -1), std::invalid_argument);
+}
+
+TEST(Dataset, FeatureIndex) {
+  const Dataset d = tiny();
+  EXPECT_EQ(d.feature_index("b"), 1u);
+  EXPECT_THROW((void)d.feature_index("nope"), std::invalid_argument);
+}
+
+TEST(Dataset, SelectFeaturesReordersColumns) {
+  const Dataset d = tiny();
+  const Dataset s = d.select_features({"b"});
+  EXPECT_EQ(s.num_features(), 1u);
+  EXPECT_EQ(s.row(0), (std::vector<double>{2.0}));
+  EXPECT_EQ(s.label(2), 0);
+  const Dataset swapped = d.select_features({"b", "a"});
+  EXPECT_EQ(swapped.row(0), (std::vector<double>{2.0, 1.0}));
+}
+
+TEST(Dataset, SelectUnknownFeatureThrows) {
+  EXPECT_THROW((void)tiny().select_features({"zzz"}), std::invalid_argument);
+}
+
+TEST(Dataset, Subset) {
+  const Dataset d = tiny();
+  const Dataset s = d.subset({2, 0});
+  EXPECT_EQ(s.num_rows(), 2u);
+  EXPECT_EQ(s.row(0), (std::vector<double>{5.0, 6.0}));
+  EXPECT_EQ(s.row(1), (std::vector<double>{1.0, 2.0}));
+  EXPECT_THROW((void)d.subset({99}), std::out_of_range);
+}
+
+TEST(KFold, EveryRowAssignedBalanced) {
+  const auto folds = apollo::ml::kfold_assignment(103, 10, 42);
+  ASSERT_EQ(folds.size(), 103u);
+  std::vector<int> counts(10, 0);
+  for (int f : folds) {
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 10);
+    counts[static_cast<std::size_t>(f)]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10, 1);
+}
+
+TEST(KFold, DeterministicPerSeed) {
+  EXPECT_EQ(apollo::ml::kfold_assignment(50, 5, 7), apollo::ml::kfold_assignment(50, 5, 7));
+  EXPECT_NE(apollo::ml::kfold_assignment(50, 5, 7), apollo::ml::kfold_assignment(50, 5, 8));
+}
+
+TEST(KFold, FoldsValidation) {
+  EXPECT_THROW((void)apollo::ml::kfold_assignment(10, 1, 0), std::invalid_argument);
+}
+
+TEST(Accuracy, Basics) {
+  EXPECT_DOUBLE_EQ(apollo::ml::accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(apollo::ml::accuracy({1, 2, 3}, {1, 0, 0}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(apollo::ml::accuracy({}, {}), 0.0);
+  EXPECT_THROW((void)apollo::ml::accuracy({1}, {1, 2}), std::invalid_argument);
+}

@@ -1,0 +1,134 @@
+// Unit tests for the random-forest classifier (the paper's anticipated
+// "more complex classifier").
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "ml/random_forest.hpp"
+
+using apollo::ml::Dataset;
+using apollo::ml::ForestParams;
+using apollo::ml::RandomForest;
+
+namespace {
+
+Dataset noisy_grid(int n, double flip, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(0, 1);
+  Dataset d({"x", "y", "noise"}, {"a", "b"});
+  for (int i = 0; i < n; ++i) {
+    const double x = dist(rng), y = dist(rng), z = dist(rng);
+    int label = (x > 0.5) == (y > 0.5) ? 1 : 0;
+    if (dist(rng) < flip) label = 1 - label;
+    d.add_row({x, y, z}, label);
+  }
+  return d;
+}
+
+}  // namespace
+
+TEST(RandomForest, FitsAndScoresCheckerboard) {
+  const Dataset d = noisy_grid(800, 0.0, 1);
+  ForestParams params;
+  params.num_trees = 15;
+  const RandomForest forest = RandomForest::fit(d, params);
+  EXPECT_EQ(forest.tree_count(), 15u);
+  EXPECT_GT(forest.score(d), 0.93);
+}
+
+TEST(RandomForest, MoreTreesSmoothNoise) {
+  const Dataset train = noisy_grid(600, 0.25, 2);
+  const Dataset clean = noisy_grid(600, 0.0, 3);
+  ForestParams one;
+  one.num_trees = 1;
+  one.row_fraction = 0.6;
+  ForestParams many = one;
+  many.num_trees = 25;
+  const double single = RandomForest::fit(train, one).score(clean);
+  const double ensemble = RandomForest::fit(train, many).score(clean);
+  EXPECT_GE(ensemble, single - 0.02);  // bagging never much worse
+  EXPECT_GT(ensemble, 0.8);
+}
+
+TEST(RandomForest, PredictValidatesWidth) {
+  const RandomForest forest = RandomForest::fit(noisy_grid(100, 0.0, 4));
+  EXPECT_THROW((void)forest.predict(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(RandomForest, EmptyDatasetSafeDefault) {
+  const Dataset d({"x"}, {"only"});
+  const RandomForest forest = RandomForest::fit(d);
+  EXPECT_EQ(forest.tree_count(), 0u);
+  const double f[1] = {0.5};
+  EXPECT_EQ(forest.predict(f), 0);
+}
+
+TEST(RandomForest, InvalidParamsThrow) {
+  ForestParams params;
+  params.num_trees = 0;
+  EXPECT_THROW((void)RandomForest::fit(noisy_grid(50, 0.0, 5), params), std::invalid_argument);
+}
+
+TEST(RandomForest, DeterministicPerSeed) {
+  const Dataset d = noisy_grid(300, 0.1, 6);
+  ForestParams params;
+  params.num_trees = 7;
+  const RandomForest a = RandomForest::fit(d, params);
+  const RandomForest b = RandomForest::fit(d, params);
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> dist(0, 1);
+  for (int i = 0; i < 200; ++i) {
+    const double f[3] = {dist(rng), dist(rng), dist(rng)};
+    EXPECT_EQ(a.predict(f), b.predict(f));
+  }
+}
+
+TEST(RandomForest, ImportancesFavourInformativeFeatures) {
+  const Dataset d = noisy_grid(1000, 0.0, 7);
+  ForestParams params;
+  params.num_trees = 12;
+  params.tree.max_depth = 5;     // shallow: no deep noise-chasing splits
+  params.feature_fraction = 1.0; // subspace sampling would force noise into
+                                 // trees that drew only one signal feature
+  const auto importances = RandomForest::fit(d, params).feature_importances();
+  ASSERT_EQ(importances.size(), 3u);
+  EXPECT_NEAR(importances[0] + importances[1] + importances[2], 1.0, 1e-9);
+  EXPECT_LT(importances[2], importances[0]);  // noise ranks below signal...
+  EXPECT_LT(importances[2], importances[1]);
+  EXPECT_LT(importances[2], 0.2);             // ...and contributes little
+}
+
+TEST(RandomForest, SaveLoadRoundTrip) {
+  const Dataset d = noisy_grid(400, 0.05, 8);
+  ForestParams params;
+  params.num_trees = 5;
+  const RandomForest forest = RandomForest::fit(d, params);
+  std::stringstream stream;
+  forest.save(stream);
+  const RandomForest back = RandomForest::load(stream);
+  EXPECT_EQ(back.tree_count(), forest.tree_count());
+  for (std::size_t r = 0; r < d.num_rows(); ++r) {
+    EXPECT_EQ(back.predict(d.row(r).data()), forest.predict(d.row(r).data()));
+  }
+}
+
+TEST(RandomForest, LoadRejectsGarbage) {
+  std::stringstream bad("not-a-forest 1\n");
+  EXPECT_THROW((void)RandomForest::load(bad), std::runtime_error);
+}
+
+TEST(RandomForest, FeatureSubsetsActuallyUsed) {
+  const Dataset d = noisy_grid(300, 0.0, 10);
+  ForestParams params;
+  params.num_trees = 10;
+  params.feature_fraction = 0.34;  // 1 of 3 features per tree
+  const RandomForest forest = RandomForest::fit(d, params);
+  for (const auto& tree : forest.trees()) {
+    EXPECT_EQ(tree.feature_names().size(), 1u);
+  }
+  // Single-feature trees cannot solve the checkerboard alone, but the
+  // ensemble should still beat chance.
+  EXPECT_GT(forest.score(d), 0.5);
+}

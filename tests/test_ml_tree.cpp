@@ -1,0 +1,230 @@
+// Unit and property tests for the CART decision-tree classifier.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <sstream>
+
+#include "ml/decision_tree.hpp"
+
+using apollo::ml::Dataset;
+using apollo::ml::DecisionTree;
+using apollo::ml::TreeParams;
+
+namespace {
+
+/// 1D linearly separable data: label = x > 10.
+Dataset separable_1d() {
+  Dataset d({"x"}, {"lo", "hi"});
+  for (int i = 0; i < 40; ++i) d.add_row({static_cast<double>(i)}, i > 10 ? 1 : 0);
+  return d;
+}
+
+/// XOR over two binary features: needs depth >= 2.
+Dataset xor_data() {
+  Dataset d({"a", "b"}, {"zero", "one"});
+  for (int rep = 0; rep < 5; ++rep) {
+    d.add_row({0.0, 0.0}, 0);
+    d.add_row({0.0, 1.0}, 1);
+    d.add_row({1.0, 0.0}, 1);
+    d.add_row({1.0, 1.0}, 0);
+  }
+  return d;
+}
+
+TreeParams loose() {
+  TreeParams p;
+  p.min_samples_leaf = 1;
+  p.min_samples_split = 2;
+  return p;
+}
+
+}  // namespace
+
+TEST(DecisionTree, EmptyDatasetGivesEmptyTree) {
+  const Dataset d({"x"}, {"a"});
+  const DecisionTree tree = DecisionTree::fit(d);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0}), 0);  // safe default
+}
+
+TEST(DecisionTree, PerfectOnSeparableData) {
+  const Dataset d = separable_1d();
+  const DecisionTree tree = DecisionTree::fit(d, loose());
+  EXPECT_DOUBLE_EQ(tree.score(d), 1.0);
+  EXPECT_EQ(tree.depth(), 1);
+  EXPECT_EQ(tree.node_count(), 3u);
+}
+
+TEST(DecisionTree, ThresholdIsMidpoint) {
+  const Dataset d = separable_1d();
+  const DecisionTree tree = DecisionTree::fit(d, loose());
+  const auto& root = tree.nodes()[0];
+  EXPECT_EQ(root.feature, 0);
+  EXPECT_DOUBLE_EQ(root.threshold, 10.5);
+}
+
+TEST(DecisionTree, PureDatasetIsSingleLeaf) {
+  Dataset d({"x"}, {"only", "other"});
+  for (int i = 0; i < 10; ++i) d.add_row({static_cast<double>(i)}, 0);
+  const DecisionTree tree = DecisionTree::fit(d);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(std::vector<double>{3.0}), 0);
+}
+
+TEST(DecisionTree, ConstantFeaturesGiveMajorityLeaf) {
+  Dataset d({"x"}, {"a", "b"});
+  for (int i = 0; i < 7; ++i) d.add_row({1.0}, 0);
+  for (int i = 0; i < 3; ++i) d.add_row({1.0}, 1);
+  const DecisionTree tree = DecisionTree::fit(d, loose());
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0}), 0);
+}
+
+TEST(DecisionTree, XorNeedsDepthTwo) {
+  const Dataset d = xor_data();
+  TreeParams shallow = loose();
+  shallow.max_depth = 1;
+  EXPECT_LT(DecisionTree::fit(d, shallow).score(d), 1.0);
+  TreeParams deep = loose();
+  deep.max_depth = 2;
+  EXPECT_DOUBLE_EQ(DecisionTree::fit(d, deep).score(d), 1.0);
+}
+
+TEST(DecisionTree, MaxDepthRespected) {
+  std::mt19937 rng(3);
+  Dataset d({"x", "y"}, {"a", "b"});
+  std::uniform_real_distribution<double> dist(0, 1);
+  for (int i = 0; i < 500; ++i) {
+    const double x = dist(rng), y = dist(rng);
+    d.add_row({x, y}, (std::sin(20 * x) + std::cos(17 * y)) > 0 ? 1 : 0);
+  }
+  for (int depth : {1, 3, 5, 8}) {
+    TreeParams p = loose();
+    p.max_depth = depth;
+    EXPECT_LE(DecisionTree::fit(d, p).depth(), depth);
+  }
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const Dataset d = separable_1d();
+  TreeParams p = loose();
+  p.min_samples_leaf = 5;
+  const DecisionTree tree = DecisionTree::fit(d, p);
+  for (const auto& node : tree.nodes()) {
+    if (node.feature < 0) EXPECT_GE(node.samples, 5);
+  }
+}
+
+TEST(DecisionTree, MultiClass) {
+  Dataset d({"x"}, {"a", "b", "c"});
+  for (int i = 0; i < 30; ++i) d.add_row({static_cast<double>(i)}, i < 10 ? 0 : (i < 20 ? 1 : 2));
+  const DecisionTree tree = DecisionTree::fit(d, loose());
+  EXPECT_DOUBLE_EQ(tree.score(d), 1.0);
+  EXPECT_EQ(tree.predict(std::vector<double>{5.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{15.0}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{25.0}), 2);
+}
+
+TEST(DecisionTree, PredictValidatesWidth) {
+  const DecisionTree tree = DecisionTree::fit(separable_1d(), loose());
+  EXPECT_THROW((void)tree.predict(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(DecisionTree, ImportancesConcentrateOnInformativeFeature) {
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> dist(0, 1);
+  Dataset d({"noise", "signal"}, {"a", "b"});
+  for (int i = 0; i < 400; ++i) {
+    const double noise = dist(rng), signal = dist(rng);
+    d.add_row({noise, signal}, signal > 0.5 ? 1 : 0);
+  }
+  const DecisionTree tree = DecisionTree::fit(d, loose());
+  const auto importances = tree.feature_importances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+  EXPECT_GT(importances[1], 0.9);
+}
+
+TEST(DecisionTree, ImportancesZeroForLeafTree) {
+  Dataset d({"x"}, {"a", "b"});
+  d.add_row({1.0}, 0);
+  d.add_row({1.0}, 0);
+  const auto importances = DecisionTree::fit(d).feature_importances();
+  EXPECT_DOUBLE_EQ(importances[0], 0.0);
+}
+
+TEST(DecisionTree, PruneReducesDepthKeepsMajority) {
+  const Dataset d = xor_data();
+  TreeParams p = loose();
+  const DecisionTree tree = DecisionTree::fit(d, p);
+  ASSERT_GE(tree.depth(), 2);
+  const DecisionTree pruned = tree.prune_to_depth(1);
+  EXPECT_LE(pruned.depth(), 1);
+  const DecisionTree root_only = tree.prune_to_depth(0);
+  EXPECT_EQ(root_only.node_count(), 1u);
+  // Root-only prediction is the global majority class.
+  EXPECT_EQ(root_only.predict(std::vector<double>{0.0, 0.0}),
+            root_only.predict(std::vector<double>{1.0, 0.0}));
+}
+
+TEST(DecisionTree, PruneDeeperThanTreeIsIdentityInBehaviour) {
+  const Dataset d = separable_1d();
+  const DecisionTree tree = DecisionTree::fit(d, loose());
+  const DecisionTree pruned = tree.prune_to_depth(30);
+  EXPECT_DOUBLE_EQ(pruned.score(d), tree.score(d));
+  EXPECT_EQ(pruned.node_count(), tree.node_count());
+}
+
+TEST(DecisionTree, SaveLoadRoundTrip) {
+  std::mt19937 rng(9);
+  std::uniform_real_distribution<double> dist(0, 1);
+  Dataset d({"u", "v", "w"}, {"p", "q", "r"});
+  for (int i = 0; i < 300; ++i) {
+    const double u = dist(rng), v = dist(rng), w = dist(rng);
+    d.add_row({u, v, w}, u > 0.6 ? 2 : (v + w > 1.0 ? 1 : 0));
+  }
+  const DecisionTree tree = DecisionTree::fit(d, loose());
+  std::stringstream stream;
+  tree.save(stream);
+  const DecisionTree back = DecisionTree::load(stream);
+  EXPECT_EQ(back.node_count(), tree.node_count());
+  EXPECT_EQ(back.feature_names(), tree.feature_names());
+  EXPECT_EQ(back.label_names(), tree.label_names());
+  for (std::size_t r = 0; r < d.num_rows(); ++r) {
+    EXPECT_EQ(back.predict(d.row(r).data()), tree.predict(d.row(r).data()));
+  }
+}
+
+TEST(DecisionTree, LoadRejectsGarbage) {
+  std::stringstream bad("not-a-tree 1\n");
+  EXPECT_THROW((void)DecisionTree::load(bad), std::runtime_error);
+}
+
+TEST(DecisionTree, ToTextMentionsFeaturesAndLabels) {
+  const DecisionTree tree = DecisionTree::fit(separable_1d(), loose());
+  const std::string text = tree.to_text();
+  EXPECT_NE(text.find("if (x <= 10.5"), std::string::npos);
+  EXPECT_NE(text.find("-> hi"), std::string::npos);
+  EXPECT_NE(text.find("-> lo"), std::string::npos);
+}
+
+class DepthAccuracySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DepthAccuracySweep, DeeperNeverWorseOnTraining) {
+  std::mt19937 rng(13);
+  std::uniform_real_distribution<double> dist(0, 1);
+  Dataset d({"x", "y"}, {"a", "b"});
+  for (int i = 0; i < 600; ++i) {
+    const double x = dist(rng), y = dist(rng);
+    d.add_row({x, y}, (x - 0.5) * (y - 0.5) > 0 ? 1 : 0);
+  }
+  TreeParams shallow = loose();
+  shallow.max_depth = GetParam();
+  TreeParams deeper = loose();
+  deeper.max_depth = GetParam() + 1;
+  EXPECT_LE(DecisionTree::fit(d, shallow).score(d), DecisionTree::fit(d, deeper).score(d) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthAccuracySweep, ::testing::Values(1, 2, 3, 5, 8, 12));

@@ -1,0 +1,205 @@
+// Unit and property tests for the thread pool's OpenMP-static parallel_for.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+using apollo::par::ThreadPool;
+
+TEST(ThreadPool, DefaultConstructionHasWorkers) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, 1, [&](std::int64_t) { ++calls; });
+  pool.parallel_for(5, 3, 1, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, EveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::int64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, 7, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+}
+
+TEST(ThreadPool, NonZeroBegin) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(10, 20, 2, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ThreadPool, DefaultChunkIsOneBlockPerThread) {
+  // With chunk<=0 and T threads, thread w gets the contiguous block
+  // [w*ceil(N/T), ...) — check the block boundaries via observed ordering:
+  // indices within one thread's share execute in ascending order.
+  ThreadPool pool(4);
+  const std::int64_t n = 103;
+  std::vector<int> owner(static_cast<std::size_t>(n), -1);
+  std::mutex m;
+  std::atomic<int> next_id{0};
+  thread_local int my_id = -1;
+  pool.parallel_for(0, n, 0, [&](std::int64_t i) {
+    if (my_id < 0) my_id = next_id++;
+    std::lock_guard lock(m);
+    owner[static_cast<std::size_t>(i)] = my_id;
+  });
+  // ceil(103/4) = 26: indices [0,26) share an owner, [26,52) share one, etc.
+  for (std::int64_t block = 0; block < 4; ++block) {
+    const std::int64_t lo = block * 26;
+    const std::int64_t hi = std::min<std::int64_t>(lo + 26, n);
+    if (lo >= n) break;
+    const int first = owner[static_cast<std::size_t>(lo)];
+    ASSERT_GE(first, 0);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      EXPECT_EQ(owner[static_cast<std::size_t>(i)], first) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, StaticScheduleRoundRobinBlocks) {
+  // schedule(static, chunk): block k belongs to thread k % T, so two indices
+  // i and i+chunk*T always share a thread, and i / i+chunk (different blocks,
+  // adjacent) belong to different threads when T > 1.
+  const unsigned T = 3;
+  const std::int64_t chunk = 5;
+  ThreadPool pool(T);
+  const std::int64_t n = 90;
+  std::vector<int> owner(static_cast<std::size_t>(n), -1);
+  std::mutex m;
+  std::atomic<int> next_id{0};
+  thread_local int my_id = -1;
+  pool.parallel_for(0, n, chunk, [&](std::int64_t i) {
+    if (my_id < 0) my_id = next_id++;
+    std::lock_guard lock(m);
+    owner[static_cast<std::size_t>(i)] = my_id;
+  });
+  for (std::int64_t i = 0; i + chunk * T < n; ++i) {
+    EXPECT_EQ(owner[static_cast<std::size_t>(i)],
+              owner[static_cast<std::size_t>(i + chunk * T)]);
+  }
+  // Indices within one block share an owner.
+  for (std::int64_t b = 0; b < n / chunk; ++b) {
+    for (std::int64_t i = b * chunk; i < (b + 1) * chunk; ++i) {
+      EXPECT_EQ(owner[static_cast<std::size_t>(i)], owner[static_cast<std::size_t>(b * chunk)]);
+    }
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100, 1,
+                        [&](std::int64_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, 1, [&](std::int64_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(0, 1, 1, [&](std::int64_t) { seen = std::this_thread::get_id(); });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, SequentialJobsReuseWorkers) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 100, 9, [&](std::int64_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 50 * 4950);
+}
+
+TEST(ThreadPool, GlobalPoolSingleton) {
+  auto& a = ThreadPool::global();
+  auto& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> count{0};
+  a.parallel_for(0, 16, 4, [&](std::int64_t) { count++; });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, TeamCapLimitsParticipants) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::set<std::thread::id> participants;
+  const std::function<void(std::int64_t)> body = [&](std::int64_t) {
+    std::lock_guard lock(m);
+    participants.insert(std::this_thread::get_id());
+  };
+  pool.parallel_for(0, 1000, 1, body, /*team=*/2);
+  EXPECT_LE(participants.size(), 2u);
+}
+
+TEST(ThreadPool, TeamCapStillCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(500);
+  const std::function<void(std::int64_t)> body = [&](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)]++;
+  };
+  for (unsigned team : {1u, 2u, 3u, 4u, 9u}) {  // 9 > pool size: clamped
+    for (auto& h : hits) h = 0;
+    pool.parallel_for(0, 500, 7, body, team);
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1) << "team=" << team;
+  }
+}
+
+TEST(ThreadPool, TeamOfOneRunsInline) {
+  ThreadPool pool(4);
+  std::thread::id seen;
+  const std::function<void(std::int64_t)> body = [&](std::int64_t) {
+    seen = std::this_thread::get_id();
+  };
+  pool.parallel_for(0, 3, 1, body, /*team=*/1);
+  EXPECT_EQ(seen, std::this_thread::get_id());
+}
+
+class ChunkSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ChunkSweep, CoverageForAnyChunk) {
+  ThreadPool pool(4);
+  const std::int64_t n = 257;  // prime-ish, exercises partial tail blocks
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(0, n, GetParam(), [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  std::int64_t total = 0;
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+    total += h.load();
+  }
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, ChunkSweep,
+                         ::testing::Values<std::int64_t>(0, 1, 2, 3, 7, 16, 64, 256, 257, 1000));
+
+class ThreadSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadSweep, SumIndependentOfThreadCount) {
+  ThreadPool pool(GetParam());
+  std::vector<double> out(1024, 0.0);
+  pool.parallel_for(0, 1024, 13, [&](std::int64_t i) {
+    out[static_cast<std::size_t>(i)] = static_cast<double>(i) * 0.5;
+  });
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 0.5 * 1023.0 * 1024.0 / 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1u, 2u, 3u, 4u, 8u));

@@ -1,0 +1,52 @@
+// Unit tests for the CSV record exporter.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "perf/csv_export.hpp"
+
+using namespace apollo::perf;
+
+TEST(CsvQuote, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_quote("plain"), "plain");
+  EXPECT_EQ(csv_quote("123.5"), "123.5");
+}
+
+TEST(CsvQuote, SpecialCharactersQuoted) {
+  EXPECT_EQ(csv_quote("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_quote("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_quote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvExport, HeaderIsUnionOfKeys) {
+  std::vector<SampleRecord> records(2);
+  records[0]["alpha"] = 1;
+  records[0]["beta"] = 2.5;
+  records[1]["beta"] = 3.0;
+  records[1]["gamma"] = "text";
+  std::ostringstream out;
+  write_records_csv(out, records);
+  std::istringstream in(out.str());
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(header, "alpha,beta,gamma");
+  EXPECT_EQ(row1, "1,2.5,");
+  EXPECT_EQ(row2, ",3,text");
+}
+
+TEST(CsvExport, EmptyRecordListGivesEmptyHeader) {
+  std::ostringstream out;
+  write_records_csv(out, {});
+  EXPECT_EQ(out.str(), "\n");
+}
+
+TEST(CsvExport, CommaInStringValueStaysOneCell) {
+  std::vector<SampleRecord> records(1);
+  records[0]["name"] = "a,b";
+  std::ostringstream out;
+  write_records_csv(out, records);
+  EXPECT_NE(out.str().find("\"a,b\""), std::string::npos);
+}

@@ -1,0 +1,122 @@
+// Tests for the hierarchical region profiler.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "perf/regions.hpp"
+
+using apollo::perf::RegionProfiler;
+using apollo::perf::ScopedRegion;
+
+class RegionsTest : public ::testing::Test {
+protected:
+  void SetUp() override { RegionProfiler::instance().reset(); }
+  void TearDown() override { RegionProfiler::instance().reset(); }
+};
+
+TEST_F(RegionsTest, BeginEndBuildsTree) {
+  auto& profiler = RegionProfiler::instance();
+  profiler.begin("step");
+  profiler.begin("hydro");
+  profiler.end();
+  profiler.begin("eos");
+  profiler.end();
+  profiler.end();
+
+  const auto& root = profiler.root();
+  ASSERT_EQ(root.children.size(), 1u);
+  EXPECT_EQ(root.children[0].name, "step");
+  ASSERT_EQ(root.children[0].children.size(), 2u);
+  EXPECT_EQ(root.children[0].children[0].name, "hydro");
+  EXPECT_EQ(root.children[0].children[1].name, "eos");
+}
+
+TEST_F(RegionsTest, RepeatVisitsAccumulate) {
+  auto& profiler = RegionProfiler::instance();
+  for (int i = 0; i < 5; ++i) {
+    ScopedRegion step("step");
+    ScopedRegion inner("inner");
+  }
+  const auto& step = profiler.root().children[0];
+  EXPECT_EQ(step.visits, 5);
+  ASSERT_EQ(step.children.size(), 1u);
+  EXPECT_EQ(step.children[0].visits, 5);
+}
+
+TEST_F(RegionsTest, InclusiveTimeCoversChildren) {
+  auto& profiler = RegionProfiler::instance();
+  {
+    ScopedRegion outer("outer");
+    {
+      ScopedRegion inner("inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    }
+  }
+  const auto& outer = profiler.root().children[0];
+  const auto& inner = outer.children[0];
+  EXPECT_GE(outer.inclusive_seconds, inner.inclusive_seconds);
+  EXPECT_GE(inner.inclusive_seconds, 0.003);
+}
+
+TEST_F(RegionsTest, SameNameDifferentParentsAreDistinct) {
+  auto& profiler = RegionProfiler::instance();
+  profiler.begin("a");
+  profiler.begin("shared");
+  profiler.end();
+  profiler.end();
+  profiler.begin("b");
+  profiler.begin("shared");
+  profiler.end();
+  profiler.end();
+  const auto& root = profiler.root();
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].children[0].visits, 1);
+  EXPECT_EQ(root.children[1].children[0].visits, 1);
+}
+
+TEST_F(RegionsTest, EndWithoutBeginThrows) {
+  EXPECT_THROW(RegionProfiler::instance().end(), std::logic_error);
+}
+
+TEST_F(RegionsTest, DepthTracksOpenRegions) {
+  auto& profiler = RegionProfiler::instance();
+  EXPECT_EQ(profiler.depth(), 0u);
+  profiler.begin("a");
+  EXPECT_EQ(profiler.depth(), 1u);
+  profiler.begin("b");
+  EXPECT_EQ(profiler.depth(), 2u);
+  profiler.end();
+  profiler.end();
+  EXPECT_EQ(profiler.depth(), 0u);
+}
+
+TEST_F(RegionsTest, ReportContainsNamesAndCounts) {
+  auto& profiler = RegionProfiler::instance();
+  {
+    ScopedRegion step("timestep");
+    ScopedRegion hydro("hydro_phase");
+  }
+  const std::string report = profiler.report();
+  EXPECT_NE(report.find("timestep"), std::string::npos);
+  EXPECT_NE(report.find("hydro_phase"), std::string::npos);
+  EXPECT_NE(report.find("(1 visits)"), std::string::npos);
+}
+
+TEST_F(RegionsTest, ResetClearsEverything) {
+  auto& profiler = RegionProfiler::instance();
+  profiler.begin("x");
+  profiler.end();
+  profiler.reset();
+  EXPECT_TRUE(profiler.root().children.empty());
+  EXPECT_EQ(profiler.depth(), 0u);
+}
+
+TEST_F(RegionsTest, ManySiblingsNoCorruption) {
+  auto& profiler = RegionProfiler::instance();
+  ScopedRegion outer("outer");
+  for (int i = 0; i < 100; ++i) {
+    ScopedRegion child("child" + std::to_string(i));
+  }
+  EXPECT_EQ(profiler.root().children[0].children.size(), 100u);
+}

@@ -1,0 +1,98 @@
+// Tests for the RAJA extensions: reduction objects and environment-variable
+// policy selection (SIII-A).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "raja/env_policy.hpp"
+#include "raja/forall.hpp"
+#include "raja/reducers.hpp"
+
+using namespace raja;
+
+TEST(Reducers, MinUnderSequential) {
+  ReduceMin<double> rmin(1e30);
+  forall<seq_exec>(0, 1000, [=](Index i) { rmin.min(std::abs(static_cast<double>(i) - 617.0)); });
+  EXPECT_DOUBLE_EQ(rmin.get(), 0.0);
+}
+
+TEST(Reducers, MinUnderParallel) {
+  ReduceMin<double> rmin(1e30);
+  forall<omp_parallel_for_exec>(0, 100000,
+                                [=](Index i) { rmin.min(static_cast<double>((i * 7919) % 100411)); });
+  EXPECT_DOUBLE_EQ(rmin.get(), 0.0);  // i == 0 gives 0
+}
+
+TEST(Reducers, MaxUnderParallel) {
+  ReduceMax<double> rmax(-1e30);
+  forall(omp_parallel_for_exec{16, 0}, IndexSet::range(0, 5000),
+         [=](Index i) { rmax.max(static_cast<double>(i)); });
+  EXPECT_DOUBLE_EQ(rmax.get(), 4999.0);
+}
+
+TEST(Reducers, SumMatchesClosedForm) {
+  ReduceSum<std::int64_t> rsum(0);
+  forall(omp_parallel_for_exec{8, 0}, IndexSet::range(0, 10000), [=](Index i) { rsum.add(i); });
+  EXPECT_EQ(rsum.get(), 10000LL * 9999 / 2);
+}
+
+TEST(Reducers, CopiesShareState) {
+  ReduceSum<int> rsum(0);
+  ReduceSum<int> copy = rsum;
+  copy.add(5);
+  rsum.add(3);
+  EXPECT_EQ(rsum.get(), 8);
+  EXPECT_EQ(copy.get(), 8);
+}
+
+TEST(Reducers, InitialValuePreservedWhenNoUpdate) {
+  ReduceMin<double> rmin(42.0);
+  EXPECT_DOUBLE_EQ(rmin.get(), 42.0);
+  rmin.min(50.0);  // worse than initial
+  EXPECT_DOUBLE_EQ(rmin.get(), 42.0);
+}
+
+class EnvPolicyTest : public ::testing::Test {
+protected:
+  void TearDown() override {
+    unsetenv("RAJA_POLICY");
+    unsetenv("RAJA_CHUNK_SIZE");
+  }
+};
+
+TEST_F(EnvPolicyTest, UnsetReturnsNullopt) {
+  unsetenv("RAJA_POLICY");
+  EXPECT_FALSE(raja::apollo::policy_from_env().has_value());
+}
+
+TEST_F(EnvPolicyTest, ReadsPolicyAndChunk) {
+  setenv("RAJA_POLICY", "omp", 1);
+  setenv("RAJA_CHUNK_SIZE", "128", 1);
+  const auto env = raja::apollo::policy_from_env();
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->policy, PolicyType::seq_segit_omp_parallel_for_exec);
+  EXPECT_EQ(env->chunk, 128);
+}
+
+TEST_F(EnvPolicyTest, SeqWithoutChunk) {
+  setenv("RAJA_POLICY", "seq", 1);
+  const auto env = raja::apollo::policy_from_env();
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->policy, PolicyType::seq_segit_seq_exec);
+  EXPECT_EQ(env->chunk, 0);
+}
+
+TEST_F(EnvPolicyTest, CustomVariableNames) {
+  setenv("MY_POLICY", "omp", 1);
+  const auto env = raja::apollo::policy_from_env("MY_POLICY", "MY_CHUNK");
+  ASSERT_TRUE(env.has_value());
+  EXPECT_EQ(env->policy, PolicyType::seq_segit_omp_parallel_for_exec);
+  unsetenv("MY_POLICY");
+}
+
+TEST_F(EnvPolicyTest, NonPositiveChunkIgnored) {
+  setenv("RAJA_POLICY", "omp", 1);
+  setenv("RAJA_CHUNK_SIZE", "-5", 1);
+  EXPECT_EQ(raja::apollo::policy_from_env()->chunk, 0);
+}

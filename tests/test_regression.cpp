@@ -1,0 +1,154 @@
+// Regression tests against known solutions and randomized round-trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "apps/cleverleaf/cleverleaf.hpp"
+#include "core/runtime.hpp"
+#include "perf/blackboard.hpp"
+#include "perf/record.hpp"
+
+using namespace apollo;
+using apps::cleverleaf::CleverConfig;
+using apps::cleverleaf::Simulation;
+
+namespace {
+
+class RegressionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Runtime::instance().reset();
+    perf::Blackboard::instance().clear();
+  }
+  void TearDown() override { Runtime::instance().reset(); }
+};
+
+/// Midline density profile of a single-level Sod run advanced to `t_end`.
+std::vector<double> sod_profile(int cells, double t_end, bool second_order) {
+  CleverConfig cfg;
+  cfg.problem = "sod";
+  cfg.coarse_cells = cells;
+  cfg.max_levels = 1;
+  cfg.second_order = second_order;
+  Simulation sim(cfg);
+  while (sim.time() < t_end && sim.cycle() < 4000) sim.step();
+
+  std::vector<double> rho(static_cast<std::size_t>(cells), 0.0);
+  const int mid_j = cells / 2;
+  for (const auto& patch : sim.levels()[0].patches) {
+    if (mid_j < patch.box.j0 || mid_j > patch.box.j1) continue;
+    for (int i = patch.box.i0; i <= patch.box.i1; ++i) {
+      rho[static_cast<std::size_t>(i)] =
+          patch.rho[static_cast<std::size_t>(patch.idx(i, mid_j))];
+    }
+  }
+  return rho;
+}
+
+}  // namespace
+
+// Analytic Sod solution at t = 0.1 (gamma = 1.4): p* = 0.30313,
+// rho*_L = 0.42632, rho*_R = 0.26557, u* = 0.92745, shock speed = 1.75216.
+TEST_F(RegressionTest, SodShockPositionMatchesExactRiemannSolution) {
+  const double t = 0.1;
+  const auto rho = sod_profile(128, t, /*second_order=*/true);
+  // Locate the shock: last cell (from the right) where density exceeds the
+  // average of the post-shock and ambient values.
+  const double threshold = 0.5 * (0.26557 + 0.125);
+  int shock_cell = -1;
+  for (int i = 127; i >= 64; --i) {
+    if (rho[static_cast<std::size_t>(i)] > threshold) {
+      shock_cell = i;
+      break;
+    }
+  }
+  ASSERT_GE(shock_cell, 0);
+  const double shock_x = (shock_cell + 0.5) / 128.0;
+  EXPECT_NEAR(shock_x, 0.5 + 1.75216 * t, 0.05);
+}
+
+TEST_F(RegressionTest, SodPostShockDensityPlateau) {
+  const double t = 0.1;
+  const auto rho = sod_profile(128, t, /*second_order=*/true);
+  // Sample mid-plateau between the contact (~x = 0.5 + 0.927*t = 0.593) and
+  // the shock (~0.675).
+  const int i = static_cast<int>(0.63 * 128);
+  EXPECT_NEAR(rho[static_cast<std::size_t>(i)], 0.26557, 0.05);
+}
+
+TEST_F(RegressionTest, SodRarefactionHeadStationaryFoot) {
+  const double t = 0.1;
+  const auto rho = sod_profile(128, t, /*second_order=*/true);
+  // Left of the rarefaction head (x < 0.5 - c_L * t = 0.5 - 1.183 * 0.1),
+  // the state is still the initial left state.
+  const int i = static_cast<int>(0.3 * 128);
+  EXPECT_NEAR(rho[static_cast<std::size_t>(i)], 1.0, 0.03);
+  // Far right: undisturbed ambient.
+  EXPECT_NEAR(rho[120], 0.125, 0.02);
+}
+
+TEST_F(RegressionTest, SodResolutionConvergence) {
+  // Refining the grid moves the computed profile toward the analytic
+  // post-shock density at the sample point.
+  const double t = 0.08;
+  const int i_frac = 60;  // x ~ 0.60, inside the plateau at this time
+  const auto coarse = sod_profile(64, t, true);
+  const auto fine = sod_profile(192, t, true);
+  const double exact = 0.26557;
+  const double coarse_err =
+      std::fabs(coarse[static_cast<std::size_t>(64 * i_frac / 100)] - exact);
+  const double fine_err =
+      std::fabs(fine[static_cast<std::size_t>(192 * i_frac / 100)] - exact);
+  EXPECT_LE(fine_err, coarse_err + 0.02);
+}
+
+TEST_F(RegressionTest, RecordFuzzRoundTrip) {
+  std::mt19937_64 rng(2024);
+  std::uniform_int_distribution<int> length(0, 24);
+  std::uniform_int_distribution<int> charset(0, 255);
+  std::uniform_int_distribution<int> kind(0, 2);
+  std::uniform_real_distribution<double> real(-1e30, 1e30);
+  std::uniform_int_distribution<std::int64_t> integer(INT64_MIN / 2, INT64_MAX / 2);
+
+  auto random_string = [&]() {
+    std::string s;
+    const int n = length(rng);
+    for (int c = 0; c < n; ++c) {
+      char ch = static_cast<char>(charset(rng));
+      if (ch == '\0') ch = 'x';  // values are C++ strings; NUL is fine but dull
+      s += ch;
+    }
+    return s;
+  };
+
+  for (int round = 0; round < 200; ++round) {
+    perf::SampleRecord record;
+    const int entries = 1 + length(rng) % 8;
+    for (int e = 0; e < entries; ++e) {
+      std::string key = random_string();
+      if (key.empty()) key = "k";
+      switch (kind(rng)) {
+        case 0: record[key] = integer(rng); break;
+        case 1: record[key] = real(rng); break;
+        default: record[key] = random_string(); break;
+      }
+    }
+    const perf::SampleRecord decoded = perf::decode_record(perf::encode_record(record));
+    ASSERT_EQ(decoded, record) << "round " << round;
+  }
+}
+
+TEST_F(RegressionTest, ValueFuzzRoundTrip) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> real(-1e100, 1e100);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = real(rng);
+    const perf::Value decoded = perf::Value::decode(perf::Value(v).encode());
+    ASSERT_DOUBLE_EQ(decoded.as_real(), v);
+  }
+  for (double special : {0.0, -0.0, 1e-308, 1.7976931348623157e308}) {
+    ASSERT_DOUBLE_EQ(perf::Value::decode(perf::Value(special).encode()).as_real(), special);
+  }
+}

@@ -1,0 +1,105 @@
+// Unit tests for the bulk-synchronous cluster model and its load balancer.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "sim/cluster.hpp"
+
+using apollo::sim::ClusterConfig;
+using apollo::sim::ClusterModel;
+
+TEST(ClusterModel, RanksForCores) {
+  const ClusterModel m;
+  EXPECT_EQ(m.ranks_for_cores(16), 1u);
+  EXPECT_EQ(m.ranks_for_cores(8), 1u);
+  EXPECT_EQ(m.ranks_for_cores(32), 2u);
+  EXPECT_EQ(m.ranks_for_cores(256), 16u);
+}
+
+TEST(ClusterModel, StepIsMaxPlusCollective) {
+  ClusterConfig cfg;
+  cfg.halo_per_patch_us = 0.0;
+  const ClusterModel m(cfg);
+  const double step = m.step_seconds({1.0, 3.0, 2.0}, {0, 0, 0});
+  const double collective =
+      (cfg.collective_base_us + cfg.collective_per_hop_us * std::log2(3.0)) * 1e-6;
+  EXPECT_NEAR(step, 3.0 + collective, 1e-12);
+}
+
+TEST(ClusterModel, HaloCostPerPatch) {
+  ClusterConfig cfg;
+  const ClusterModel m(cfg);
+  const double none = m.step_seconds({1.0}, {0});
+  const double ten = m.step_seconds({1.0}, {10});
+  EXPECT_NEAR(ten - none, 10 * cfg.halo_per_patch_us * 1e-6, 1e-12);
+}
+
+TEST(ClusterModel, CollectiveGrowsWithRanks) {
+  const ClusterModel m;
+  const double two = m.step_seconds({1.0, 1.0}, {0, 0});
+  const double sixteen = m.step_seconds(std::vector<double>(16, 1.0),
+                                        std::vector<std::size_t>(16, 0));
+  EXPECT_GT(sixteen, two);
+}
+
+TEST(ClusterModel, MismatchedVectorsThrow) {
+  const ClusterModel m;
+  EXPECT_THROW((void)m.step_seconds({1.0, 2.0}, {0}), std::invalid_argument);
+}
+
+TEST(ClusterModel, EmptyStepIsZero) {
+  const ClusterModel m;
+  EXPECT_DOUBLE_EQ(m.step_seconds({}, {}), 0.0);
+}
+
+TEST(Decompose, SingleRankGetsEverything) {
+  const auto a = ClusterModel::decompose({1.0, 2.0, 3.0}, 1);
+  EXPECT_EQ(a, (std::vector<unsigned>{0, 0, 0}));
+}
+
+TEST(Decompose, ZeroRanksThrows) {
+  EXPECT_THROW((void)ClusterModel::decompose({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Decompose, AllItemsAssignedWithinRange) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(0.1, 10.0);
+  std::vector<double> weights(200);
+  for (auto& w : weights) w = dist(rng);
+  const auto assignment = ClusterModel::decompose(weights, 8);
+  ASSERT_EQ(assignment.size(), weights.size());
+  for (unsigned rank : assignment) EXPECT_LT(rank, 8u);
+}
+
+TEST(Decompose, BalancesLoadReasonably) {
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> dist(0.5, 3.0);
+  std::vector<double> weights(160);
+  for (auto& w : weights) w = dist(rng);
+  const unsigned ranks = 8;
+  const auto assignment = ClusterModel::decompose(weights, ranks);
+  std::vector<double> load(ranks, 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) load[assignment[i]] += weights[i];
+  const double lo = *std::min_element(load.begin(), load.end());
+  const double hi = *std::max_element(load.begin(), load.end());
+  EXPECT_LT(hi / lo, 1.25);  // LPT is near-optimal for many small items
+}
+
+TEST(Decompose, HeaviestItemsSeparated) {
+  // Two huge items among crumbs must land on different ranks.
+  std::vector<double> weights{100.0, 100.0, 1.0, 1.0, 1.0, 1.0};
+  const auto assignment = ClusterModel::decompose(weights, 2);
+  EXPECT_NE(assignment[0], assignment[1]);
+}
+
+TEST(Decompose, MoreRanksThanItems) {
+  const auto assignment = ClusterModel::decompose({5.0, 3.0}, 8);
+  EXPECT_NE(assignment[0], assignment[1]);
+}
+
+TEST(Decompose, DeterministicForSameInput) {
+  const std::vector<double> weights{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  EXPECT_EQ(ClusterModel::decompose(weights, 3), ClusterModel::decompose(weights, 3));
+}

@@ -1,0 +1,91 @@
+// Property tests for the modeled GPU backend.
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu.hpp"
+
+using namespace apollo;
+using sim::CostQuery;
+using sim::GpuModel;
+using sim::MachineModel;
+using sim::PolicyKind;
+
+namespace {
+
+CostQuery kernel(std::int64_t n) {
+  CostQuery q;
+  q.num_indices = n;
+  q.mix = instr::MixBuilder{}.fp(6).load(4).store(2).control(2).build();
+  q.bytes_per_iteration = 48;
+  q.threads = 16;
+  return q;
+}
+
+}  // namespace
+
+TEST(GpuModel, LaunchOverheadFloors) {
+  const GpuModel gpu;
+  const double empty = gpu.cost_seconds(kernel(0));
+  EXPECT_GE(empty, gpu.config().launch_overhead_us * 1e-6);
+  EXPECT_GT(gpu.cost_seconds(kernel(1)), 0.0);
+}
+
+TEST(GpuModel, CostMonotonicInSize) {
+  const GpuModel gpu;
+  double prev = 0.0;
+  for (std::int64_t n : {100, 10000, 1000000, 10000000}) {
+    const double cost = gpu.cost_seconds(kernel(n));
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(GpuModel, ThreeRegimeOrdering) {
+  // Tiny: seq < omp and seq < gpu. Medium: omp best. Wide: gpu best.
+  const GpuModel gpu;
+  const MachineModel host;
+  auto seq = [&](std::int64_t n) {
+    CostQuery q = kernel(n);
+    q.policy = PolicyKind::Sequential;
+    return host.cost_seconds(q);
+  };
+  auto omp = [&](std::int64_t n) {
+    CostQuery q = kernel(n);
+    q.policy = PolicyKind::OpenMP;
+    return host.cost_seconds(q);
+  };
+  auto dev = [&](std::int64_t n) { return gpu.cost_seconds(kernel(n)); };
+
+  EXPECT_LT(seq(100), omp(100));
+  EXPECT_LT(seq(100), dev(100));
+  EXPECT_LT(omp(60000), seq(60000));
+  EXPECT_LT(omp(60000), dev(60000));
+  EXPECT_LT(dev(5000000), omp(5000000));
+}
+
+TEST(GpuModel, BandwidthCeilingBindsForStreamingKernels) {
+  GpuModel gpu;
+  CostQuery q = kernel(50000000);
+  q.mix = instr::MixBuilder{}.load(1).store(1).build();  // pure streaming
+  q.bytes_per_iteration = 64;
+  const double stream_bound = static_cast<double>(q.num_indices) * 64 /
+                              (gpu.config().memory_bandwidth_gbs * 1e9);
+  EXPECT_GE(gpu.cost_seconds(q), stream_bound);
+}
+
+TEST(GpuModel, NoiseDeterministicAndCentred) {
+  const GpuModel gpu;
+  const CostQuery q = kernel(10000);
+  EXPECT_DOUBLE_EQ(gpu.measured_seconds(q, 7), gpu.measured_seconds(q, 7));
+  double sum = 0.0;
+  for (std::uint64_t id = 0; id < 500; ++id) sum += gpu.measured_seconds(q, id);
+  EXPECT_NEAR(sum / 500.0 / gpu.cost_seconds(q), 1.0, 0.03);
+}
+
+TEST(GpuModel, SegmentedLaunchesPayPerSegment) {
+  const GpuModel gpu;
+  CostQuery one = kernel(1000);
+  CostQuery many = one;
+  many.num_segments = 50;
+  EXPECT_GT(gpu.cost_seconds(many), gpu.cost_seconds(one));
+}

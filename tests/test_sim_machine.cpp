@@ -1,0 +1,231 @@
+// Property tests for the machine model: the calibrated behaviours the whole
+// reproduction rests on (see DESIGN.md substitution 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "instr/mix.hpp"
+#include "sim/machine.hpp"
+
+using namespace apollo;
+using sim::CostQuery;
+using sim::MachineModel;
+using sim::PolicyKind;
+
+namespace {
+
+CostQuery light_kernel(std::int64_t n, PolicyKind policy, std::int64_t chunk = 0) {
+  CostQuery q;
+  q.num_indices = n;
+  q.mix = instr::MixBuilder{}.fp(4).load(3).store(1).control(2).build();
+  q.bytes_per_iteration = 32;
+  q.policy = policy;
+  q.threads = 16;
+  q.chunk = chunk;
+  return q;
+}
+
+CostQuery heavy_kernel(std::int64_t n, PolicyKind policy) {
+  CostQuery q = light_kernel(n, policy);
+  q.mix = instr::MixBuilder{}.fp(40).div(4).sqrt(2).load(16).store(6).control(8).build();
+  q.bytes_per_iteration = 128;
+  return q;
+}
+
+}  // namespace
+
+TEST(MachineModel, SequentialCostIncreasesWithIterations) {
+  const MachineModel m;
+  double prev = 0.0;
+  for (std::int64_t n : {1, 10, 100, 1000, 10000, 100000}) {
+    const double cost = m.cost_seconds(light_kernel(n, PolicyKind::Sequential));
+    EXPECT_GT(cost, prev);
+    prev = cost;
+  }
+}
+
+TEST(MachineModel, TinyLoopsPayHugeOpenMPPenalty) {
+  // Fig. 1's 1-3 orders of magnitude for small launches (e.g. LULESH's
+  // 11-iteration material-region loops).
+  const MachineModel m;
+  const double seq = m.cost_seconds(light_kernel(11, PolicyKind::Sequential));
+  const double omp = m.cost_seconds(light_kernel(11, PolicyKind::OpenMP));
+  EXPECT_GT(omp / seq, 50.0);
+  EXPECT_LT(omp / seq, 5000.0);
+}
+
+TEST(MachineModel, CrossoverExistsNearPaperThreshold) {
+  // The paper's example tree splits at num_indices ~= 2e4; our calibration
+  // must put the light-kernel crossover within the same decade.
+  const MachineModel m;
+  std::int64_t crossover = -1;
+  for (std::int64_t n = 1000; n <= 200000; n += 500) {
+    const double seq = m.cost_seconds(light_kernel(n, PolicyKind::Sequential));
+    const double omp = m.cost_seconds(light_kernel(n, PolicyKind::OpenMP));
+    if (omp < seq) {
+      crossover = n;
+      break;
+    }
+  }
+  ASSERT_GT(crossover, 0) << "OpenMP never wins";
+  EXPECT_GE(crossover, 3000);
+  EXPECT_LE(crossover, 60000);
+}
+
+TEST(MachineModel, HeavyKernelsCrossOverEarlier) {
+  const MachineModel m;
+  auto crossover = [&](auto make) {
+    for (std::int64_t n = 64; n <= 1000000; n = n * 5 / 4 + 1) {
+      if (m.cost_seconds(make(n, PolicyKind::OpenMP)) <
+          m.cost_seconds(make(n, PolicyKind::Sequential))) {
+        return n;
+      }
+    }
+    return std::int64_t{-1};
+  };
+  const std::int64_t light =
+      crossover([](std::int64_t n, PolicyKind p) { return light_kernel(n, p); });
+  const std::int64_t heavy =
+      crossover([](std::int64_t n, PolicyKind p) { return heavy_kernel(n, p); });
+  ASSERT_GT(light, 0);
+  ASSERT_GT(heavy, 0);
+  EXPECT_LT(heavy, light);
+}
+
+TEST(MachineModel, OpenMPSpeedsUpLargeLoops) {
+  const MachineModel m;
+  const double seq = m.cost_seconds(light_kernel(1000000, PolicyKind::Sequential));
+  const double omp = m.cost_seconds(light_kernel(1000000, PolicyKind::OpenMP));
+  EXPECT_GT(seq / omp, 4.0);   // meaningful parallel speedup...
+  EXPECT_LT(seq / omp, 16.0);  // ...but not superlinear
+}
+
+TEST(MachineModel, MoreThreadsHelpLargeLoops) {
+  const MachineModel m;
+  CostQuery q = heavy_kernel(500000, PolicyKind::OpenMP);
+  q.threads = 2;
+  const double two = m.cost_seconds(q);
+  q.threads = 16;
+  const double sixteen = m.cost_seconds(q);
+  EXPECT_LT(sixteen, two);
+}
+
+TEST(MachineModel, ChunkOneIsPathological) {
+  const MachineModel m;
+  const double chunk1 = m.cost_seconds(light_kernel(100000, PolicyKind::OpenMP, 1));
+  const double chunk_default = m.cost_seconds(light_kernel(100000, PolicyKind::OpenMP, 0));
+  EXPECT_GT(chunk1 / chunk_default, 5.0);
+}
+
+TEST(MachineModel, OversizedChunkSerializes) {
+  // chunk >= N puts every iteration on thread 0: cost approaches sequential.
+  const MachineModel m;
+  const double oversized = m.cost_seconds(light_kernel(100000, PolicyKind::OpenMP, 200000));
+  const double balanced = m.cost_seconds(light_kernel(100000, PolicyKind::OpenMP, 0));
+  const double seq = m.cost_seconds(light_kernel(100000, PolicyKind::Sequential));
+  EXPECT_GT(oversized, balanced * 3.0);
+  EXPECT_GT(oversized, 0.8 * seq);
+}
+
+TEST(MachineModel, FalseSharingPenaltyForSubCachelineChunks) {
+  MachineModel m;
+  CostQuery q = light_kernel(100000, PolicyKind::OpenMP, 4);
+  q.bytes_per_iteration = 8;  // chunk*bytes = 32 < 64: false sharing
+  const double narrow = m.cost_seconds(q);
+  q.chunk = 8;  // chunk*bytes = 64: no penalty
+  const double aligned = m.cost_seconds(q);
+  EXPECT_GT(narrow, aligned);
+}
+
+TEST(MachineModel, SegmentOverheadCharged) {
+  const MachineModel m;
+  CostQuery one = light_kernel(1000, PolicyKind::Sequential);
+  CostQuery many = one;
+  many.num_segments = 100;
+  EXPECT_GT(m.cost_seconds(many), m.cost_seconds(one));
+}
+
+TEST(MachineModel, BandwidthBoundKernelsScaleSublinearly) {
+  // A pure-streaming kernel saturates node bandwidth: 16 threads cannot be
+  // 16x faster than 8.
+  const MachineModel m;
+  CostQuery q;
+  q.num_indices = 4000000;  // working set >> LLC
+  q.mix = instr::MixBuilder{}.load(2).store(1).build();
+  q.bytes_per_iteration = 64;
+  q.policy = PolicyKind::OpenMP;
+  q.threads = 8;
+  const double eight = m.cost_seconds(q);
+  q.threads = 16;
+  const double sixteen = m.cost_seconds(q);
+  EXPECT_LT(eight / sixteen, 1.5);  // far from 2x: bandwidth-limited
+}
+
+TEST(MachineModel, CacheResidencyBoost) {
+  const MachineModel m;
+  CostQuery small = light_kernel(1000, PolicyKind::Sequential);
+  CostQuery large = light_kernel(4000000, PolicyKind::Sequential);  // spills LLC
+  const double small_per_iter = m.cost_seconds(small) / 1000.0;
+  const double large_per_iter = m.cost_seconds(large) / 4000000.0;
+  EXPECT_GT(large_per_iter, small_per_iter);
+}
+
+TEST(MachineModel, ZeroIterationsCostOnlyOverheads) {
+  const MachineModel m;
+  const double seq = m.cost_seconds(light_kernel(0, PolicyKind::Sequential));
+  const double omp = m.cost_seconds(light_kernel(0, PolicyKind::OpenMP));
+  EXPECT_GT(seq, 0.0);
+  EXPECT_LT(seq, 1e-6);
+  EXPECT_GT(omp, seq);
+}
+
+TEST(Noise, DeterministicPerSampleId) {
+  EXPECT_DOUBLE_EQ(sim::noise_multiplier(1234, 0.06), sim::noise_multiplier(1234, 0.06));
+  EXPECT_NE(sim::noise_multiplier(1234, 0.06), sim::noise_multiplier(1235, 0.06));
+}
+
+TEST(Noise, ZeroSigmaIsExact) {
+  EXPECT_DOUBLE_EQ(sim::noise_multiplier(42, 0.0), 1.0);
+}
+
+TEST(Noise, MeanNearOneAndBounded) {
+  double sum = 0.0;
+  double lo = 10.0, hi = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = sim::noise_multiplier(static_cast<std::uint64_t>(i), 0.06);
+    sum += x;
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+  EXPECT_GT(lo, 0.7);
+  EXPECT_LT(hi, 1.4);
+}
+
+TEST(MachineModel, MeasuredAppliesNoiseAroundCost) {
+  const MachineModel m;
+  const CostQuery q = light_kernel(5000, PolicyKind::Sequential);
+  const double cost = m.cost_seconds(q);
+  double sum = 0.0;
+  for (std::uint64_t id = 0; id < 1000; ++id) sum += m.measured_seconds(q, id);
+  EXPECT_NEAR(sum / 1000.0 / cost, 1.0, 0.02);
+}
+
+class ThreadMonotonicity : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ThreadMonotonicity, MoreThreadsNeverHurtBigLoops) {
+  const MachineModel m;
+  CostQuery q = heavy_kernel(GetParam(), PolicyKind::OpenMP);
+  double prev = 1e30;
+  for (unsigned t : {1u, 2u, 4u, 8u, 16u}) {
+    q.threads = t;
+    const double cost = m.cost_seconds(q);
+    EXPECT_LE(cost, prev * 1.05) << "threads=" << t;
+    prev = cost;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ThreadMonotonicity,
+                         ::testing::Values<std::int64_t>(100000, 300000, 1000000));

@@ -1,0 +1,104 @@
+// apollo-record: run a bundled proxy application in Record mode and stream
+// training samples to disk — the "training runs" box of the paper's
+// workflow, as a CLI. Supports both protocols:
+//
+//   sweep (default)     one execution prices every parameter variant per
+//                       launch (machine-model timing);
+//   forced (--policy)   the paper's one-run-per-value protocol; combine
+//                       with repeated invocations and different --policy /
+//                       --chunk to build the full corpus. RAJA_POLICY /
+//                       RAJA_CHUNK_SIZE environment variables are honoured
+//                       the same way (SIII-A).
+//
+// Usage:
+//   apollo_record <lulesh|cleverleaf|ares> <records-out>
+//       [--problem NAME] [--size N] [--steps N]
+//       [--policy seq|omp] [--chunk N] [--no-chunks]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/application.hpp"
+#include "core/runtime.hpp"
+
+using namespace apollo;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: apollo_record <lulesh|cleverleaf|ares> <records-out>\n"
+                 "  [--problem NAME] [--size N] [--steps N]\n"
+                 "  [--policy seq|omp] [--chunk N] [--no-chunks]\n");
+    return 2;
+  }
+  const std::string app_name = argv[1];
+  const std::string out_path = argv[2];
+
+  std::unique_ptr<apps::Application> app;
+  if (app_name == "lulesh") app = apps::make_lulesh();
+  if (app_name == "cleverleaf") app = apps::make_cleverleaf();
+  if (app_name == "ares") app = apps::make_ares();
+  if (!app) {
+    std::fprintf(stderr, "unknown application: %s\n", app_name.c_str());
+    return 2;
+  }
+
+  std::string problem;
+  int size = 0;
+  int steps = 5;
+  TrainingConfig config;
+  for (int a = 3; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* { return a + 1 < argc ? argv[++a] : nullptr; };
+    if (arg == "--problem") {
+      const char* v = next();
+      if (v != nullptr) problem = v;
+    } else if (arg == "--size") {
+      const char* v = next();
+      if (v != nullptr) size = std::atoi(v);
+    } else if (arg == "--steps") {
+      const char* v = next();
+      if (v != nullptr) steps = std::atoi(v);
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (v != nullptr) {
+        config.sweep_variants = false;
+        config.forced_policy = raja::policy_from_name(v);
+      }
+    } else if (arg == "--chunk") {
+      const char* v = next();
+      if (v != nullptr) config.forced_chunk = std::atoll(v);
+    } else if (arg == "--no-chunks") {
+      config.chunk_values.clear();
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  rt.set_execute_selected(false);
+  rt.set_training_config(config);
+
+  try {
+    std::size_t total = 0;
+    const auto problems = problem.empty() ? app->problems() : std::vector<std::string>{problem};
+    const auto sizes = size > 0 ? std::vector<int>{size} : app->training_sizes();
+    for (const auto& p : problems) {
+      for (int s : sizes) {
+        app->run(apps::RunConfig{p, s, steps});
+        total += rt.records().size();
+        rt.flush_records(out_path);
+        std::printf("  %s %s size=%d steps=%d -> appended\n", app->name().c_str(), p.c_str(), s,
+                    steps);
+      }
+    }
+    std::printf("%zu samples appended to %s\n", total, out_path.c_str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "apollo_record: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}

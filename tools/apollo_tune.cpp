@@ -1,0 +1,96 @@
+// apollo-tune: run a bundled proxy application in Tune mode with deployed
+// model files and report the per-kernel outcome against the application's
+// static defaults — the production end of the workflow, as a CLI.
+//
+// Usage:
+//   apollo_tune <lulesh|cleverleaf|ares> --policy-model FILE
+//       [--chunk-model FILE] [--threads-model FILE]
+//       [--problem NAME] [--size N] [--steps N] [--csv out.csv]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/application.hpp"
+#include "core/runtime.hpp"
+#include "core/stats_report.hpp"
+
+using namespace apollo;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: apollo_tune <lulesh|cleverleaf|ares> --policy-model FILE\n"
+                 "  [--chunk-model FILE] [--threads-model FILE]\n"
+                 "  [--problem NAME] [--size N] [--steps N] [--csv out.csv]\n");
+    return 2;
+  }
+  const std::string app_name = argv[1];
+  std::unique_ptr<apps::Application> app;
+  if (app_name == "lulesh") app = apps::make_lulesh();
+  if (app_name == "cleverleaf") app = apps::make_cleverleaf();
+  if (app_name == "ares") app = apps::make_ares();
+  if (!app) {
+    std::fprintf(stderr, "unknown application: %s\n", app_name.c_str());
+    return 2;
+  }
+
+  std::string policy_model, chunk_model, threads_model, csv_path, problem;
+  int size = 0;
+  int steps = 5;
+  for (int a = 2; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* { return a + 1 < argc ? argv[++a] : nullptr; };
+    if (arg == "--policy-model") { if (const char* v = next()) policy_model = v; }
+    else if (arg == "--chunk-model") { if (const char* v = next()) chunk_model = v; }
+    else if (arg == "--threads-model") { if (const char* v = next()) threads_model = v; }
+    else if (arg == "--csv") { if (const char* v = next()) csv_path = v; }
+    else if (arg == "--problem") { if (const char* v = next()) problem = v; }
+    else if (arg == "--size") { if (const char* v = next()) size = std::atoi(v); }
+    else if (arg == "--steps") { if (const char* v = next()) steps = std::atoi(v); }
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (policy_model.empty()) {
+    std::fprintf(stderr, "apollo_tune: --policy-model is required\n");
+    return 2;
+  }
+
+  try {
+    auto& rt = Runtime::instance();
+    rt.set_execute_selected(false);
+    const apps::RunConfig config{problem.empty() ? app->problems().front() : problem,
+                                 size > 0 ? size : app->training_sizes().back(), steps};
+
+    // Baseline: the application's shipped static defaults.
+    rt.set_mode(Mode::Off);
+    rt.reset_stats();
+    app->run(config);
+    const double baseline = rt.stats().total_seconds;
+
+    // Tuned: load models from disk (no recompilation) and rerun.
+    rt.set_mode(Mode::Tune);
+    rt.load_policy_model_file(policy_model);
+    if (!chunk_model.empty()) rt.load_chunk_model_file(chunk_model);
+    if (!threads_model.empty()) rt.set_threads_model(TunerModel::load_file(threads_model));
+    rt.reset_stats();
+    app->run(config);
+    const double tuned = rt.stats().total_seconds;
+
+    std::printf("%s %s size=%d steps=%d\n", app->name().c_str(), config.problem.c_str(),
+                config.size, config.steps);
+    std::printf("default (static): %.3f ms\napollo  (tuned):  %.3f ms\nspeedup:          %.2fx\n\n",
+                baseline * 1e3, tuned * 1e3, baseline / tuned);
+    std::printf("%s", format_stats(rt.stats()).c_str());
+    if (!csv_path.empty()) {
+      write_stats_csv_file(csv_path, rt.stats());
+      std::printf("per-kernel stats -> %s\n", csv_path.c_str());
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "apollo_tune: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
