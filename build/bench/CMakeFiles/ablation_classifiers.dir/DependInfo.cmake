@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_classifiers.cpp" "bench/CMakeFiles/ablation_classifiers.dir/ablation_classifiers.cpp.o" "gcc" "bench/CMakeFiles/ablation_classifiers.dir/ablation_classifiers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/apollo_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/apollo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apollo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apollo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/apollo_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/apollo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/apollo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/apollo_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libapollo_bench_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gpu_backend.dir/ext_gpu_backend.cpp.o"
+  "CMakeFiles/ext_gpu_backend.dir/ext_gpu_backend.cpp.o.d"
+  "ext_gpu_backend"
+  "ext_gpu_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gpu_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_thread_tuning.dir/ext_thread_tuning.cpp.o"
+  "CMakeFiles/ext_thread_tuning.dir/ext_thread_tuning.cpp.o.d"
+  "ext_thread_tuning"
+  "ext_thread_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_thread_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

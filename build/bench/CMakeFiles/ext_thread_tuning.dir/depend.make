@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_thread_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_policy_variation.dir/fig01_policy_variation.cpp.o"
+  "CMakeFiles/fig01_policy_variation.dir/fig01_policy_variation.cpp.o.d"
+  "fig01_policy_variation"
+  "fig01_policy_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_policy_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

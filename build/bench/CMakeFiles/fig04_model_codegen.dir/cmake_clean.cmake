@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_model_codegen.dir/fig04_model_codegen.cpp.o"
+  "CMakeFiles/fig04_model_codegen.dir/fig04_model_codegen.cpp.o.d"
+  "fig04_model_codegen"
+  "fig04_model_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_model_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_policy_runtimes.dir/fig06_policy_runtimes.cpp.o"
+  "CMakeFiles/fig06_policy_runtimes.dir/fig06_policy_runtimes.cpp.o.d"
+  "fig06_policy_runtimes"
+  "fig06_policy_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_policy_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_chunk_runtimes.dir/fig07_chunk_runtimes.cpp.o"
+  "CMakeFiles/fig07_chunk_runtimes.dir/fig07_chunk_runtimes.cpp.o.d"
+  "fig07_chunk_runtimes"
+  "fig07_chunk_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_chunk_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

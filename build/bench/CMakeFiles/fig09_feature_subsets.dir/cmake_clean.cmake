@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_feature_subsets.dir/fig09_feature_subsets.cpp.o"
+  "CMakeFiles/fig09_feature_subsets.dir/fig09_feature_subsets.cpp.o.d"
+  "fig09_feature_subsets"
+  "fig09_feature_subsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_feature_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tree_depth.dir/fig10_tree_depth.cpp.o"
+  "CMakeFiles/fig10_tree_depth.dir/fig10_tree_depth.cpp.o.d"
+  "fig10_tree_depth"
+  "fig10_tree_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tree_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_speedups.dir/fig11_speedups.cpp.o"
+  "CMakeFiles/fig11_speedups.dir/fig11_speedups.cpp.o.d"
+  "fig11_speedups"
+  "fig11_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dispatch_overhead.dir/micro_dispatch_overhead.cpp.o"
+  "CMakeFiles/micro_dispatch_overhead.dir/micro_dispatch_overhead.cpp.o.d"
+  "micro_dispatch_overhead"
+  "micro_dispatch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dispatch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_model_overhead.dir/micro_model_overhead.cpp.o"
+  "CMakeFiles/micro_model_overhead.dir/micro_model_overhead.cpp.o.d"
+  "micro_model_overhead"
+  "micro_model_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_model_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

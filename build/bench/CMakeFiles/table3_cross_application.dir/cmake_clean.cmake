@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cross_application.dir/table3_cross_application.cpp.o"
+  "CMakeFiles/table3_cross_application.dir/table3_cross_application.cpp.o.d"
+  "table3_cross_application"
+  "table3_cross_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cross_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_patch_tuning.dir/amr_patch_tuning.cpp.o"
+  "CMakeFiles/amr_patch_tuning.dir/amr_patch_tuning.cpp.o.d"
+  "amr_patch_tuning"
+  "amr_patch_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_patch_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

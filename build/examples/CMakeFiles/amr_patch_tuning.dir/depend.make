@@ -1,0 +1,2 @@
+# Empty dependencies file for amr_patch_tuning.
+# This may be replaced when dependencies are built.

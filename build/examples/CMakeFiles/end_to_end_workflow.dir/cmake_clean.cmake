@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_workflow.dir/end_to_end_workflow.cpp.o"
+  "CMakeFiles/end_to_end_workflow.dir/end_to_end_workflow.cpp.o.d"
+  "end_to_end_workflow"
+  "end_to_end_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

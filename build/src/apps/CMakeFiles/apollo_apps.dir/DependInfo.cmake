@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ares/ares.cpp" "src/apps/CMakeFiles/apollo_apps.dir/ares/ares.cpp.o" "gcc" "src/apps/CMakeFiles/apollo_apps.dir/ares/ares.cpp.o.d"
+  "/root/repo/src/apps/cleverleaf/amr.cpp" "src/apps/CMakeFiles/apollo_apps.dir/cleverleaf/amr.cpp.o" "gcc" "src/apps/CMakeFiles/apollo_apps.dir/cleverleaf/amr.cpp.o.d"
+  "/root/repo/src/apps/cleverleaf/cleverleaf.cpp" "src/apps/CMakeFiles/apollo_apps.dir/cleverleaf/cleverleaf.cpp.o" "gcc" "src/apps/CMakeFiles/apollo_apps.dir/cleverleaf/cleverleaf.cpp.o.d"
+  "/root/repo/src/apps/lulesh/domain.cpp" "src/apps/CMakeFiles/apollo_apps.dir/lulesh/domain.cpp.o" "gcc" "src/apps/CMakeFiles/apollo_apps.dir/lulesh/domain.cpp.o.d"
+  "/root/repo/src/apps/lulesh/lulesh.cpp" "src/apps/CMakeFiles/apollo_apps.dir/lulesh/lulesh.cpp.o" "gcc" "src/apps/CMakeFiles/apollo_apps.dir/lulesh/lulesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apollo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apollo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/apollo_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/apollo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/apollo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/apollo_perf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_apps.dir/ares/ares.cpp.o"
+  "CMakeFiles/apollo_apps.dir/ares/ares.cpp.o.d"
+  "CMakeFiles/apollo_apps.dir/cleverleaf/amr.cpp.o"
+  "CMakeFiles/apollo_apps.dir/cleverleaf/amr.cpp.o.d"
+  "CMakeFiles/apollo_apps.dir/cleverleaf/cleverleaf.cpp.o"
+  "CMakeFiles/apollo_apps.dir/cleverleaf/cleverleaf.cpp.o.d"
+  "CMakeFiles/apollo_apps.dir/lulesh/domain.cpp.o"
+  "CMakeFiles/apollo_apps.dir/lulesh/domain.cpp.o.d"
+  "CMakeFiles/apollo_apps.dir/lulesh/lulesh.cpp.o"
+  "CMakeFiles/apollo_apps.dir/lulesh/lulesh.cpp.o.d"
+  "libapollo_apps.a"
+  "libapollo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

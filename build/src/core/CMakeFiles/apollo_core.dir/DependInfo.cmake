@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/apollo_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/model_set.cpp" "src/core/CMakeFiles/apollo_core.dir/model_set.cpp.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/model_set.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/apollo_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/stats_report.cpp" "src/core/CMakeFiles/apollo_core.dir/stats_report.cpp.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/stats_report.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/apollo_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/tuner_model.cpp" "src/core/CMakeFiles/apollo_core.dir/tuner_model.cpp.o" "gcc" "src/core/CMakeFiles/apollo_core.dir/tuner_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perf/CMakeFiles/apollo_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/apollo_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apollo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/apollo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/apollo_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

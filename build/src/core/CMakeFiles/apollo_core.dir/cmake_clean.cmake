@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_core.dir/features.cpp.o"
+  "CMakeFiles/apollo_core.dir/features.cpp.o.d"
+  "CMakeFiles/apollo_core.dir/model_set.cpp.o"
+  "CMakeFiles/apollo_core.dir/model_set.cpp.o.d"
+  "CMakeFiles/apollo_core.dir/runtime.cpp.o"
+  "CMakeFiles/apollo_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/apollo_core.dir/stats_report.cpp.o"
+  "CMakeFiles/apollo_core.dir/stats_report.cpp.o.d"
+  "CMakeFiles/apollo_core.dir/trainer.cpp.o"
+  "CMakeFiles/apollo_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/apollo_core.dir/tuner_model.cpp.o"
+  "CMakeFiles/apollo_core.dir/tuner_model.cpp.o.d"
+  "libapollo_core.a"
+  "libapollo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_instr.dir/mix.cpp.o"
+  "CMakeFiles/apollo_instr.dir/mix.cpp.o.d"
+  "CMakeFiles/apollo_instr.dir/signature.cpp.o"
+  "CMakeFiles/apollo_instr.dir/signature.cpp.o.d"
+  "libapollo_instr.a"
+  "libapollo_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

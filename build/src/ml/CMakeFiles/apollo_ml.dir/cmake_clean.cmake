@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_ml.dir/codegen.cpp.o"
+  "CMakeFiles/apollo_ml.dir/codegen.cpp.o.d"
+  "CMakeFiles/apollo_ml.dir/confusion.cpp.o"
+  "CMakeFiles/apollo_ml.dir/confusion.cpp.o.d"
+  "CMakeFiles/apollo_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/apollo_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/apollo_ml.dir/dataset.cpp.o"
+  "CMakeFiles/apollo_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/apollo_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/apollo_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/apollo_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/apollo_ml.dir/random_forest.cpp.o.d"
+  "libapollo_ml.a"
+  "libapollo_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

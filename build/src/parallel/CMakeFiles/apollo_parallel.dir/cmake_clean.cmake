@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/apollo_parallel.dir/thread_pool.cpp.o.d"
+  "libapollo_parallel.a"
+  "libapollo_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

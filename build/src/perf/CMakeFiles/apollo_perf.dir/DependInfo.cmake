@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/blackboard.cpp" "src/perf/CMakeFiles/apollo_perf.dir/blackboard.cpp.o" "gcc" "src/perf/CMakeFiles/apollo_perf.dir/blackboard.cpp.o.d"
+  "/root/repo/src/perf/csv_export.cpp" "src/perf/CMakeFiles/apollo_perf.dir/csv_export.cpp.o" "gcc" "src/perf/CMakeFiles/apollo_perf.dir/csv_export.cpp.o.d"
+  "/root/repo/src/perf/record.cpp" "src/perf/CMakeFiles/apollo_perf.dir/record.cpp.o" "gcc" "src/perf/CMakeFiles/apollo_perf.dir/record.cpp.o.d"
+  "/root/repo/src/perf/regions.cpp" "src/perf/CMakeFiles/apollo_perf.dir/regions.cpp.o" "gcc" "src/perf/CMakeFiles/apollo_perf.dir/regions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_perf.dir/blackboard.cpp.o"
+  "CMakeFiles/apollo_perf.dir/blackboard.cpp.o.d"
+  "CMakeFiles/apollo_perf.dir/csv_export.cpp.o"
+  "CMakeFiles/apollo_perf.dir/csv_export.cpp.o.d"
+  "CMakeFiles/apollo_perf.dir/record.cpp.o"
+  "CMakeFiles/apollo_perf.dir/record.cpp.o.d"
+  "CMakeFiles/apollo_perf.dir/regions.cpp.o"
+  "CMakeFiles/apollo_perf.dir/regions.cpp.o.d"
+  "libapollo_perf.a"
+  "libapollo_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_sim.dir/cluster.cpp.o"
+  "CMakeFiles/apollo_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/apollo_sim.dir/gpu.cpp.o"
+  "CMakeFiles/apollo_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/apollo_sim.dir/machine.cpp.o"
+  "CMakeFiles/apollo_sim.dir/machine.cpp.o.d"
+  "libapollo_sim.a"
+  "libapollo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_ares.dir/test_apps_ares.cpp.o"
+  "CMakeFiles/test_apps_ares.dir/test_apps_ares.cpp.o.d"
+  "test_apps_ares"
+  "test_apps_ares.pdb"
+  "test_apps_ares[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_ares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_cleverleaf.dir/test_apps_cleverleaf.cpp.o"
+  "CMakeFiles/test_apps_cleverleaf.dir/test_apps_cleverleaf.cpp.o.d"
+  "test_apps_cleverleaf"
+  "test_apps_cleverleaf.pdb"
+  "test_apps_cleverleaf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_cleverleaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

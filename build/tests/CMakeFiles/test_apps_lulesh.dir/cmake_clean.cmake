@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_lulesh.dir/test_apps_lulesh.cpp.o"
+  "CMakeFiles/test_apps_lulesh.dir/test_apps_lulesh.cpp.o.d"
+  "test_apps_lulesh"
+  "test_apps_lulesh.pdb"
+  "test_apps_lulesh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_lulesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_features.dir/test_core_features.cpp.o"
+  "CMakeFiles/test_core_features.dir/test_core_features.cpp.o.d"
+  "test_core_features"
+  "test_core_features.pdb"
+  "test_core_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_model_set.dir/test_core_model_set.cpp.o"
+  "CMakeFiles/test_core_model_set.dir/test_core_model_set.cpp.o.d"
+  "test_core_model_set"
+  "test_core_model_set.pdb"
+  "test_core_model_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_model_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_codegen.dir/test_ml_codegen.cpp.o"
+  "CMakeFiles/test_ml_codegen.dir/test_ml_codegen.cpp.o.d"
+  "test_ml_codegen"
+  "test_ml_codegen.pdb"
+  "test_ml_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_confusion.dir/test_ml_confusion.cpp.o"
+  "CMakeFiles/test_ml_confusion.dir/test_ml_confusion.cpp.o.d"
+  "test_ml_confusion"
+  "test_ml_confusion.pdb"
+  "test_ml_confusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_confusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ml_cv.cpp" "tests/CMakeFiles/test_ml_cv.dir/test_ml_cv.cpp.o" "gcc" "tests/CMakeFiles/test_ml_cv.dir/test_ml_cv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/apollo_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apollo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/apollo_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/apollo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/apollo_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/apollo_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/apollo_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_csv.dir/test_perf_csv.cpp.o"
+  "CMakeFiles/test_perf_csv.dir/test_perf_csv.cpp.o.d"
+  "test_perf_csv"
+  "test_perf_csv.pdb"
+  "test_perf_csv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raja.dir/test_raja.cpp.o"
+  "CMakeFiles/test_raja.dir/test_raja.cpp.o.d"
+  "test_raja"
+  "test_raja.pdb"
+  "test_raja[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raja.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_perf[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_csv[1]_include.cmake")
+include("/root/repo/build/tests/test_instr[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_raja[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_gpu[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_cv[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_codegen[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_forest[1]_include.cmake")
+include("/root/repo/build/tests/test_ml_confusion[1]_include.cmake")
+include("/root/repo/build/tests/test_perf_regions[1]_include.cmake")
+include("/root/repo/build/tests/test_raja_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_core_model_set[1]_include.cmake")
+include("/root/repo/build/tests/test_core_features[1]_include.cmake")
+include("/root/repo/build/tests/test_core_tuner_model[1]_include.cmake")
+include("/root/repo/build/tests/test_core_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_core_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_lulesh[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_cleverleaf[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_ares[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_regression[1]_include.cmake")
+include("/root/repo/build/tests/test_tools[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_inspect.dir/apollo_inspect.cpp.o"
+  "CMakeFiles/apollo_inspect.dir/apollo_inspect.cpp.o.d"
+  "apollo_inspect"
+  "apollo_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

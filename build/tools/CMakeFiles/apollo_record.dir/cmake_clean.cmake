@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_record.dir/apollo_record.cpp.o"
+  "CMakeFiles/apollo_record.dir/apollo_record.cpp.o.d"
+  "apollo_record"
+  "apollo_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_simulate.dir/apollo_simulate.cpp.o"
+  "CMakeFiles/apollo_simulate.dir/apollo_simulate.cpp.o.d"
+  "apollo_simulate"
+  "apollo_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

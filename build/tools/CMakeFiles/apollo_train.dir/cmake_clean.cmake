@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_train.dir/apollo_train.cpp.o"
+  "CMakeFiles/apollo_train.dir/apollo_train.cpp.o.d"
+  "apollo_train"
+  "apollo_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

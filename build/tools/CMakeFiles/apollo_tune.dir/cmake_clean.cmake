@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_tune.dir/apollo_tune.cpp.o"
+  "CMakeFiles/apollo_tune.dir/apollo_tune.cpp.o.d"
+  "apollo_tune"
+  "apollo_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
