@@ -2,12 +2,19 @@
 // execution function. The paper measured ~30% slowdown for LULESH when all
 // kernels shared one type-erased OpenMP execution function; policySwitcher
 // exists precisely to keep static specialization under dynamic selection.
+//
+// Also compares the full apollo::forall hooks in Tune vs Adapt mode on the
+// same kernel body: the adaptation loop (exploration draw, drift bookkeeping,
+// strided sampling, retrains in flight on the background thread) must stay
+// within a few percent of plain tuned dispatch.
 
 #include <benchmark/benchmark.h>
 
 #include <functional>
 #include <vector>
 
+#include "core/runtime.hpp"
+#include "core/trainer.hpp"
 #include "raja/forall.hpp"
 #include "raja/policy_switcher.hpp"
 
@@ -75,6 +82,79 @@ void GenericExecutionFunction(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kN);
 }
 BENCHMARK(GenericExecutionFunction);
+
+const apollo::KernelHandle& micro_kernel() {
+  static const apollo::KernelHandle k{"micro:saxpy", "MicroSaxpy",
+                                      apollo::instr::MixBuilder{}.fp(2).load(2).store(1).build(),
+                                      24};
+  return k;
+}
+
+const apollo::TunerModel& micro_model() {
+  static const apollo::TunerModel model = [] {
+    auto& rt = apollo::Runtime::instance();
+    rt.reset();
+    rt.set_execute_selected(false);
+    rt.set_mode(apollo::Mode::Record);
+    apollo::TrainingConfig training;
+    training.chunk_values.clear();
+    rt.set_training_config(training);
+    for (int step = 0; step < 8; ++step) {
+      apollo::forall(micro_kernel(), raja::IndexSet::range(0, kN), [](raja::Index) {});
+    }
+    auto trained = apollo::Trainer::train(rt.records(), apollo::TunedParameter::Policy);
+    rt.reset();
+    return trained;
+  }();
+  return model;
+}
+
+void run_forall_loop(benchmark::State& state) {
+  auto& data = buffers();
+  double* a = data.data();
+  const double* b = data.data() + kN;
+  const double* c = data.data() + 2 * kN;
+  const raja::IndexSet iset = raja::IndexSet::range(0, kN);
+  for (auto _ : state) {
+    apollo::forall(micro_kernel(), iset, [=](raja::Index i) { body_at(a, b, c, i); });
+    benchmark::DoNotOptimize(a[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+
+void ApolloForallTune(benchmark::State& state) {
+  const auto& model = micro_model();
+  auto& rt = apollo::Runtime::instance();
+  rt.reset();
+  rt.set_execute_selected(false);
+  rt.set_mode(apollo::Mode::Tune);
+  rt.set_policy_model(model);
+  run_forall_loop(state);
+  rt.reset();
+}
+BENCHMARK(ApolloForallTune);
+
+void ApolloForallAdapt(benchmark::State& state) {
+  // Adapt mode with retrains continually kicked off by cadence, so the
+  // measured hot path includes version polling, the exploration draw, drift
+  // bookkeeping, strided sampling, and background training in flight.
+  const auto& model = micro_model();
+  auto& rt = apollo::Runtime::instance();
+  rt.reset();
+  rt.set_execute_selected(false);
+  rt.set_mode(apollo::Mode::Adapt);
+  rt.sample_buffer().set_capacity(4096);
+  apollo::online::OnlineConfig config;
+  config.retrain_every = 512;
+  config.min_retrain_samples = 64;
+  rt.configure_online(config);
+  rt.set_policy_model(model);
+  run_forall_loop(state);
+  state.counters["retrains"] =
+      static_cast<double>(rt.online().status().retrains_completed);
+  rt.reset();
+}
+BENCHMARK(ApolloForallAdapt);
 
 }  // namespace
 

@@ -16,6 +16,7 @@ struct ModelParams {
   std::int64_t chunk_size = 0;  ///< OpenMP static chunk; 0 = default N/t
   unsigned threads = 0;         ///< OpenMP team size; 0 = full team
   int selection = 0;            ///< raw class index (used by generated code)
+  bool explored = false;        ///< Mode::Adapt: off-policy exploration launch
 };
 
 }  // namespace apollo

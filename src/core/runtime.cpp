@@ -15,6 +15,7 @@ const char* mode_name(Mode mode) noexcept {
     case Mode::Off: return "off";
     case Mode::Record: return "record";
     case Mode::Tune: return "tune";
+    case Mode::Adapt: return "adapt";
   }
   return "?";
 }
@@ -26,7 +27,13 @@ Runtime::Runtime() {
       mode_ = Mode::Record;
     } else if (value == "tune") {
       mode_ = Mode::Tune;
+    } else if (value == "adapt") {
+      mode_ = Mode::Adapt;
     }
+  }
+  if (const char* env = std::getenv("APOLLO_SAMPLE_CAPACITY")) {
+    const long long capacity = std::atoll(env);
+    if (capacity > 0) records_.set_capacity(static_cast<std::size_t>(capacity));
   }
   // The paper's training protocol: re-run the same binary once per parameter
   // value, selected through the RAJA_POLICY / RAJA_CHUNK_SIZE environment
@@ -157,11 +164,22 @@ void Runtime::clear_models() noexcept {
 }
 
 void Runtime::flush_records(const std::string& path) {
-  perf::append_records_file(path, records_);
-  records_.clear();
+  perf::append_records_file(path, records_.drain());
+}
+
+online::OnlineTuner& Runtime::online() {
+  if (!online_) online_ = std::make_unique<online::OnlineTuner>(&records_);
+  return *online_;
+}
+
+void Runtime::configure_online(online::OnlineConfig config) {
+  online().configure(std::move(config));
+  adapt_version_ = 0;  // re-examine the registry (it may hold restored models)
 }
 
 void Runtime::reset() {
+  online_.reset();  // joins any in-flight retrain before state is torn down
+  adapt_version_ = 0;
   mode_ = Mode::Off;
   timing_ = TimingSource::Model;
   machine_ = sim::MachineModel{};
@@ -218,11 +236,13 @@ sim::CostQuery Runtime::make_query(const KernelHandle& kernel, const raja::Index
 }
 
 double Runtime::measure_seconds(const sim::CostQuery& query) {
-  return machine_.measured_seconds(query, sample_counter_++);
+  return machine_.measured_seconds(query,
+                                   sample_counter_.fetch_add(1, std::memory_order_relaxed));
 }
 
 void Runtime::charge(const std::string& loop_id, double seconds) {
   if (accountant_ != nullptr) accountant_->charge(seconds);
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.total_seconds += seconds;
   stats_.invocations += 1;
   auto& kernel_stats = stats_.per_kernel[loop_id];
@@ -233,18 +253,59 @@ void Runtime::charge(const std::string& loop_id, double seconds) {
 void Runtime::emit_record(const KernelHandle& kernel, const raja::IndexSet& iset,
                           raja::PolicyType policy, std::int64_t chunk, double seconds,
                           unsigned team) {
-  perf::SampleRecord record = perf::Blackboard::instance().snapshot();
-  features::fill_kernel_features(record, kernel.loop_id(), kernel.func(), kernel.mix(), iset);
-  record[features::kParamPolicy] = raja::policy_name(policy);
-  record[features::kParamChunk] = chunk;
-  if (team > 0) record[features::kParamThreads] = static_cast<std::int64_t>(team);
-  record[features::kMeasureRuntime] = seconds;
-  records_.push_back(std::move(record));
+  // Capture, don't materialize: the full attribute-map record is built by
+  // whoever consumes the sample (Retrainer background thread, records(),
+  // flush). The launch thread pays scalar copies, two short strings, and a
+  // pointer fetch of the blackboard snapshot.
+  online::Sample sample;
+  sample.loop_id = kernel.loop_id();
+  sample.func = kernel.func();
+  sample.index_type = iset.type_name();
+  sample.mix = kernel.mix();
+  sample.num_indices = iset.getLength();
+  sample.num_segments = static_cast<std::int64_t>(iset.getNumSegments());
+  sample.stride = iset.stride();
+  sample.app = perf::Blackboard::instance().snapshot_shared();
+  sample.policy = policy;
+  sample.chunk = chunk;
+  sample.threads = team;
+  sample.seconds = seconds;
+  records_.push(std::move(sample));
 }
 
 void Runtime::charge_external(const std::string& loop_id, const sim::CostQuery& query) {
   if (timing_ != TimingSource::Model) return;
   charge(loop_id, measure_seconds(query));
+}
+
+void Runtime::apply_models(ModelParams& params, const KernelHandle& kernel,
+                           const raja::IndexSet& iset) {
+  if (policy_model_) {
+    const int label = predict_compiled(*policy_model_, policy_features_, kernel, iset);
+    params.selection = label;
+    params.policy = raja::policy_from_name(policy_model_->label_name(label));
+  }
+  if (chunk_model_ && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
+    const int label = predict_compiled(*chunk_model_, chunk_features_, kernel, iset);
+    params.chunk_size = std::stoll(chunk_model_->label_name(label));
+  }
+  if (threads_model_ && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
+    const int label = predict_compiled(*threads_model_, threads_features_, kernel, iset);
+    params.threads = static_cast<unsigned>(std::stoul(threads_model_->label_name(label)));
+  }
+}
+
+void Runtime::refresh_adapt_models() {
+  online::OnlineTuner& tuner = online();
+  const std::uint64_t version = tuner.registry().version();  // single atomic load
+  if (version == adapt_version_) return;
+  if (const auto snapshot = tuner.registry().current()) {
+    if (snapshot->policy) set_policy_model(*snapshot->policy);
+    if (snapshot->chunk) set_chunk_model(*snapshot->chunk);
+    if (snapshot->threads) set_threads_model(*snapshot->threads);
+    tuner.on_models_swapped();
+  }
+  adapt_version_ = version;
 }
 
 ModelParams Runtime::begin(const KernelHandle& kernel, const raja::IndexSet& iset) {
@@ -261,19 +322,18 @@ ModelParams Runtime::begin(const KernelHandle& kernel, const raja::IndexSet& ise
         params.chunk_size = training_.forced_chunk;
       }
       break;
-    case Mode::Tune: {
-      if (policy_model_) {
-        const int label = predict_compiled(*policy_model_, policy_features_, kernel, iset);
-        params.selection = label;
-        params.policy = raja::policy_from_name(policy_model_->label_name(label));
-      }
-      if (chunk_model_ && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
-        const int label = predict_compiled(*chunk_model_, chunk_features_, kernel, iset);
-        params.chunk_size = std::stoll(chunk_model_->label_name(label));
-      }
-      if (threads_model_ && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
-        const int label = predict_compiled(*threads_model_, threads_features_, kernel, iset);
-        params.threads = static_cast<unsigned>(std::stoul(threads_model_->label_name(label)));
+    case Mode::Tune:
+      apply_models(params, kernel, iset);
+      break;
+    case Mode::Adapt: {
+      refresh_adapt_models();
+      apply_models(params, kernel, iset);
+      const auto bucket = online::feature_bucket(iset.getLength(), iset.getNumSegments());
+      if (const auto explored = online().maybe_explore(kernel.loop_id(), bucket)) {
+        params.policy = explored->policy;
+        params.chunk_size = explored->chunk;
+        params.threads = 0;
+        params.explored = true;
       }
       break;
     }
@@ -293,6 +353,21 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
         make_query(kernel, iset, params.policy, params.chunk_size, params.threads));
   }
   charge(kernel.loop_id(), seconds);
+
+  if (mode_ == Mode::Adapt) {
+    online::OnlineTuner& tuner = online();
+    // Explored launches always land in the buffer (they carry the off-policy
+    // labels retraining needs); predicted launches are strided to keep the
+    // hot path cheap.
+    if (params.explored || tuner.should_record_sample()) {
+      emit_record(kernel, iset, params.policy, params.chunk_size, seconds, params.threads);
+    }
+    const auto bucket = online::feature_bucket(iset.getLength(), iset.getNumSegments());
+    tuner.observe(kernel.loop_id(), bucket,
+                  online::Variant{params.policy, params.chunk_size}, seconds, params.explored);
+    tuner.maybe_retrain();
+    return;
+  }
 
   if (mode_ != Mode::Record) return;
 

@@ -13,9 +13,18 @@
 // configurations the paper compares against. The same executable runs in any
 // mode (env var APOLLO_MODE or API), and models load from files at runtime,
 // so retraining never requires recompilation.
+//
+// Mode Adapt (extension, see docs/online-tuning.md) is the Tuner plus the
+// src/online adaptation loop: launches feed a bounded SampleBuffer, per-kernel
+// drift detection triggers background retrains, and freshly trained models
+// hot-swap in via the versioned ModelRegistry — the "dynamically updating
+// models" direction from the paper's conclusion, closed inside one process.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -24,6 +33,8 @@
 #include "core/kernel.hpp"
 #include "core/model_params.hpp"
 #include "core/tuner_model.hpp"
+#include "online/online_tuner.hpp"
+#include "online/sample_buffer.hpp"
 #include "perf/record.hpp"
 #include "perf/timer.hpp"
 #include "raja/env_policy.hpp"
@@ -36,7 +47,7 @@ namespace apollo {
 
 class ClusterAccountant;
 
-enum class Mode : std::uint8_t { Off, Record, Tune };
+enum class Mode : std::uint8_t { Off, Record, Tune, Adapt };
 enum class TimingSource : std::uint8_t { Model, Wallclock };
 
 [[nodiscard]] const char* mode_name(Mode mode) noexcept;
@@ -124,10 +135,23 @@ public:
   [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = RunStats{}; }
 
-  [[nodiscard]] const std::vector<perf::SampleRecord>& records() const noexcept { return records_; }
-  void clear_records() noexcept { records_.clear(); }
+  /// Oldest-first copy of the buffered training samples. (The live buffer is
+  /// bounded and shared with the background retrainer, so callers get a
+  /// stable snapshot rather than a reference.)
+  [[nodiscard]] std::vector<perf::SampleRecord> records() const { return records_.snapshot(); }
+  [[nodiscard]] std::size_t record_count() const { return records_.size(); }
+  void clear_records() { records_.clear(); }
+  /// Bounded ring buffer backing records(); exposed for capacity control.
+  [[nodiscard]] online::SampleBuffer& sample_buffer() noexcept { return records_; }
   /// Append all buffered records to `path` and clear the buffer.
   void flush_records(const std::string& path);
+
+  // --- online adaptation (Mode::Adapt) --------------------------------------
+  /// The adaptation loop (created on first use; shares the sample buffer).
+  [[nodiscard]] online::OnlineTuner& online();
+  /// Replace the adaptation configuration (waits for in-flight retrains).
+  void configure_online(online::OnlineConfig config);
+  [[nodiscard]] bool has_online() const noexcept { return online_ != nullptr; }
 
   /// Mirror every kernel charge into a per-rank accountant (strong-scaling
   /// experiments). Pass nullptr to detach. Not owned.
@@ -180,6 +204,11 @@ private:
                                      const std::vector<CompiledFeature>& features,
                                      const KernelHandle& kernel, const raja::IndexSet& iset);
 
+  /// Shared Tune/Adapt prediction: evaluate whichever models are loaded.
+  void apply_models(ModelParams& params, const KernelHandle& kernel, const raja::IndexSet& iset);
+  /// Adapt hot-swap: poll the registry version and recompile models on change.
+  void refresh_adapt_models();
+
   [[nodiscard]] sim::CostQuery make_query(const KernelHandle& kernel, const raja::IndexSet& iset,
                                           raja::PolicyType policy, std::int64_t chunk,
                                           unsigned team = 0) const;
@@ -205,10 +234,16 @@ private:
 
   bool execute_selected_ = true;
   ClusterAccountant* accountant_ = nullptr;
+  /// charge() may be reached from concurrent application threads; the sample
+  /// counter additionally feeds the background retrainer's wait paths.
+  std::mutex stats_mutex_;
   RunStats stats_{};
-  std::vector<perf::SampleRecord> records_;
-  std::uint64_t sample_counter_ = 0;
+  online::SampleBuffer records_{online::kDefaultSampleCapacity};
+  std::atomic<std::uint64_t> sample_counter_{0};
   perf::Stopwatch stopwatch_{};
+
+  std::unique_ptr<online::OnlineTuner> online_;
+  std::uint64_t adapt_version_ = 0;  ///< registry version currently compiled
 };
 
 /// The application-facing execution method: decide, run, account.

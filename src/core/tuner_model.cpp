@@ -68,18 +68,29 @@ TunerModel TunerModel::load(std::istream& in) {
   TunerModel model;
   std::string keyword, parameter;
   in >> keyword >> parameter;
-  if (keyword != "parameter") throw std::runtime_error("TunerModel::load: expected parameter");
-  model.parameter_ = parameter == "chunk_size"
-                         ? TunedParameter::ChunkSize
-                         : (parameter == "threads" ? TunedParameter::Threads
-                                                   : TunedParameter::Policy);
+  if (!in || keyword != "parameter") {
+    throw std::runtime_error("TunerModel::load: expected parameter");
+  }
+  if (parameter == "policy") {
+    model.parameter_ = TunedParameter::Policy;
+  } else if (parameter == "chunk_size") {
+    model.parameter_ = TunedParameter::ChunkSize;
+  } else if (parameter == "threads") {
+    model.parameter_ = TunedParameter::Threads;
+  } else {
+    throw std::runtime_error("TunerModel::load: unknown parameter tag '" + parameter + "'");
+  }
 
-  std::size_t dict_count = 0;
+  long long dict_count = 0;
   in >> keyword >> dict_count;
-  if (keyword != "dicts") throw std::runtime_error("TunerModel::load: expected dicts");
+  if (!in || keyword != "dicts") throw std::runtime_error("TunerModel::load: expected dicts");
+  if (dict_count < 0 || dict_count > (1ll << 20)) {
+    throw std::runtime_error("TunerModel::load: invalid dict count " +
+                             std::to_string(dict_count));
+  }
   std::string line;
   std::getline(in, line);  // consume end of the dicts header line
-  for (std::size_t d = 0; d < dict_count; ++d) {
+  for (long long d = 0; d < dict_count; ++d) {
     if (!std::getline(in, line)) throw std::runtime_error("TunerModel::load: truncated dicts");
     std::vector<std::string> cells;
     std::size_t pos = 0;

@@ -301,6 +301,28 @@ void DecisionTree::save(std::ostream& out) const {
   }
 }
 
+namespace {
+
+/// Parse a section header count, rejecting non-numeric, negative, and absurd
+/// values (an unsigned extraction would silently wrap "-1" into 2^64-1 and a
+/// later resize would attempt to allocate it).
+std::size_t read_count(std::istream& in, const char* expected, std::string& keyword) {
+  constexpr long long kMaxCount = 1ll << 24;
+  long long count = 0;
+  in >> keyword >> count;
+  if (!in || keyword != expected) {
+    throw std::runtime_error(std::string("DecisionTree::load: expected '") + expected +
+                             "' section, got '" + keyword + "'");
+  }
+  if (count < 0 || count > kMaxCount) {
+    throw std::runtime_error(std::string("DecisionTree::load: invalid ") + expected +
+                             " count " + std::to_string(count));
+  }
+  return static_cast<std::size_t>(count);
+}
+
+}  // namespace
+
 DecisionTree DecisionTree::load(std::istream& in) {
   std::string magic;
   int version = 0;
@@ -310,25 +332,49 @@ DecisionTree DecisionTree::load(std::istream& in) {
   }
   DecisionTree tree;
   std::string keyword;
-  std::size_t count = 0;
 
-  in >> keyword >> count;
-  if (keyword != "features") throw std::runtime_error("DecisionTree::load: expected features");
-  tree.feature_names_.resize(count);
+  tree.feature_names_.resize(read_count(in, "features", keyword));
   for (auto& name : tree.feature_names_) in >> name;
+  if (!in) throw std::runtime_error("DecisionTree::load: truncated feature names");
 
-  in >> keyword >> count;
-  if (keyword != "labels") throw std::runtime_error("DecisionTree::load: expected labels");
-  tree.label_names_.resize(count);
+  tree.label_names_.resize(read_count(in, "labels", keyword));
   for (auto& name : tree.label_names_) in >> name;
+  if (!in) throw std::runtime_error("DecisionTree::load: truncated label names");
 
-  in >> keyword >> count;
-  if (keyword != "nodes") throw std::runtime_error("DecisionTree::load: expected nodes");
-  tree.nodes_.resize(count);
+  const std::size_t node_count = read_count(in, "nodes", keyword);
+  if (node_count == 0) throw std::runtime_error("DecisionTree::load: empty tree");
+  tree.nodes_.resize(node_count);
   for (auto& n : tree.nodes_) {
     in >> n.feature >> n.threshold >> n.left >> n.right >> n.label >> n.samples >> n.impurity;
   }
-  if (!in) throw std::runtime_error("DecisionTree::load: truncated model");
+  if (!in) throw std::runtime_error("DecisionTree::load: truncated node table");
+
+  // Structural validation: a malformed file must fail here with a clear
+  // message, not later as an out-of-bounds predict. The builder appends
+  // children after their parent, so child indices must point forward; that
+  // also rules out cycles.
+  const auto node_error = [](std::size_t index, const char* what) {
+    throw std::runtime_error("DecisionTree::load: node " + std::to_string(index) + ": " + what);
+  };
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const Node& n = tree.nodes_[i];
+    if (n.feature < 0) {
+      if (n.label < 0 || static_cast<std::size_t>(n.label) >= tree.label_names_.size()) {
+        node_error(i, "leaf label out of range");
+      }
+      continue;
+    }
+    if (static_cast<std::size_t>(n.feature) >= tree.feature_names_.size()) {
+      node_error(i, "split feature out of range");
+    }
+    if (n.left < 0 || n.right < 0 || static_cast<std::size_t>(n.left) >= node_count ||
+        static_cast<std::size_t>(n.right) >= node_count) {
+      node_error(i, "child index out of range");
+    }
+    if (static_cast<std::size_t>(n.left) <= i || static_cast<std::size_t>(n.right) <= i) {
+      node_error(i, "child index does not point forward (cycle)");
+    }
+  }
   return tree;
 }
 

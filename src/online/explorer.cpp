@@ -1,0 +1,49 @@
+#include "online/explorer.hpp"
+
+namespace apollo::online {
+
+namespace {
+
+/// splitmix64 finalizer: uncorrelated 64-bit hash of the draw counter.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double to_unit(std::uint64_t x) noexcept {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+Explorer::Explorer(ExplorerConfig config) { reconfigure(std::move(config)); }
+
+void Explorer::reconfigure(ExplorerConfig config) {
+  config_ = std::move(config);
+  variants_.clear();
+  variants_.push_back({raja::PolicyType::seq_segit_seq_exec, 0});
+  variants_.push_back({raja::PolicyType::seq_segit_omp_parallel_for_exec, 0});
+  for (std::int64_t chunk : config_.chunk_values) {
+    if (chunk > 0) {
+      variants_.push_back({raja::PolicyType::seq_segit_omp_parallel_for_exec, chunk});
+    }
+  }
+  counter_.store(0, std::memory_order_relaxed);
+  draws_.store(0, std::memory_order_relaxed);
+  explorations_.store(0, std::memory_order_relaxed);
+  boosted_.store(false, std::memory_order_relaxed);
+}
+
+std::optional<Variant> Explorer::maybe_explore() {
+  const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  draws_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = mix(n ^ config_.seed);
+  if (to_unit(h) >= epsilon()) return std::nullopt;
+  explorations_.fetch_add(1, std::memory_order_relaxed);
+  // Independent second hash picks the variant uniformly.
+  return variants_[mix(h) % variants_.size()];
+}
+
+}  // namespace apollo::online

@@ -1,0 +1,80 @@
+#pragma once
+
+// Epsilon-greedy exploration for Mode::Adapt. An adaptive tuner that only
+// ever executes its own predictions starves the retrainer: the buffer fills
+// with one variant per feature region and relabeling is impossible. The
+// Explorer occasionally substitutes a non-predicted variant so the sample
+// buffer keeps covering the label space. Exploration is drift-aware: the
+// baseline rate is small, and while a drift firing is waiting on a retrain
+// the rate is boosted so the buffer re-covers the shifted region quickly.
+//
+// Draws are a pure function of a counter and the seed (same splitmix-style
+// hashing as the machine model's measurement noise), so adaptive runs replay
+// deterministically.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "raja/policy.hpp"
+
+namespace apollo::online {
+
+/// One executable tuning alternative: an execution policy plus (for OpenMP)
+/// a static chunk size. chunk 0 = the OpenMP default schedule.
+struct Variant {
+  raja::PolicyType policy = raja::PolicyType::seq_segit_seq_exec;
+  std::int64_t chunk = 0;
+
+  /// Stable encoding for baseline maps (policy in the high bits).
+  [[nodiscard]] std::uint64_t key() const noexcept {
+    return (static_cast<std::uint64_t>(policy) << 32) |
+           static_cast<std::uint64_t>(chunk & 0x7fffffff);
+  }
+};
+
+struct ExplorerConfig {
+  double epsilon = 0.05;          ///< steady-state exploration rate
+  double boosted_epsilon = 0.35;  ///< rate while drift has fired and no swap landed
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+  /// OpenMP chunk sizes explored in addition to seq and omp-default. Empty =
+  /// policy-only exploration (chunk models then never retrain online).
+  std::vector<std::int64_t> chunk_values = {};
+};
+
+class Explorer {
+public:
+  explicit Explorer(ExplorerConfig config = {});
+
+  /// Replace the configuration and restart the deterministic draw sequence.
+  void reconfigure(ExplorerConfig config);
+
+  /// Candidate variant for this launch, or nullopt (the common case) to run
+  /// the model's prediction. Thread-safe and deterministic.
+  [[nodiscard]] std::optional<Variant> maybe_explore();
+
+  void set_boosted(bool boosted) noexcept { boosted_.store(boosted, std::memory_order_relaxed); }
+  [[nodiscard]] bool boosted() const noexcept { return boosted_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double epsilon() const noexcept {
+    return boosted() ? config_.boosted_epsilon : config_.epsilon;
+  }
+
+  [[nodiscard]] std::uint64_t draws() const noexcept { return draws_.load(std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t explorations() const noexcept {
+    return explorations_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] const std::vector<Variant>& variants() const noexcept { return variants_; }
+  [[nodiscard]] const ExplorerConfig& config() const noexcept { return config_; }
+
+private:
+  ExplorerConfig config_;
+  std::vector<Variant> variants_;
+  std::atomic<std::uint64_t> counter_{0};
+  std::atomic<std::uint64_t> draws_{0};
+  std::atomic<std::uint64_t> explorations_{0};
+  std::atomic<bool> boosted_{false};
+};
+
+}  // namespace apollo::online

@@ -1,0 +1,138 @@
+#include "online/online_tuner.hpp"
+
+#include <utility>
+
+namespace apollo::online {
+
+OnlineTuner::OnlineTuner(SampleBuffer* buffer, OnlineConfig config)
+    : config_(std::move(config)),
+      buffer_(buffer),
+      explorer_(config_.explorer),
+      retrainer_(config_.tree_params) {
+  retrainer_.set_train_chunk(!config_.explorer.chunk_values.empty());
+  retrainer_.set_publisher([this](Retrainer::Result result) {
+    registry_.publish(std::move(result.policy), std::move(result.chunk),
+                      std::move(result.threads));
+  });
+  if (!config_.model_dir.empty()) {
+    registry_.set_persist_dir(config_.model_dir);
+    registry_.load_latest();
+  }
+}
+
+void OnlineTuner::configure(OnlineConfig config) {
+  retrainer_.wait_idle();
+  config_ = std::move(config);
+  explorer_.reconfigure(config_.explorer);
+  retrainer_.set_tree_params(config_.tree_params);
+  retrainer_.set_train_chunk(!config_.explorer.chunk_values.empty());
+  detectors_.clear();
+  last_detector_key_ = nullptr;
+  last_detector_ = nullptr;
+  record_tick_ = 0;
+  launches_ = 0;
+  launches_since_request_ = 0;
+  retrain_pending_ = false;
+  if (!config_.model_dir.empty()) {
+    registry_.set_persist_dir(config_.model_dir);
+    if (registry_.version() == 0) registry_.load_latest();
+  }
+}
+
+DriftDetector* OnlineTuner::detector(const std::string& loop_id) {
+  auto it = detectors_.find(loop_id);
+  return it != detectors_.end() ? &it->second : nullptr;
+}
+
+DriftDetector& OnlineTuner::detector_for(const std::string& loop_id) {
+  if (last_detector_ != nullptr && loop_id == *last_detector_key_) return *last_detector_;
+  const auto [it, inserted] = detectors_.try_emplace(loop_id, config_.drift);
+  last_detector_key_ = &it->first;  // element addresses survive rehashing
+  last_detector_ = &it->second;
+  return it->second;
+}
+
+std::optional<Variant> OnlineTuner::maybe_explore(const std::string& loop_id,
+                                                  std::uint64_t bucket) {
+  auto candidate = explorer_.maybe_explore();
+  if (!candidate) return std::nullopt;
+  if (config_.explore_cost_guard <= 0.0) return candidate;
+  const std::uint64_t n = explorer_.explorations();
+  if (config_.reprobe_stride > 0 && n % config_.reprobe_stride == 0) {
+    return candidate;  // periodic re-probe ignores the guard
+  }
+  const DriftDetector& det = detector_for(loop_id);
+  const double known = det.baseline(bucket, candidate->key());
+  const double best = det.best_baseline(bucket);
+  if (known > 0.0 && best > 0.0 && known > config_.explore_cost_guard * best) {
+    ++vetoes_;
+    return std::nullopt;
+  }
+  return candidate;
+}
+
+void OnlineTuner::observe(const std::string& loop_id, std::uint64_t bucket,
+                          const Variant& executed, double seconds, bool explored) {
+  DriftDetector& det = detector_for(loop_id);
+  det.observe(bucket, executed.key(), seconds, /*chosen=*/!explored);
+  ++launches_;
+  ++launches_since_request_;
+  if (det.consume_fire()) {
+    ++drift_fires_;
+    retrain_pending_ = true;
+    pushed_at_fire_ = buffer_->total_pushed();
+    explorer_.set_boosted(true);
+  }
+}
+
+void OnlineTuner::maybe_retrain() {
+  // Cheap checks first: this runs on every launch, so the common no-op path
+  // must not touch the buffer lock or the retrainer state.
+  const bool cadence_due =
+      config_.retrain_every > 0 && launches_since_request_ >= config_.retrain_every;
+  const bool drift_due =
+      retrain_pending_ && buffer_->total_pushed() - pushed_at_fire_ >= config_.post_drift_samples;
+  if (!drift_due && !cadence_due) return;
+  if (retrainer_.busy()) return;
+  if (!drift_due && config_.max_retrain_duty > 0.0) {
+    // Duty-cycle throttle: keep background training to a bounded share of
+    // wall time so it cannot starve the application on small machines.
+    const double last = retrainer_.last_duration_seconds();
+    if (last > 0.0) {
+      const auto since = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                       last_request_)
+                             .count();
+      if (since < last / config_.max_retrain_duty) return;
+    }
+  }
+  if (buffer_->size() < config_.min_retrain_samples) return;
+  if (retrainer_.request(buffer_->snapshot_shared(config_.retrain_window))) {
+    retrain_pending_ = false;
+    launches_since_request_ = 0;
+    last_request_ = std::chrono::steady_clock::now();
+  }
+}
+
+void OnlineTuner::on_models_swapped() {
+  explorer_.set_boosted(false);
+  for (auto& [loop_id, det] : detectors_) {
+    (void)loop_id;
+    det.rearm();
+  }
+}
+
+OnlineTuner::Status OnlineTuner::status() const {
+  Status s;
+  s.model_version = registry_.version();
+  s.drift_fires = drift_fires_;
+  s.retrains_completed = retrainer_.completed();
+  s.retrains_failed = retrainer_.failed();
+  s.explorations = explorer_.explorations();
+  s.exploration_vetoes = vetoes_;
+  s.launches = launches_;
+  s.retrain_in_flight = retrainer_.busy();
+  s.exploring_boosted = explorer_.boosted();
+  return s;
+}
+
+}  // namespace apollo::online

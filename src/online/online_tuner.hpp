@@ -1,0 +1,158 @@
+#pragma once
+
+// The Mode::Adapt control loop: buffer -> drift -> retrain -> hot-swap.
+//
+// The paper's conclusion anticipates "dynamically updating models based on
+// the behavior of the application" for shifting inputs and larger parameter
+// spaces; this subsystem closes that loop inside a running process. Per
+// launch (all on the application thread, all cheap):
+//
+//   1. the Explorer occasionally substitutes a non-predicted variant so the
+//      sample buffer keeps covering the label space (drift-aware: the rate
+//      is boosted between a drift firing and the next hot-swap);
+//   2. the executed variant's measured runtime feeds the kernel's
+//      DriftDetector; explored launches also land in the SampleBuffer, plus
+//      every sample_stride-th predicted launch;
+//   3. when drift fires (or a launch-count cadence elapses), the Retrainer
+//      fits fresh models from the buffer on a background thread;
+//   4. the result is published to the ModelRegistry; the Runtime notices the
+//      new version at the next begin() and hot-swaps its compiled models.
+//
+// Exploration is cost-guarded: a candidate variant whose decayed runtime in
+// this feature bucket is already known to be far worse than the best is
+// vetoed, except for a periodic re-probe that notices when it becomes good
+// again. This bounds the steady-state price of staying adaptive.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "ml/decision_tree.hpp"
+#include "online/drift_detector.hpp"
+#include "online/explorer.hpp"
+#include "online/model_registry.hpp"
+#include "online/retrainer.hpp"
+#include "online/sample_buffer.hpp"
+
+namespace apollo::online {
+
+struct OnlineConfig {
+  /// Record every Nth predicted launch into the sample buffer (explored
+  /// launches are always recorded). Keeps the adapt-mode forall hot path
+  /// within a few percent of Tune mode.
+  std::size_t sample_stride = 16;
+  /// Buffer samples required before any retrain is attempted.
+  std::size_t min_retrain_samples = 64;
+  /// New samples to gather between a drift firing and the retrain it
+  /// requests, so the buffer has re-covered the shifted region.
+  std::size_t post_drift_samples = 48;
+  /// Retrain every N launches regardless of drift (0 = drift-driven only).
+  std::uint64_t retrain_every = 0;
+  /// Newest samples handed to each retrain (0 = whole buffer). Bounds the
+  /// per-retrain training cost independently of buffer capacity.
+  std::size_t retrain_window = 2048;
+  /// Maximum fraction of wall time cadence-driven retraining may consume
+  /// (0 = unthrottled). After a retrain that took T seconds, the next
+  /// cadence retrain waits at least T/duty. Matters most on machines with
+  /// few cores, where the background thread competes with the application.
+  /// Drift-triggered retrains bypass the throttle — recovery latency wins.
+  double max_retrain_duty = 0.05;
+  /// Veto exploring a variant whose bucket baseline exceeds this multiple of
+  /// the bucket's best (0 = no guard) ...
+  double explore_cost_guard = 3.0;
+  /// ... except every Nth exploration, which ignores the guard (re-probe).
+  std::uint64_t reprobe_stride = 8;
+  /// Persist every published model generation here ("" = no persistence).
+  std::string model_dir;
+  ml::TreeParams tree_params;
+  DriftConfig drift;
+  ExplorerConfig explorer;
+};
+
+class OnlineTuner {
+public:
+  /// `buffer` is the runtime's live sample sink; not owned.
+  explicit OnlineTuner(SampleBuffer* buffer, OnlineConfig config = {});
+
+  /// Replace the configuration (waits for any in-flight retrain). When
+  /// model_dir is set, the newest persisted generation is restored so a
+  /// restarted process resumes from its last good models.
+  void configure(OnlineConfig config);
+  [[nodiscard]] const OnlineConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
+  [[nodiscard]] Explorer& explorer() noexcept { return explorer_; }
+  [[nodiscard]] Retrainer& retrainer() noexcept { return retrainer_; }
+  /// The detector for one kernel (created on first observation), or nullptr.
+  [[nodiscard]] DriftDetector* detector(const std::string& loop_id);
+
+  /// Exploration decision for this launch (cost-guarded epsilon-greedy).
+  /// The guard consults `loop_id`'s own detector: a candidate whose decayed
+  /// runtime in this bucket exceeds explore_cost_guard x the bucket's best is
+  /// vetoed, except for the periodic re-probe.
+  [[nodiscard]] std::optional<Variant> maybe_explore(const std::string& loop_id,
+                                                     std::uint64_t bucket);
+
+  /// True when this predicted launch should be sampled into the buffer.
+  [[nodiscard]] bool should_record_sample() noexcept {
+    return config_.sample_stride <= 1 || (record_tick_++ % config_.sample_stride) == 0;
+  }
+
+  /// Feed one finished launch into drift detection and the retrain trigger
+  /// logic. Application thread only.
+  void observe(const std::string& loop_id, std::uint64_t bucket, const Variant& executed,
+               double seconds, bool explored);
+
+  /// Kick a background retrain when due (drift fired and enough fresh
+  /// samples arrived, or the launch-count cadence elapsed). Never blocks.
+  void maybe_retrain();
+
+  /// The runtime noticed a new registry version and swapped its compiled
+  /// models: end the boosted-exploration episode and re-arm the detectors.
+  void on_models_swapped();
+
+  struct Status {
+    std::uint64_t model_version = 0;
+    std::uint64_t drift_fires = 0;
+    std::uint64_t retrains_completed = 0;
+    std::uint64_t retrains_failed = 0;
+    std::uint64_t explorations = 0;
+    std::uint64_t exploration_vetoes = 0;
+    std::uint64_t launches = 0;
+    bool retrain_in_flight = false;
+    bool exploring_boosted = false;
+  };
+  [[nodiscard]] Status status() const;
+
+  /// Block until no retrain is in flight (tests, benchmarks, shutdown).
+  void wait_retrain_idle() { retrainer_.wait_idle(); }
+
+private:
+  /// The kernel's detector, created on first use. Launch streams repeat the
+  /// same kernel, so a one-entry cache skips the hash lookup almost always.
+  DriftDetector& detector_for(const std::string& loop_id);
+
+  OnlineConfig config_;
+  SampleBuffer* buffer_;
+  ModelRegistry registry_;
+  Explorer explorer_;
+  std::unordered_map<std::string, DriftDetector> detectors_;
+  const std::string* last_detector_key_ = nullptr;  ///< node-stable key address
+  DriftDetector* last_detector_ = nullptr;
+  std::uint64_t record_tick_ = 0;
+  std::uint64_t launches_ = 0;
+  std::uint64_t launches_since_request_ = 0;
+  std::uint64_t drift_fires_ = 0;
+  std::uint64_t vetoes_ = 0;
+  bool retrain_pending_ = false;
+  std::uint64_t pushed_at_fire_ = 0;
+  std::chrono::steady_clock::time_point last_request_{};
+  /// Declared last: destroying it joins any in-flight retrain while the
+  /// registry above is still alive for the publish callback.
+  Retrainer retrainer_;
+};
+
+}  // namespace apollo::online

@@ -1,0 +1,79 @@
+#include "online/retrainer.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "parallel/thread_priority.hpp"
+
+namespace apollo::online {
+
+Retrainer::Retrainer(ml::TreeParams params) : params_(params) {
+  // Training must not compete with the application for CPU on small
+  // machines: drop the lane to the weakest normal priority before it
+  // accepts any retrain. Submitted first, so it runs before any job.
+  pool_.submit([] { par::lower_current_thread_priority(); });
+}
+
+Retrainer::~Retrainer() { wait_idle(); }
+
+bool Retrainer::request(std::vector<SampleBuffer::SharedSample> samples) {
+  if (samples.empty()) return false;
+  if (busy_.exchange(true, std::memory_order_acq_rel)) return false;
+  pool_.submit([this, samples = std::move(samples)]() mutable {
+    // Materialize here, off the application thread: building the attribute
+    // maps is the expensive part of handing samples to the Trainer.
+    std::vector<perf::SampleRecord> records;
+    records.reserve(samples.size());
+    for (const auto& sample : samples) records.push_back(sample->materialize());
+    samples.clear();
+    run(std::move(records));
+  });
+  return true;
+}
+
+bool Retrainer::request(std::vector<perf::SampleRecord> samples) {
+  if (samples.empty()) return false;
+  if (busy_.exchange(true, std::memory_order_acq_rel)) return false;
+  pool_.submit([this, samples = std::move(samples)]() mutable { run(std::move(samples)); });
+  return true;
+}
+
+void Retrainer::run(std::vector<perf::SampleRecord> samples) {
+  const auto started = std::chrono::steady_clock::now();
+  Result result;
+  try {
+    result.policy = Trainer::train(samples, TunedParameter::Policy, params_);
+    if (train_chunk_) {
+      try {
+        result.chunk = Trainer::train(samples, TunedParameter::ChunkSize, params_);
+      } catch (const std::exception&) {
+        // No usable chunk sweep data in this window; keep the policy model.
+      }
+    }
+    if (train_threads_) {
+      try {
+        result.threads = Trainer::train(samples, TunedParameter::Threads, params_);
+      } catch (const std::exception&) {
+      }
+    }
+    if (publisher_) publisher_(std::move(result));
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& error) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(error_mutex_);
+    last_error_ = error.what();
+  }
+  last_duration_.store(std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+                           .count(),
+                       std::memory_order_relaxed);
+  busy_.store(false, std::memory_order_release);
+}
+
+std::string Retrainer::last_error() const {
+  std::lock_guard lock(error_mutex_);
+  return last_error_;
+}
+
+void Retrainer::wait_idle() { pool_.wait_async_idle(); }
+
+}  // namespace apollo::online

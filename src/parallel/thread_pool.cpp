@@ -33,6 +33,12 @@ ThreadPool::~ThreadPool() {
   }
   work_ready_.notify_all();
   for (auto& worker : workers_) worker.join();
+  {
+    std::lock_guard lock(async_mutex_);
+    async_shutdown_ = true;
+  }
+  async_ready_.notify_all();
+  if (async_worker_.joinable()) async_worker_.join();
 }
 
 ThreadPool& ThreadPool::global() {
@@ -74,6 +80,58 @@ void ThreadPool::worker_loop(unsigned worker_index) {
       std::lock_guard lock(mutex_);
       if (--remaining_ == 0) work_done_.notify_all();
     }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(async_mutex_);
+    if (async_shutdown_) return;  // pool is being destroyed; drop the job
+    async_jobs_.push_back(std::move(job));
+    if (!async_worker_.joinable()) {
+      async_worker_ = std::thread([this] { async_loop(); });
+    }
+  }
+  async_ready_.notify_one();
+}
+
+std::size_t ThreadPool::async_pending() const {
+  std::lock_guard lock(async_mutex_);
+  return async_jobs_.size() + (async_running_ ? 1 : 0);
+}
+
+std::uint64_t ThreadPool::async_failures() const {
+  std::lock_guard lock(async_mutex_);
+  return async_failures_;
+}
+
+void ThreadPool::wait_async_idle() {
+  std::unique_lock lock(async_mutex_);
+  async_idle_.wait(lock, [&] { return async_jobs_.empty() && !async_running_; });
+}
+
+void ThreadPool::async_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(async_mutex_);
+      async_ready_.wait(lock, [&] { return async_shutdown_ || !async_jobs_.empty(); });
+      if (async_jobs_.empty()) return;  // shutdown with an empty queue
+      job = std::move(async_jobs_.front());
+      async_jobs_.pop_front();
+      async_running_ = true;
+    }
+    try {
+      job();
+    } catch (...) {
+      std::lock_guard lock(async_mutex_);
+      ++async_failures_;
+    }
+    {
+      std::lock_guard lock(async_mutex_);
+      async_running_ = false;
+    }
+    async_idle_.notify_all();
   }
 }
 

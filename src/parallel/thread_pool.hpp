@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -40,6 +41,21 @@ public:
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t chunk,
                     const std::function<void(std::int64_t)>& body, unsigned team = 0);
 
+  /// Enqueue a one-shot background job (e.g. an online model retrain). Jobs
+  /// run FIFO on a dedicated async worker — never on the parallel_for
+  /// workers, so a long-running job cannot stall a parallel region, and a
+  /// parallel region cannot delay the job. The worker thread is spawned on
+  /// first use. Jobs must not throw; escaped exceptions are swallowed and
+  /// counted in async_failures().
+  void submit(std::function<void()> job);
+
+  /// Jobs queued or running on the async lane.
+  [[nodiscard]] std::size_t async_pending() const;
+  [[nodiscard]] std::uint64_t async_failures() const;
+
+  /// Block until the async lane is empty and idle.
+  void wait_async_idle();
+
   /// Process-wide pool used by the RAJA backend (sized once, on first use,
   /// from APOLLO_NUM_THREADS or hardware concurrency).
   static ThreadPool& global();
@@ -55,6 +71,7 @@ private:
 
   void worker_loop(unsigned worker_index);
   void run_share(const Job& job, unsigned worker_index, unsigned worker_total);
+  void async_loop();
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
@@ -65,6 +82,16 @@ private:
   unsigned remaining_ = 0;        // workers still running the current job
   bool shutting_down_ = false;
   std::exception_ptr first_error_;
+
+  // Async background-job lane (independent of the parallel_for machinery).
+  std::thread async_worker_;
+  mutable std::mutex async_mutex_;
+  std::condition_variable async_ready_;
+  std::condition_variable async_idle_;
+  std::deque<std::function<void()>> async_jobs_;
+  bool async_running_ = false;
+  bool async_shutdown_ = false;
+  std::uint64_t async_failures_ = 0;
 };
 
 }  // namespace apollo::par

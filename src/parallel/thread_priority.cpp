@@ -1,0 +1,22 @@
+#include "parallel/thread_priority.hpp"
+
+#ifdef __linux__
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace apollo::par {
+
+bool lower_current_thread_priority() noexcept {
+#ifdef __linux__
+  // Linux setpriority() with a TID targets the single thread — exactly what
+  // a background lane wants (POSIX would apply it process-wide).
+  const auto tid = static_cast<id_t>(::syscall(SYS_gettid));
+  return ::setpriority(PRIO_PROCESS, tid, 19) == 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace apollo::par

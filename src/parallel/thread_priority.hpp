@@ -1,0 +1,18 @@
+#pragma once
+
+// Scheduling-priority control for background lanes.
+//
+// The online Retrainer shares the machine with the application it tunes; on
+// hosts with few cores a model fit at normal priority steals wall time
+// directly from the kernels being measured. Dropping the retrain lane to the
+// weakest normal priority lets the OS scheduler give the application nearly
+// the whole core while training still makes progress in the gaps.
+
+namespace apollo::par {
+
+/// Lower the calling thread's scheduling priority to the weakest normal
+/// level (nice 19 on Linux; no-op elsewhere). Returns true on success.
+/// Affects only the calling thread, for its lifetime.
+bool lower_current_thread_priority() noexcept;
+
+}  // namespace apollo::par

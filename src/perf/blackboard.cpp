@@ -10,11 +10,12 @@ Blackboard& Blackboard::instance() {
 void Blackboard::set(const std::string& key, Value value) {
   std::lock_guard lock(mutex_);
   attributes_[key] = std::move(value);
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 void Blackboard::unset(const std::string& key) {
   std::lock_guard lock(mutex_);
-  attributes_.erase(key);
+  if (attributes_.erase(key) > 0) generation_.fetch_add(1, std::memory_order_release);
 }
 
 std::optional<Value> Blackboard::get(const std::string& key) const {
@@ -24,14 +25,22 @@ std::optional<Value> Blackboard::get(const std::string& key) const {
   return it->second;
 }
 
-std::map<std::string, Value> Blackboard::snapshot() const {
+std::map<std::string, Value> Blackboard::snapshot() const { return *snapshot_shared(); }
+
+std::shared_ptr<const std::map<std::string, Value>> Blackboard::snapshot_shared() const {
   std::lock_guard lock(mutex_);
-  return attributes_;
+  const auto generation = generation_.load(std::memory_order_relaxed);
+  if (!cache_ || cache_generation_ != generation) {
+    cache_ = std::make_shared<const std::map<std::string, Value>>(attributes_);
+    cache_generation_ = generation;
+  }
+  return cache_;
 }
 
 void Blackboard::clear() {
   std::lock_guard lock(mutex_);
   attributes_.clear();
+  generation_.fetch_add(1, std::memory_order_release);
 }
 
 ScopedAnnotation::ScopedAnnotation(std::string key, Value value) : key_(std::move(key)) {

@@ -6,7 +6,10 @@
 // the Apollo recorder snapshots them into each training sample and the tuner
 // reads them as model features.
 
+#include <atomic>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -28,6 +31,18 @@ public:
   /// Snapshot of all current attributes (used when building a sample record).
   [[nodiscard]] std::map<std::string, Value> snapshot() const;
 
+  /// Immutable shared snapshot, rebuilt only when an attribute has changed
+  /// since the last call. The recorder sits on the per-launch hot path and
+  /// attributes change rarely (per timestep, not per kernel), so this turns
+  /// the common case into a pointer fetch instead of a map rebuild. The
+  /// returned map stays valid and constant regardless of later mutations.
+  [[nodiscard]] std::shared_ptr<const std::map<std::string, Value>> snapshot_shared() const;
+
+  /// Bumped on every mutation; cheap to poll for "did anything change".
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   /// Remove every attribute. Intended for test isolation and between
   /// independent training runs inside one process.
   void clear();
@@ -37,6 +52,10 @@ private:
 
   mutable std::mutex mutex_;
   std::map<std::string, Value> attributes_;
+  std::atomic<std::uint64_t> generation_{0};
+  /// Cached immutable snapshot (guarded by mutex_, compared by generation).
+  mutable std::shared_ptr<const std::map<std::string, Value>> cache_;
+  mutable std::uint64_t cache_generation_ = ~std::uint64_t{0};
 };
 
 /// RAII annotation: sets an attribute for the lifetime of the scope and

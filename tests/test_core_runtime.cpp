@@ -47,6 +47,7 @@ TEST_F(RuntimeTest, ModeNames) {
   EXPECT_STREQ(mode_name(Mode::Off), "off");
   EXPECT_STREQ(mode_name(Mode::Record), "record");
   EXPECT_STREQ(mode_name(Mode::Tune), "tune");
+  EXPECT_STREQ(mode_name(Mode::Adapt), "adapt");
 }
 
 TEST_F(RuntimeTest, OffModeUsesKernelDefaultPolicy) {

@@ -108,3 +108,112 @@ TEST(TunerModel, LabelNameBoundsChecked) {
   const TunerModel model = categorical_model();
   EXPECT_THROW((void)model.label_name(99), std::out_of_range);
 }
+
+// --- Malformed-file hardening (files are data, not trusted input) ----------
+
+namespace {
+
+/// A syntactically valid single-leaf model file to mutate from.
+std::string valid_model_text() {
+  return "apollo-model 1\n"
+         "parameter policy\n"
+         "dicts 0\n"
+         "apollo-tree 1\n"
+         "features 1 num_indices\n"
+         "labels 2 omp seq\n"
+         "nodes 1\n"
+         "-1 0 -1 -1 0 10 0\n";
+}
+
+std::string load_error(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    (void)TunerModel::load(in);
+  } catch (const std::runtime_error& error) {
+    return error.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+TEST(TunerModelHardening, ValidMinimalFileLoads) {
+  std::istringstream in(valid_model_text());
+  const TunerModel model = TunerModel::load(in);
+  EXPECT_EQ(model.parameter(), TunedParameter::Policy);
+}
+
+TEST(TunerModelHardening, UnknownParameterTagThrowsDescriptively) {
+  std::string text = valid_model_text();
+  text.replace(text.find("parameter policy"), 16, "parameter bogus!");
+  EXPECT_NE(load_error(text).find("unknown parameter tag 'bogus!'"), std::string::npos);
+}
+
+TEST(TunerModelHardening, NegativeAndHugeDictCountsRejected) {
+  std::string text = valid_model_text();
+  text.replace(text.find("dicts 0"), 7, "dicts -3");
+  EXPECT_NE(load_error(text).find("invalid dict count"), std::string::npos);
+
+  text = valid_model_text();
+  text.replace(text.find("dicts 0"), 7, "dicts 99999999");
+  EXPECT_NE(load_error(text).find("invalid dict count"), std::string::npos);
+}
+
+TEST(TunerModelHardening, TruncatedDictsRejected) {
+  std::string text = valid_model_text();
+  text.replace(text.find("dicts 0"), 7, "dicts 5");
+  // Fewer dict lines than promised: the tree header is eaten as a dict line
+  // and the stream ends early.
+  EXPECT_FALSE(load_error(text).empty());
+}
+
+TEST(TreeHardening, NegativeOrHugeCountsRejected) {
+  EXPECT_NE(load_error("apollo-model 1\nparameter policy\ndicts 0\n"
+                       "apollo-tree 1\nfeatures -1 x\n")
+                .find("invalid"),
+            std::string::npos);
+  EXPECT_NE(load_error("apollo-model 1\nparameter policy\ndicts 0\n"
+                       "apollo-tree 1\nfeatures 1 x\nlabels 999999999 a\n")
+                .find("invalid"),
+            std::string::npos);
+}
+
+TEST(TreeHardening, EmptyTreeRejected) {
+  std::string text = valid_model_text();
+  text.replace(text.find("nodes 1\n-1 0 -1 -1 0 10 0\n"), 26, "nodes 0\n");
+  EXPECT_NE(load_error(text).find("empty tree"), std::string::npos);
+}
+
+TEST(TreeHardening, TruncatedNodeTableRejected) {
+  std::string text = valid_model_text();
+  text.replace(text.find("nodes 1"), 7, "nodes 3");
+  EXPECT_NE(load_error(text).find("truncated node table"), std::string::npos);
+}
+
+TEST(TreeHardening, LeafLabelOutOfRangeRejected) {
+  std::string text = valid_model_text();
+  text.replace(text.find("-1 0 -1 -1 0 10 0"), 17, "-1 0 -1 -1 7 10 0");
+  EXPECT_NE(load_error(text).find("leaf label out of range"), std::string::npos);
+}
+
+TEST(TreeHardening, SplitFeatureOutOfRangeRejected) {
+  std::string text = valid_model_text();
+  text.replace(text.find("nodes 1\n-1 0 -1 -1 0 10 0\n"), 26,
+               "nodes 3\n5 1.5 1 2 -1 10 0\n-1 0 -1 -1 0 5 0\n-1 0 -1 -1 1 5 0\n");
+  EXPECT_NE(load_error(text).find("split feature out of range"), std::string::npos);
+}
+
+TEST(TreeHardening, ChildIndexOutOfRangeRejected) {
+  std::string text = valid_model_text();
+  text.replace(text.find("nodes 1\n-1 0 -1 -1 0 10 0\n"), 26,
+               "nodes 3\n0 1.5 1 9 -1 10 0\n-1 0 -1 -1 0 5 0\n-1 0 -1 -1 1 5 0\n");
+  EXPECT_NE(load_error(text).find("child index out of range"), std::string::npos);
+}
+
+TEST(TreeHardening, BackwardChildEdgeRejectedAsCycle) {
+  // Node 1 points back at node 0: following it would loop forever.
+  std::string text = valid_model_text();
+  text.replace(text.find("nodes 1\n-1 0 -1 -1 0 10 0\n"), 26,
+               "nodes 3\n0 1.5 1 2 -1 10 0\n0 0.5 0 2 -1 5 0\n-1 0 -1 -1 1 5 0\n");
+  EXPECT_NE(load_error(text).find("does not point forward"), std::string::npos);
+}

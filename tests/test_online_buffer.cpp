@@ -1,0 +1,138 @@
+// Unit tests for the bounded SampleBuffer: ring wraparound, deferred
+// materialization, bounded shared snapshots, and producer/consumer safety.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "core/features.hpp"
+#include "online/sample_buffer.hpp"
+
+using apollo::online::Sample;
+using apollo::online::SampleBuffer;
+namespace features = apollo::features;
+
+namespace {
+
+Sample make_sample(int i) {
+  Sample s;
+  s.loop_id = "test:buffer";
+  s.func = "BufferKernel";
+  s.index_type = "range";
+  s.num_indices = 100 + i;
+  s.num_segments = 1;
+  s.stride = 1;
+  s.policy = raja::PolicyType::seq_segit_seq_exec;
+  s.seconds = static_cast<double>(i);
+  return s;
+}
+
+double seconds_of(const apollo::perf::SampleRecord& record) {
+  return record.at(features::kMeasureRuntime).as_real();
+}
+
+}  // namespace
+
+TEST(SampleBuffer, GrowsThenWrapsKeepingNewest) {
+  SampleBuffer buffer(4);
+  for (int i = 0; i < 10; ++i) buffer.push(make_sample(i));
+  EXPECT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(buffer.total_pushed(), 10u);
+  EXPECT_EQ(buffer.dropped(), 6u);
+
+  const auto records = buffer.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(seconds_of(records[i]), 6.0 + i);  // oldest first
+  }
+}
+
+TEST(SampleBuffer, SnapshotSharedBoundsToNewest) {
+  SampleBuffer buffer(8);
+  for (int i = 0; i < 6; ++i) buffer.push(make_sample(i));
+
+  const auto newest2 = buffer.snapshot_shared(2);
+  ASSERT_EQ(newest2.size(), 2u);
+  EXPECT_DOUBLE_EQ(newest2[0]->seconds, 4.0);
+  EXPECT_DOUBLE_EQ(newest2[1]->seconds, 5.0);
+
+  EXPECT_EQ(buffer.snapshot_shared(0).size(), 6u);   // 0 = everything
+  EXPECT_EQ(buffer.snapshot_shared(99).size(), 6u);  // clamped to contents
+  EXPECT_EQ(buffer.size(), 6u);                      // snapshot is non-destructive
+}
+
+TEST(SampleBuffer, SnapshotSharedBoundsAfterWrap) {
+  SampleBuffer buffer(4);
+  for (int i = 0; i < 7; ++i) buffer.push(make_sample(i));
+  const auto newest3 = buffer.snapshot_shared(3);
+  ASSERT_EQ(newest3.size(), 3u);
+  EXPECT_DOUBLE_EQ(newest3[0]->seconds, 4.0);
+  EXPECT_DOUBLE_EQ(newest3[2]->seconds, 6.0);
+}
+
+TEST(SampleBuffer, DrainEmptiesAndPreservesOrder) {
+  SampleBuffer buffer(4);
+  for (int i = 0; i < 6; ++i) buffer.push(make_sample(i));
+  const auto records = buffer.drain();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_DOUBLE_EQ(seconds_of(records.front()), 2.0);
+  EXPECT_DOUBLE_EQ(seconds_of(records.back()), 5.0);
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.total_pushed(), 6u);  // monotonic across drains
+}
+
+TEST(SampleBuffer, SetCapacityKeepsNewest) {
+  SampleBuffer buffer(8);
+  for (int i = 0; i < 8; ++i) buffer.push(make_sample(i));
+  buffer.set_capacity(3);
+  const auto records = buffer.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_DOUBLE_EQ(seconds_of(records[0]), 5.0);
+  EXPECT_DOUBLE_EQ(seconds_of(records[2]), 7.0);
+}
+
+TEST(SampleBuffer, MaterializeBuildsFullRecord) {
+  auto app = std::make_shared<const apollo::perf::SampleRecord>(
+      apollo::perf::SampleRecord{{features::kTimestep, std::int64_t{42}}});
+  Sample s = make_sample(3);
+  s.app = app;
+  s.chunk = 16;
+  s.threads = 4;
+
+  const auto record = s.materialize();
+  EXPECT_EQ(record.at(features::kLoopId).as_string(), "test:buffer");
+  EXPECT_EQ(record.at(features::kNumIndices).as_int(), 103);
+  EXPECT_EQ(record.at(features::kTimestep).as_int(), 42);
+  EXPECT_EQ(record.at(features::kParamPolicy).as_string(), raja::policy_name(s.policy));
+  EXPECT_EQ(record.at(features::kParamChunk).as_int(), 16);
+  EXPECT_EQ(record.at(features::kParamThreads).as_int(), 4);
+  EXPECT_DOUBLE_EQ(seconds_of(record), 3.0);
+
+  // threads == 0 (the common case) must not invent a threads parameter.
+  EXPECT_EQ(make_sample(0).materialize().count(features::kParamThreads), 0u);
+}
+
+TEST(SampleBuffer, ConcurrentPushSnapshotDrain) {
+  SampleBuffer buffer(64);
+  constexpr int kPushes = 4000;
+
+  std::thread producer([&] {
+    for (int i = 0; i < kPushes; ++i) buffer.push(make_sample(i));
+  });
+  std::thread reader([&] {
+    for (int i = 0; i < 200; ++i) {
+      const auto shared = buffer.snapshot_shared(16);
+      for (const auto& sample : shared) EXPECT_GE(sample->seconds, 0.0);
+    }
+  });
+  std::thread drainer([&] {
+    for (int i = 0; i < 50; ++i) (void)buffer.drain();
+  });
+  producer.join();
+  reader.join();
+  drainer.join();
+
+  EXPECT_EQ(buffer.total_pushed(), static_cast<std::uint64_t>(kPushes));
+  EXPECT_LE(buffer.size(), 64u);
+}

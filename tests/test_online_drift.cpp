@@ -1,0 +1,122 @@
+// Unit tests for workload-drift detection: feature buckets, baseline EWMAs,
+// regret-window firing, cooldown, and re-arming after a hot-swap.
+
+#include <gtest/gtest.h>
+
+#include "online/drift_detector.hpp"
+
+using apollo::online::DriftConfig;
+using apollo::online::DriftDetector;
+using apollo::online::feature_bucket;
+
+namespace {
+
+constexpr std::uint64_t kFast = 1;
+constexpr std::uint64_t kSlow = 2;
+constexpr std::uint64_t kBucket = 0x51;
+
+DriftConfig small_config() {
+  DriftConfig c;
+  c.window = 8;
+  c.min_samples = 4;
+  c.regret_threshold = 0.25;
+  c.cooldown = 6;
+  return c;
+}
+
+/// Teach the detector both variants' runtimes via explored observations.
+void seed_baselines(DriftDetector& det, double fast_seconds, double slow_seconds) {
+  for (int i = 0; i < 4; ++i) {
+    det.observe(kBucket, kFast, fast_seconds, /*chosen=*/false);
+    det.observe(kBucket, kSlow, slow_seconds, /*chosen=*/false);
+  }
+}
+
+}  // namespace
+
+TEST(FeatureBucket, GroupsByMagnitudeAndSegments) {
+  EXPECT_EQ(feature_bucket(1000, 1), feature_bucket(1023, 1));   // same log2
+  EXPECT_NE(feature_bucket(1000, 1), feature_bucket(4000, 1));   // different log2
+  EXPECT_NE(feature_bucket(1000, 1), feature_bucket(1000, 2));   // segments matter
+  EXPECT_EQ(feature_bucket(1000, 100), feature_bucket(1000, 15));  // capped at 15
+  EXPECT_EQ(feature_bucket(0, 1), feature_bucket(-5, 1));          // degenerate sizes
+}
+
+TEST(DriftDetector, SingleVariantNeverFires) {
+  DriftDetector det(small_config());
+  // Only the chosen variant has ever been observed: regret is zero by
+  // construction, no matter how slow the launches are.
+  for (int i = 0; i < 100; ++i) det.observe(kBucket, kFast, 5.0, /*chosen=*/true);
+  EXPECT_FALSE(det.consume_fire());
+  EXPECT_EQ(det.fires(), 0u);
+}
+
+TEST(DriftDetector, FiresWhenChosenVariantRegretsAgainstKnownBetter) {
+  DriftDetector det(small_config());
+  seed_baselines(det, /*fast=*/1.0, /*slow=*/2.0);
+  EXPECT_FALSE(det.consume_fire());
+
+  // The model keeps choosing the slow variant: regret vs the fast baseline
+  // is ~1.0 > threshold, so the window fires once min_samples accumulate.
+  for (int i = 0; i < 4; ++i) det.observe(kBucket, kSlow, 2.0, /*chosen=*/true);
+  EXPECT_TRUE(det.consume_fire());
+  EXPECT_FALSE(det.consume_fire());  // reading clears the flag
+  EXPECT_EQ(det.fires(), 1u);
+}
+
+TEST(DriftDetector, CooldownSuppressesImmediateRefire) {
+  DriftDetector det(small_config());
+  seed_baselines(det, 1.0, 2.0);
+  for (int i = 0; i < 4; ++i) det.observe(kBucket, kSlow, 2.0, /*chosen=*/true);
+  ASSERT_TRUE(det.consume_fire());
+
+  // Still regretting, but within the cooldown: no second fire yet.
+  for (int i = 0; i < 6; ++i) det.observe(kBucket, kSlow, 2.0, /*chosen=*/true);
+  EXPECT_FALSE(det.consume_fire());
+
+  // The cooldown is consumed (while the window kept accumulating): the very
+  // next regretting launch fires again.
+  det.observe(kBucket, kSlow, 2.0, /*chosen=*/true);
+  EXPECT_TRUE(det.consume_fire());
+  EXPECT_EQ(det.fires(), 2u);
+}
+
+TEST(DriftDetector, BaselineAccessors) {
+  DriftDetector det(small_config());
+  EXPECT_LT(det.baseline(kBucket, kFast), 0.0);      // unseen
+  EXPECT_LT(det.best_baseline(kBucket), 0.0);        // empty bucket
+
+  seed_baselines(det, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(det.baseline(kBucket, kFast), 1.0);
+  EXPECT_DOUBLE_EQ(det.baseline(kBucket, kSlow), 2.0);
+  EXPECT_DOUBLE_EQ(det.best_baseline(kBucket), 1.0);
+  EXPECT_LT(det.baseline(kBucket + 1, kFast), 0.0);  // other buckets untouched
+}
+
+TEST(DriftDetector, RegretWindowSlides) {
+  DriftConfig config = small_config();
+  config.regret_threshold = 10.0;  // never fire; we only watch the window
+  DriftDetector det(config);
+  seed_baselines(det, 1.0, 2.0);
+
+  for (int i = 0; i < 20; ++i) det.observe(kBucket, kSlow, 2.0, /*chosen=*/true);
+  EXPECT_EQ(det.window_size(), config.window);
+  EXPECT_NEAR(det.mean_regret(), 1.0, 0.05);
+
+  // A full window of good launches displaces the old regrets entirely.
+  for (int i = 0; i < 8; ++i) det.observe(kBucket, kFast, 1.0, /*chosen=*/true);
+  EXPECT_NEAR(det.mean_regret(), 0.0, 1e-9);
+}
+
+TEST(DriftDetector, RearmClearsWindowKeepsBaselines) {
+  DriftDetector det(small_config());
+  seed_baselines(det, 1.0, 2.0);
+  for (int i = 0; i < 3; ++i) det.observe(kBucket, kSlow, 2.0, /*chosen=*/true);
+  EXPECT_GT(det.window_size(), 0u);
+
+  det.rearm();
+  EXPECT_EQ(det.window_size(), 0u);
+  EXPECT_FALSE(det.consume_fire());
+  // Baselines survive: they are the evidence the next detection needs.
+  EXPECT_DOUBLE_EQ(det.baseline(kBucket, kSlow), 2.0);
+}

@@ -6,9 +6,11 @@
 #include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
+#include "parallel/thread_priority.hpp"
 
 using apollo::par::ThreadPool;
 
@@ -203,3 +205,72 @@ TEST_P(ThreadSweep, SumIndependentOfThreadCount) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+// --- Async background-job lane (the online Retrainer's substrate) ---------
+
+TEST(ThreadPoolAsync, JobsRunFifoAndIdleWaits) {
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&, i] {
+      std::lock_guard lock(mutex);
+      order.push_back(i);
+    });
+  }
+  pool.wait_async_idle();
+  EXPECT_EQ(pool.async_pending(), 0u);
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPoolAsync, ThrowingJobIsCountedNotFatal) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.wait_async_idle();
+  EXPECT_EQ(pool.async_failures(), 1u);
+  EXPECT_EQ(ran.load(), 1);  // the lane survives a throwing job
+}
+
+TEST(ThreadPoolAsync, ConcurrentSubmittersAllComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) pool.submit([&] { completed.fetch_add(1); });
+    });
+  }
+  for (auto& s : submitters) s.join();
+  pool.wait_async_idle();
+  EXPECT_EQ(completed.load(), 100);
+}
+
+TEST(ThreadPoolAsync, AsyncLaneDoesNotBlockParallelFor) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  pool.submit([&] {
+    while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+  });
+  // A long-running background job must not stall a parallel region.
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(0, 100, 0, [&](std::int64_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+  release.store(true, std::memory_order_release);
+  pool.wait_async_idle();
+}
+
+TEST(ThreadPoolAsync, BackgroundPriorityDropIsAvailable) {
+  ThreadPool pool(1);
+  std::atomic<bool> lowered{false};
+  pool.submit([&] { lowered.store(apollo::par::lower_current_thread_priority()); });
+  pool.wait_async_idle();
+#ifdef __linux__
+  // Lowering (never raising) priority needs no privilege on Linux.
+  EXPECT_TRUE(lowered.load());
+#else
+  (void)lowered;
+#endif
+}

@@ -196,3 +196,38 @@ TEST(Timer, VirtualClockAccumulates) {
   clock.reset();
   EXPECT_DOUBLE_EQ(clock.now(), 0.0);
 }
+
+TEST_F(BlackboardTest, GenerationTracksMutations) {
+  auto& board = perf::Blackboard::instance();
+  const auto start = board.generation();
+
+  board.set("gen_key", 1);
+  EXPECT_EQ(board.generation(), start + 1);
+  board.set("gen_key", 2);  // overwrite counts: the value changed
+  EXPECT_EQ(board.generation(), start + 2);
+
+  board.unset("gen_key");
+  EXPECT_EQ(board.generation(), start + 3);
+  board.unset("gen_key");  // removing a missing key changes nothing
+  EXPECT_EQ(board.generation(), start + 3);
+
+  board.clear();
+  EXPECT_EQ(board.generation(), start + 4);
+}
+
+TEST_F(BlackboardTest, SnapshotSharedIsCachedUntilMutation) {
+  auto& board = perf::Blackboard::instance();
+  board.set("cache_key", 7);
+
+  const auto first = board.snapshot_shared();
+  const auto second = board.snapshot_shared();
+  EXPECT_EQ(first.get(), second.get());  // unchanged board: same snapshot object
+  EXPECT_EQ(first->at("cache_key").as_int(), 7);
+
+  board.set("cache_key", 8);
+  const auto third = board.snapshot_shared();
+  EXPECT_NE(first.get(), third.get());
+  EXPECT_EQ(third->at("cache_key").as_int(), 8);
+  // The old snapshot is immutable: it still holds the value it captured.
+  EXPECT_EQ(first->at("cache_key").as_int(), 7);
+}

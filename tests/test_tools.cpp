@@ -38,7 +38,11 @@ std::string tool(const std::string& name) {
 class ToolsTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    workdir_ = fs::temp_directory_path() / "apollo_tools_test";
+    // Unique per test: ctest -j runs cases as concurrent processes, and a
+    // shared directory lets one test's SetUp remove_all another's files.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    workdir_ = fs::temp_directory_path() /
+               (std::string("apollo_tools_test_") + info->name());
     fs::remove_all(workdir_);
     fs::create_directories(workdir_);
     if (!fs::exists(tool("apollo_record"))) {
