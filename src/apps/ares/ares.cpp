@@ -8,6 +8,7 @@
 #include "core/cluster_accountant.hpp"
 #include "core/runtime.hpp"
 #include "perf/blackboard.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace apollo::apps::ares {
 
@@ -627,6 +628,8 @@ void Simulation::step() {
 void Simulation::run(int steps) {
   for (int i = 0; i < steps; ++i) {
     perf::ScopedAnnotation timestep("timestep", cycle_);
+    const telemetry::ScopedSpan span(telemetry::EventKind::Phase, "ares.step",
+                                     static_cast<std::uint64_t>(cycle_));
     step();
   }
 }

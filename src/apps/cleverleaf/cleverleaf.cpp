@@ -8,6 +8,7 @@
 #include "core/cluster_accountant.hpp"
 #include "core/runtime.hpp"
 #include "perf/blackboard.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace apollo::apps::cleverleaf {
 
@@ -854,6 +855,8 @@ void Simulation::step() {
 void Simulation::run(int steps) {
   for (int i = 0; i < steps; ++i) {
     perf::ScopedAnnotation timestep("timestep", cycle_);
+    const telemetry::ScopedSpan span(telemetry::EventKind::Phase, "cleverleaf.step",
+                                     static_cast<std::uint64_t>(cycle_));
     step();
   }
 }

@@ -6,6 +6,7 @@
 #include "core/runtime.hpp"
 #include "perf/blackboard.hpp"
 #include "raja/reducers.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace apollo::apps::lulesh {
 
@@ -622,6 +623,8 @@ void Simulation::step() {
 void Simulation::run(int steps) {
   for (int i = 0; i < steps; ++i) {
     perf::ScopedAnnotation timestep("timestep", dom_.cycle);
+    const telemetry::ScopedSpan span(telemetry::EventKind::Phase, "lulesh.step",
+                                     static_cast<std::uint64_t>(dom_.cycle));
     step();
   }
 }

@@ -10,6 +10,26 @@
 
 namespace apollo {
 
+namespace {
+
+/// Telemetry state carried from begin() to end() on the launching thread.
+/// A forall never nests, so one slot per thread suffices; the armed fields
+/// are consumed (and cleared) by end().
+struct PendingLaunch {
+  std::uint64_t start_ns = 0;
+  std::uint64_t decide_dur_ns = 0;
+  bool introspect_armed = false;
+  telemetry::Decision decision;
+};
+thread_local PendingLaunch t_pending;
+
+// Per-thread stride counter for decision introspection. Thread-local on
+// purpose: a shared atomic would add cross-thread contention to every tuned
+// launch, and per-thread phase drift does not bias a uniform stride sample.
+thread_local std::uint64_t t_introspect_tick = 0;
+
+}  // namespace
+
 const char* mode_name(Mode mode) noexcept {
   switch (mode) {
     case Mode::Off: return "off";
@@ -21,6 +41,7 @@ const char* mode_name(Mode mode) noexcept {
 }
 
 Runtime::Runtime() {
+  telemetry::init_from_env();
   if (const char* env = std::getenv("APOLLO_MODE")) {
     const std::string value(env);
     if (value == "record") {
@@ -192,6 +213,14 @@ void Runtime::reset() {
   reset_stats();
   clear_records();
   sample_counter_ = 0;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    kernel_telemetry_.clear();
+    last_telemetry_key_ = nullptr;
+    last_telemetry_ = nullptr;
+  }
+  t_introspect_tick = 0;
+  t_pending = PendingLaunch{};
 }
 
 std::optional<perf::Value> Runtime::resolve_feature(const std::string& name,
@@ -240,14 +269,105 @@ double Runtime::measure_seconds(const sim::CostQuery& query) {
                                    sample_counter_.fetch_add(1, std::memory_order_relaxed));
 }
 
+void Runtime::update_stats_locked(KernelStats& kernel_stats, double seconds) {
+  kernel_stats.seconds += seconds;
+  kernel_stats.invocations += 1;
+  kernel_stats.launch_seconds.observe(seconds);
+}
+
 void Runtime::charge(const std::string& loop_id, double seconds) {
   if (accountant_ != nullptr) accountant_->charge(seconds);
   const std::lock_guard<std::mutex> lock(stats_mutex_);
   stats_.total_seconds += seconds;
   stats_.invocations += 1;
-  auto& kernel_stats = stats_.per_kernel[loop_id];
-  kernel_stats.seconds += seconds;
-  kernel_stats.invocations += 1;
+  update_stats_locked(stats_.per_kernel[loop_id], seconds);
+}
+
+Runtime::KernelTelemetry& Runtime::kernel_telemetry_locked(const KernelHandle& kernel) {
+  // Single-kernel phases dominate launch streams: a one-entry cache turns
+  // the per-launch map lookup (string hash) into a pointer compare.
+  if (last_telemetry_ != nullptr && kernel.loop_id() == *last_telemetry_key_) {
+    return *last_telemetry_;
+  }
+  auto it = kernel_telemetry_.find(kernel.loop_id());
+  if (it != kernel_telemetry_.end()) {
+    last_telemetry_key_ = &it->first;  // node-based map: addresses are stable
+    last_telemetry_ = &it->second;
+    return it->second;
+  }
+  // First launch of this kernel with telemetry on: resolve and cache every
+  // handle the per-launch path needs, so later launches pay atomics only.
+  auto& registry = telemetry::MetricsRegistry::instance();
+  KernelTelemetry entry;
+  entry.name = telemetry::Tracer::instance().intern(kernel.loop_id());
+  const std::string label = "kernel=\"" + kernel.loop_id() + "\"";
+  entry.decision_seconds =
+      &registry.histogram("apollo_decision_seconds",
+                          "Model-evaluation latency, sampled on the introspection stride.",
+                          telemetry::duration_bounds(), label);
+  it = kernel_telemetry_.emplace(kernel.loop_id(), std::move(entry)).first;
+  last_telemetry_key_ = &it->first;
+  last_telemetry_ = &it->second;
+  return it->second;
+}
+
+telemetry::Counter& Runtime::variant_counter_locked(KernelTelemetry& entry,
+                                                    const KernelHandle& kernel,
+                                                    const ModelParams& params) {
+  const std::uint64_t key = online::Variant{params.policy, params.chunk_size}.key();
+  for (auto& [variant_key, counter] : entry.variants) {
+    if (variant_key == key) return *counter;
+  }
+  std::string label = "kernel=\"" + kernel.loop_id() + "\",variant=\"";
+  label += raja::policy_name(params.policy);
+  if (params.chunk_size > 0) label += "/c" + std::to_string(params.chunk_size);
+  label += "\"";
+  auto& counter = telemetry::MetricsRegistry::instance().counter(
+      "apollo_dispatch_total", "Launches dispatched per kernel and executed variant.", label);
+  entry.variants.emplace_back(key, &counter);
+  return counter;
+}
+
+void Runtime::tuned_decision(ModelParams& params, const KernelHandle& kernel,
+                             const raja::IndexSet& iset, bool telem) {
+  // With telemetry on, begin() just stamped the launch start; reuse it as
+  // the decision start rather than paying a second clock read.
+  const std::uint64_t decide_start = telem ? t_pending.start_ns : telemetry::now_ns();
+  apply_models(params, kernel, iset);
+  const std::uint64_t decide_end = telemetry::now_ns();
+  // Always on: feeds the p50/p95/p99 decision-latency report in stats_report.
+  stats_.decision_latency.observe(static_cast<double>(decide_end - decide_start) * 1e-9);
+  if (telem) {
+    t_pending.decide_dur_ns = decide_end - decide_start;
+    maybe_capture_decision(params, kernel, iset);
+  }
+}
+
+void Runtime::maybe_capture_decision(const ModelParams& params, const KernelHandle& kernel,
+                                     const raja::IndexSet& iset) {
+  const auto& cfg = telemetry::config();
+  if (cfg.introspect_stride == 0 || !policy_model_) return;
+  if (t_introspect_tick++ % cfg.introspect_stride != 0) {
+    return;
+  }
+  telemetry::Decision decision;
+  decision.kernel = kernel.loop_id();
+  decision.ts_ns = telemetry::now_ns();
+  decision.model_version = adapt_version_;
+  // Re-evaluate the policy model for this sampled launch; feature_buffer_
+  // then holds exactly the vector the tree saw.
+  const int label = predict_compiled(*policy_model_, policy_features_, kernel, iset);
+  const auto& names = policy_model_->tree().feature_names();
+  decision.features.reserve(names.size());
+  for (std::size_t f = 0; f < names.size(); ++f) {
+    decision.features.emplace_back(names[f], feature_buffer_[f]);
+  }
+  policy_model_->tree().predict_path(feature_buffer_.data(), decision.tree_path);
+  decision.predicted = policy_model_->label_name(label);
+  decision.predicted_seconds = machine_.cost_seconds(
+      make_query(kernel, iset, params.policy, params.chunk_size, params.threads));
+  t_pending.decision = std::move(decision);
+  t_pending.introspect_armed = true;
 }
 
 void Runtime::emit_record(const KernelHandle& kernel, const raja::IndexSet& iset,
@@ -304,11 +424,27 @@ void Runtime::refresh_adapt_models() {
     if (snapshot->chunk) set_chunk_model(*snapshot->chunk);
     if (snapshot->threads) set_threads_model(*snapshot->threads);
     tuner.on_models_swapped();
+    if (telemetry::enabled()) {
+      auto& registry = telemetry::MetricsRegistry::instance();
+      registry.counter("apollo_hot_swaps_total", "Model hot-swaps applied by the runtime.").inc();
+      registry
+          .gauge("apollo_model_generation",
+                 "Registry model generation currently compiled into the runtime.")
+          .set(static_cast<double>(version));
+      telemetry::emit_instant(telemetry::EventKind::HotSwap, "hot_swap", version);
+    }
   }
   adapt_version_ = version;
 }
 
 ModelParams Runtime::begin(const KernelHandle& kernel, const raja::IndexSet& iset) {
+  const bool telem = telemetry::enabled();
+  if (telem) {
+    t_pending.start_ns = telemetry::now_ns();
+    t_pending.decide_dur_ns = 0;
+    t_pending.introspect_armed = false;
+  }
+
   ModelParams params;
   params.policy = default_override_.value_or(kernel.default_policy());
   params.chunk_size = 0;
@@ -323,17 +459,23 @@ ModelParams Runtime::begin(const KernelHandle& kernel, const raja::IndexSet& ise
       }
       break;
     case Mode::Tune:
-      apply_models(params, kernel, iset);
+      tuned_decision(params, kernel, iset, telem);
       break;
     case Mode::Adapt: {
       refresh_adapt_models();
-      apply_models(params, kernel, iset);
+      tuned_decision(params, kernel, iset, telem);
       const auto bucket = online::feature_bucket(iset.getLength(), iset.getNumSegments());
       if (const auto explored = online().maybe_explore(kernel.loop_id(), bucket)) {
         params.policy = explored->policy;
         params.chunk_size = explored->chunk;
         params.threads = 0;
         params.explored = true;
+        if (telem) {
+          static telemetry::Counter& explores = telemetry::MetricsRegistry::instance().counter(
+              "apollo_explore_total", "Launches where the explorer substituted a trial variant.");
+          explores.inc();
+          telemetry::emit_instant(telemetry::EventKind::Explore, "explore", explored->key());
+        }
       }
       break;
     }
@@ -352,7 +494,50 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
     seconds = measure_seconds(
         make_query(kernel, iset, params.policy, params.chunk_size, params.threads));
   }
-  charge(kernel.loop_id(), seconds);
+
+  const bool telem = telemetry::enabled();
+  if (accountant_ != nullptr) accountant_->charge(seconds);
+  const char* trace_name = nullptr;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.total_seconds += seconds;
+    stats_.invocations += 1;
+    update_stats_locked(stats_.per_kernel[kernel.loop_id()], seconds);
+    if (telem) {
+      KernelTelemetry& entry = kernel_telemetry_locked(kernel);
+      trace_name = entry.name;
+      variant_counter_locked(entry, kernel, params).inc();
+      // The registry histogram rides the introspection stride: every launch
+      // already feeds the always-on stats_.decision_latency histogram, so
+      // the labeled series trades resolution for ~40ns off the hot path.
+      if (t_pending.introspect_armed && t_pending.decide_dur_ns > 0) {
+        entry.decision_seconds->observe(static_cast<double>(t_pending.decide_dur_ns) * 1e-9);
+      }
+    }
+  }
+  if (telem && t_pending.start_ns != 0) {
+    // Derive the span end rather than paying another clock read: the launch
+    // span covers the model decision plus the measured (or model-charged)
+    // execution seconds — exactly the time Apollo accounts to this launch.
+    const std::uint64_t end_ns = t_pending.start_ns + t_pending.decide_dur_ns +
+                                 static_cast<std::uint64_t>(seconds * 1e9);
+    telemetry::emit_span(telemetry::EventKind::Launch, trace_name, t_pending.start_ns, end_ns,
+                         online::Variant{params.policy, params.chunk_size}.key(),
+                         params.explored ? 1 : 0);
+    if (t_pending.introspect_armed) {
+      // Decide spans ride the introspection stride: every tuned launch feeds
+      // the latency histograms, but only sampled launches pay a second event.
+      if (t_pending.decide_dur_ns > 0) {
+        telemetry::emit_span(telemetry::EventKind::Decide, trace_name, t_pending.start_ns,
+                             t_pending.start_ns + t_pending.decide_dur_ns, adapt_version_, 0);
+      }
+      t_pending.decision.observed_seconds = seconds;
+      t_pending.decision.explored = params.explored;
+      telemetry::DecisionLog::instance().record(std::move(t_pending.decision));
+      t_pending.introspect_armed = false;
+    }
+    t_pending.start_ns = 0;
+  }
 
   if (mode_ == Mode::Adapt) {
     online::OnlineTuner& tuner = online();

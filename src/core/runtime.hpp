@@ -42,6 +42,7 @@
 #include "raja/index_set.hpp"
 #include "raja/policy_switcher.hpp"
 #include "sim/machine.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace apollo {
 
@@ -72,12 +73,18 @@ struct TrainingConfig {
 struct KernelStats {
   double seconds = 0.0;
   std::int64_t invocations = 0;
+  /// Per-launch runtime distribution (always on; atomic bucket increments).
+  telemetry::Histogram launch_seconds{telemetry::duration_bounds()};
 };
 
 struct RunStats {
   double total_seconds = 0.0;
   std::int64_t invocations = 0;
   std::map<std::string, KernelStats> per_kernel;  ///< keyed by loop_id
+  /// Time spent evaluating models per tuned launch (Tune/Adapt modes).
+  /// Histogram buckets replace the old mean-only view: stats_report prints
+  /// p50/p95/p99 from here.
+  telemetry::Histogram decision_latency{telemetry::duration_bounds()};
 };
 
 class Runtime {
@@ -218,6 +225,27 @@ private:
                    raja::PolicyType policy, std::int64_t chunk, double seconds,
                    unsigned team = 0);
 
+  // --- telemetry (all dormant behind one branch when telemetry is off) -----
+  /// Cached per-kernel metric handles: interned name, launch counter,
+  /// per-variant dispatch counters, decision-latency histogram. Registry
+  /// lookups are paid once per kernel (and once per new variant), never per
+  /// launch. Guarded by stats_mutex_.
+  struct KernelTelemetry {
+    const char* name = nullptr;
+    telemetry::Histogram* decision_seconds = nullptr;
+    std::vector<std::pair<std::uint64_t, telemetry::Counter*>> variants;
+  };
+  KernelTelemetry& kernel_telemetry_locked(const KernelHandle& kernel);
+  telemetry::Counter& variant_counter_locked(KernelTelemetry& entry, const KernelHandle& kernel,
+                                             const ModelParams& params);
+  void update_stats_locked(KernelStats& kernel_stats, double seconds);
+  /// Shared Tune/Adapt decision wrapper: times apply_models into the stats
+  /// histogram and (telemetry on) arms the decide span + sampled introspection.
+  void tuned_decision(ModelParams& params, const KernelHandle& kernel,
+                      const raja::IndexSet& iset, bool telem);
+  void maybe_capture_decision(const ModelParams& params, const KernelHandle& kernel,
+                              const raja::IndexSet& iset);
+
   Mode mode_ = Mode::Off;
   TimingSource timing_ = TimingSource::Model;
   sim::MachineModel machine_{};
@@ -244,6 +272,10 @@ private:
 
   std::unique_ptr<online::OnlineTuner> online_;
   std::uint64_t adapt_version_ = 0;  ///< registry version currently compiled
+
+  std::unordered_map<std::string, KernelTelemetry> kernel_telemetry_;  ///< stats_mutex_
+  const std::string* last_telemetry_key_ = nullptr;  ///< one-entry lookup cache (stats_mutex_)
+  KernelTelemetry* last_telemetry_ = nullptr;
 };
 
 /// The application-facing execution method: decide, run, account.

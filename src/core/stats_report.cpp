@@ -25,22 +25,38 @@ std::string format_stats(const RunStats& stats) {
   out << std::fixed;
   out << "total: " << stats.total_seconds * 1e3 << " ms over " << stats.invocations
       << " kernel launches\n";
+  // Decision latency as a distribution, not a mean: tuning cost is dominated
+  // by its tail (a mean hides the first-launch compilation of features).
+  if (stats.decision_latency.count() > 0) {
+    out << "decision latency: p50 " << stats.decision_latency.quantile(0.50) * 1e6 << " us, p95 "
+        << stats.decision_latency.quantile(0.95) * 1e6 << " us, p99 "
+        << stats.decision_latency.quantile(0.99) * 1e6 << " us over "
+        << stats.decision_latency.count() << " decisions\n";
+  }
   for (const auto& [loop_id, kernel] : sorted_kernels(stats)) {
     const double share =
         stats.total_seconds > 0 ? kernel.seconds / stats.total_seconds * 100.0 : 0.0;
     out << "  " << loop_id << "  " << kernel.seconds * 1e3 << " ms  (" << kernel.invocations
-        << " launches, " << share << "%)\n";
+        << " launches, " << share << "%";
+    if (kernel.launch_seconds.count() > 0) {
+      out << ", p50 " << kernel.launch_seconds.quantile(0.50) * 1e3 << " ms, p95 "
+          << kernel.launch_seconds.quantile(0.95) * 1e3 << " ms, p99 "
+          << kernel.launch_seconds.quantile(0.99) * 1e3 << " ms";
+    }
+    out << ")\n";
   }
   return out.str();
 }
 
 void write_stats_csv(std::ostream& out, const RunStats& stats) {
-  out << "loop_id,invocations,seconds,percent\n";
+  out << "loop_id,invocations,seconds,percent,p50_seconds,p95_seconds,p99_seconds\n";
   out.precision(9);
   for (const auto& [loop_id, kernel] : sorted_kernels(stats)) {
     const double share =
         stats.total_seconds > 0 ? kernel.seconds / stats.total_seconds * 100.0 : 0.0;
-    out << loop_id << ',' << kernel.invocations << ',' << kernel.seconds << ',' << share << '\n';
+    out << loop_id << ',' << kernel.invocations << ',' << kernel.seconds << ',' << share << ','
+        << kernel.launch_seconds.quantile(0.50) << ',' << kernel.launch_seconds.quantile(0.95)
+        << ',' << kernel.launch_seconds.quantile(0.99) << '\n';
   }
 }
 

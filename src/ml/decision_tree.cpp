@@ -173,6 +173,18 @@ int DecisionTree::predict(const double* features) const {
   return nodes_[static_cast<std::size_t>(node)].label;
 }
 
+int DecisionTree::predict_path(const double* features, std::vector<int>& path) const {
+  if (nodes_.empty()) return 0;
+  int node = 0;
+  path.push_back(node);
+  while (nodes_[static_cast<std::size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<std::size_t>(node)];
+    node = features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+    path.push_back(node);
+  }
+  return nodes_[static_cast<std::size_t>(node)].label;
+}
+
 int DecisionTree::predict(const std::vector<double>& features) const {
   if (features.size() != feature_names_.size()) {
     throw std::invalid_argument("DecisionTree::predict: feature count mismatch");

@@ -53,6 +53,11 @@ public:
   [[nodiscard]] int predict(const std::vector<double>& features) const;
   [[nodiscard]] int predict(const double* features) const;
 
+  /// predict(), additionally appending the node indices visited (root to
+  /// leaf) to `path`. Telemetry's decision introspection records this so a
+  /// live deployment can show *which* branch chose a variant.
+  int predict_path(const double* features, std::vector<int>& path) const;
+
   [[nodiscard]] std::vector<int> predict_all(const Dataset& data) const;
 
   /// Fraction of dataset rows classified correctly.

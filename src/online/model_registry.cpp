@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "telemetry/telemetry.hpp"
+
 namespace apollo::online {
 
 namespace fs = std::filesystem;
@@ -52,6 +54,11 @@ std::uint64_t ModelRegistry::publish(std::optional<TunerModel> policy,
   if (!dir_.empty()) persist_locked(*next);
   current_ = std::move(next);
   version_.store(current_->version, std::memory_order_release);
+  if (telemetry::enabled()) {
+    telemetry::MetricsRegistry::instance()
+        .gauge("apollo_model_registry_version", "Latest model generation published.")
+        .set(static_cast<double>(current_->version));
+  }
   return current_->version;
 }
 

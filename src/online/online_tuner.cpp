@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace apollo::online {
 
 OnlineTuner::OnlineTuner(SampleBuffer* buffer, OnlineConfig config)
@@ -66,6 +68,12 @@ std::optional<Variant> OnlineTuner::maybe_explore(const std::string& loop_id,
   const double best = det.best_baseline(bucket);
   if (known > 0.0 && best > 0.0 && known > config_.explore_cost_guard * best) {
     ++vetoes_;
+    if (telemetry::enabled()) {
+      telemetry::MetricsRegistry::instance()
+          .counter("apollo_explore_vetoed_total",
+                   "Exploration candidates rejected by the cost guard.")
+          .inc();
+    }
     return std::nullopt;
   }
   return candidate;
@@ -82,6 +90,14 @@ void OnlineTuner::observe(const std::string& loop_id, std::uint64_t bucket,
     retrain_pending_ = true;
     pushed_at_fire_ = buffer_->total_pushed();
     explorer_.set_boosted(true);
+    if (telemetry::enabled()) {
+      telemetry::MetricsRegistry::instance()
+          .counter("apollo_drift_fires_total", "Drift-detector fires per kernel.",
+                   "kernel=\"" + loop_id + "\"")
+          .inc();
+      telemetry::emit_instant(telemetry::EventKind::DriftFire,
+                              telemetry::Tracer::instance().intern(loop_id), bucket);
+    }
   }
 }
 

@@ -4,8 +4,36 @@
 #include <utility>
 
 #include "core/features.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace apollo::online {
+
+namespace {
+
+/// Metric handles resolved once (registry lookups take a lock; push must not).
+struct BufferTelemetry {
+  telemetry::Counter* pushed;
+  telemetry::Counter* dropped;
+  telemetry::Gauge* occupancy;
+  telemetry::Gauge* capacity;
+};
+
+BufferTelemetry& buffer_telemetry() {
+  static BufferTelemetry handles = [] {
+    auto& registry = telemetry::MetricsRegistry::instance();
+    return BufferTelemetry{
+        &registry.counter("apollo_samples_pushed_total",
+                          "Samples pushed into the runtime sample buffer."),
+        &registry.counter("apollo_samples_dropped_total",
+                          "Samples overwritten by newer pushes before a consumer saw them."),
+        &registry.gauge("apollo_sample_buffer_occupancy",
+                        "Samples currently retained in the buffer."),
+        &registry.gauge("apollo_sample_buffer_capacity", "Configured sample-buffer capacity.")};
+  }();
+  return handles;
+}
+
+}  // namespace
 
 perf::SampleRecord Sample::materialize() const {
   perf::SampleRecord record = app ? *app : perf::SampleRecord{};
@@ -25,14 +53,31 @@ SampleBuffer::SampleBuffer(std::size_t capacity) : capacity_(std::max<std::size_
 
 void SampleBuffer::push(Sample sample) {
   auto shared = std::make_shared<const Sample>(std::move(sample));
-  std::lock_guard lock(mutex_);
-  if (ring_.size() < capacity_) {
-    ring_.push_back(std::move(shared));
-  } else {
-    ring_[next_] = std::move(shared);
-    next_ = (next_ + 1) % capacity_;
+  const bool telem = telemetry::enabled();
+  bool overwrote = false;
+  std::size_t occupancy = 0;
+  std::size_t capacity = 0;
+  {
+    std::lock_guard lock(mutex_);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(shared));
+    } else {
+      ring_[next_] = std::move(shared);
+      next_ = (next_ + 1) % capacity_;
+      overwrote = true;
+    }
+    occupancy = ring_.size();
+    capacity = capacity_;
+    pushed_.fetch_add(1, std::memory_order_release);
   }
-  pushed_.fetch_add(1, std::memory_order_release);
+  if (telem) {
+    auto& handles = buffer_telemetry();
+    handles.pushed->inc();
+    if (overwrote) handles.dropped->inc();
+    handles.occupancy->set(static_cast<double>(occupancy));
+    handles.capacity->set(static_cast<double>(capacity));
+    telemetry::emit_instant(telemetry::EventKind::SamplePush, "sample_push", occupancy);
+  }
 }
 
 std::size_t SampleBuffer::size() const {

@@ -18,6 +18,69 @@ std::string csv_quote(const std::string& field) {
   return quoted;
 }
 
+std::vector<std::vector<std::string>> parse_csv(std::istream& in) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;        // inside a quoted field
+  bool field_started = false; // current row has at least one field character/separator
+  int c;
+  while ((c = in.get()) != std::char_traits<char>::eof()) {
+    const char ch = static_cast<char>(c);
+    if (quoted) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          field += '"';
+          in.get();
+        } else {
+          quoted = false;  // closing quote
+        }
+      } else {
+        field += ch;  // commas, CRs, and newlines are literal inside quotes
+      }
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        quoted = true;
+        field_started = true;
+        break;
+      case ',':
+        row.push_back(std::move(field));
+        field.clear();
+        field_started = true;
+        break;
+      case '\r':
+        if (in.peek() == '\n') in.get();
+        [[fallthrough]];
+      case '\n':
+        if (field_started || !field.empty() || !row.empty()) {
+          row.push_back(std::move(field));
+          field.clear();
+          rows.push_back(std::move(row));
+          row.clear();
+          field_started = false;
+        }
+        break;
+      default:
+        field += ch;
+        field_started = true;
+        break;
+    }
+  }
+  if (quoted) throw std::runtime_error("parse_csv: unterminated quoted field");
+  if (field_started || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::istringstream in(text);
+  return parse_csv(in);
+}
+
 namespace {
 
 std::string cell_text(const Value& value) {

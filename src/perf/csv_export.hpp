@@ -16,6 +16,13 @@ namespace apollo::perf {
 /// Quote a CSV field if it contains a comma, quote, or newline.
 [[nodiscard]] std::string csv_quote(const std::string& field);
 
+/// RFC-4180 parse: rows of fields, handling quoted fields, doubled quotes,
+/// embedded commas/newlines/CRs, and CRLF line endings. The inverse of
+/// csv_quote — any table written by write_records_csv round-trips exactly.
+/// A trailing newline does not produce an empty final row.
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(std::istream& in);
+[[nodiscard]] std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
 /// Write header + one row per record.
 void write_records_csv(std::ostream& out, const std::vector<SampleRecord>& records);
 void write_records_csv_file(const std::string& path, const std::vector<SampleRecord>& records);

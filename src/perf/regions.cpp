@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace apollo::perf {
 
 namespace {
@@ -36,7 +38,12 @@ void RegionProfiler::begin(const std::string& name) {
     child = &parent->children.back();
   }
   child->visits += 1;
-  stack_.push_back(Open{child, now_seconds()});
+  Open open{child, now_seconds()};
+  if (telemetry::enabled()) {
+    open.trace_name = telemetry::Tracer::instance().intern(name);
+    open.start_ns = telemetry::now_ns();
+  }
+  stack_.push_back(open);
 }
 
 void RegionProfiler::end() {
@@ -44,6 +51,10 @@ void RegionProfiler::end() {
   Open open = stack_.back();
   stack_.pop_back();
   open.node->inclusive_seconds += now_seconds() - open.started;
+  if (open.trace_name != nullptr && telemetry::enabled()) {
+    telemetry::emit_span(telemetry::EventKind::Phase, open.trace_name, open.start_ns,
+                         telemetry::now_ns());
+  }
 }
 
 std::string RegionProfiler::report() const {

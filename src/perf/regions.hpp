@@ -6,6 +6,7 @@
 // the "where does the run spend its time" view applications wrap around
 // physics packages and solver phases.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,10 @@ private:
   struct Open {
     Node* node;
     double started;
+    /// Interned name + start stamp when telemetry is tracing this region
+    /// (trace_name == nullptr otherwise).
+    const char* trace_name = nullptr;
+    std::uint64_t start_ns = 0;
   };
 
   Node root_;

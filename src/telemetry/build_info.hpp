@@ -1,0 +1,26 @@
+#pragma once
+
+// Build provenance, stamped at CMake configure time: which exact binary
+// produced a trace, a metrics dump, or a model file. Printed by every tool
+// under --version and embedded in telemetry exports, so an artifact can
+// always be traced back to the commit and flags that generated it.
+
+#include <string>
+
+namespace apollo {
+
+struct BuildInfo {
+  const char* version;     ///< project version (CMake PROJECT_VERSION)
+  const char* git_sha;     ///< short commit hash, "+dirty" suffixed ("unknown" outside git)
+  const char* compiler;    ///< compiler id + version
+  const char* flags;       ///< CXX flags incl. build-type flags
+  const char* build_type;  ///< CMAKE_BUILD_TYPE
+};
+
+[[nodiscard]] const BuildInfo& build_info() noexcept;
+
+/// One-line human-readable rendering, e.g.
+/// "apollo 1.0.0 (git abc1234, GNU 13.2.0, Release)".
+[[nodiscard]] std::string build_info_string();
+
+}  // namespace apollo

@@ -1,0 +1,123 @@
+#include "telemetry/introspect.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace apollo::telemetry {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+DecisionLog& DecisionLog::instance() {
+  static DecisionLog log;
+  return log;
+}
+
+void DecisionLog::set_per_kernel_limit(std::size_t limit) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  limit_ = limit < 1 ? 1 : limit;
+  for (auto& [kernel, decisions] : per_kernel_) {
+    (void)kernel;
+    while (decisions.size() > limit_) decisions.pop_front();
+  }
+}
+
+void DecisionLog::record(Decision decision) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& decisions = per_kernel_[decision.kernel];
+  decisions.push_back(std::move(decision));
+  while (decisions.size() > limit_) decisions.pop_front();
+  ++recorded_;
+}
+
+std::uint64_t DecisionLog::recorded() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::vector<Decision> DecisionLog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Decision> out;
+  for (const auto& [kernel, decisions] : per_kernel_) {
+    (void)kernel;
+    out.insert(out.end(), decisions.begin(), decisions.end());
+  }
+  return out;
+}
+
+void DecisionLog::write_json(std::ostream& out) const {
+  for (const Decision& d : snapshot()) {
+    out << "{\"kernel\":\"" << json_escape(d.kernel) << "\",\"ts_ns\":" << d.ts_ns
+        << ",\"model_version\":" << d.model_version << ",\"predicted\":\""
+        << json_escape(d.predicted) << "\",\"predicted_seconds\":"
+        << json_number(d.predicted_seconds) << ",\"observed_seconds\":"
+        << json_number(d.observed_seconds) << ",\"explored\":" << (d.explored ? "true" : "false")
+        << ",\"features\":{";
+    bool first = true;
+    for (const auto& [name, value] : d.features) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << json_escape(name) << "\":" << json_number(value);
+    }
+    out << "},\"tree_path\":[";
+    first = true;
+    for (int node : d.tree_path) {
+      if (!first) out << ",";
+      first = false;
+      out << node;
+    }
+    out << "]}\n";
+  }
+}
+
+void DecisionLog::write_file(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error("DecisionLog: cannot open " + tmp);
+    write_json(out);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("DecisionLog: cannot rename " + tmp + " to " + path);
+  }
+}
+
+void DecisionLog::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  per_kernel_.clear();
+  recorded_ = 0;
+}
+
+}  // namespace apollo::telemetry

@@ -1,0 +1,65 @@
+#pragma once
+
+// Decision introspection: "why did the tuner pick that?" For a configurable
+// sample of launches the runtime records the exact feature vector the model
+// saw, the decision-tree path it walked, the label it chose, and the
+// predicted-vs-observed runtime. The log keeps the most recent decisions per
+// kernel and exports them as JSON lines for tools/apollo_top and offline
+// debugging of model quality in deployment.
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apollo::telemetry {
+
+struct Decision {
+  std::string kernel;                                      ///< loop_id
+  std::vector<std::pair<std::string, double>> features;    ///< name -> raw value
+  std::vector<int> tree_path;                              ///< node indices, root..leaf
+  std::string predicted;                                   ///< chosen label (policy name)
+  double predicted_seconds = 0.0;                          ///< modeled cost of the choice
+  double observed_seconds = 0.0;                           ///< measured launch runtime
+  std::uint64_t model_version = 0;                         ///< registry generation (0 = offline)
+  std::uint64_t ts_ns = 0;                                 ///< trace-epoch timestamp
+  bool explored = false;  ///< executed variant was an exploration substitute
+};
+
+class DecisionLog {
+public:
+  static DecisionLog& instance();
+
+  /// Most recent decisions kept per kernel (older ones roll off).
+  void set_per_kernel_limit(std::size_t limit);
+
+  void record(Decision decision);
+
+  /// Decisions ever recorded (monotonic, survives roll-off).
+  [[nodiscard]] std::uint64_t recorded() const;
+
+  /// All retained decisions, grouped by kernel, oldest first within a kernel.
+  [[nodiscard]] std::vector<Decision> snapshot() const;
+
+  /// One JSON object per line per retained decision.
+  void write_json(std::ostream& out) const;
+  /// Atomic file export (temp + rename). Throws std::runtime_error on I/O
+  /// failure.
+  void write_file(const std::string& path) const;
+
+  void clear();
+
+private:
+  DecisionLog() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::deque<Decision>> per_kernel_;
+  std::uint64_t recorded_ = 0;
+  std::size_t limit_ = 8;
+};
+
+}  // namespace apollo::telemetry

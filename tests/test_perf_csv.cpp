@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <stdexcept>
 
 #include "perf/csv_export.hpp"
 
@@ -49,4 +50,62 @@ TEST(CsvExport, CommaInStringValueStaysOneCell) {
   std::ostringstream out;
   write_records_csv(out, records);
   EXPECT_NE(out.str().find("\"a,b\""), std::string::npos);
+}
+
+TEST(CsvParse, SimpleRowsAndFields) {
+  const auto rows = parse_csv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvParse, QuotedFieldsWithEmbeddedStructure) {
+  const auto rows = parse_csv("\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+  EXPECT_EQ(rows[0][2], "line\nbreak");
+}
+
+TEST(CsvParse, CrlfEndingsAndEmptyFields) {
+  const auto rows = parse_csv("a,\r\n\"\",x\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"", "x"}));
+}
+
+TEST(CsvParse, TrailingNewlineProducesNoEmptyRow) {
+  EXPECT_EQ(parse_csv("a\n").size(), 1u);
+  EXPECT_EQ(parse_csv("a").size(), 1u);
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW((void)parse_csv("\"abc"), std::runtime_error);
+}
+
+TEST(CsvRoundTrip, PathologicalAttributeValuesSurviveExactly) {
+  // The regression this guards: attribute values carrying the full RFC-4180
+  // pathology — separators, quotes, both newline conventions — must come back
+  // byte-identical after write + parse, with row/column structure intact.
+  const std::string nasty1 = "a,b\n\"quoted\",trailing,";
+  const std::string nasty2 = "crlf\r\nline, and a lone \" quote";
+  std::vector<SampleRecord> records(2);
+  records[0]["name"] = nasty1;
+  records[0]["runtime"] = 1.5;
+  records[1]["name"] = nasty2;
+  records[1]["runtime"] = 2.0;
+
+  std::ostringstream out;
+  write_records_csv(out, records);
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"name", "runtime"}));
+  ASSERT_EQ(rows[1].size(), 2u);
+  EXPECT_EQ(rows[1][0], nasty1);
+  EXPECT_EQ(rows[1][1], "1.5");
+  ASSERT_EQ(rows[2].size(), 2u);
+  EXPECT_EQ(rows[2][0], nasty2);
+  EXPECT_EQ(rows[2][1], "2");
 }

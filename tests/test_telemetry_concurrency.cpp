@@ -1,0 +1,130 @@
+// Concurrency tests for the telemetry hot path, written to run under
+// ThreadSanitizer: producer threads trace and count while the collector side
+// drains concurrently. The accounting contract is exact — every push attempt
+// is either drained or counted as a ring drop, never lost silently.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace telemetry = apollo::telemetry;
+
+namespace {
+constexpr int kThreads = 8;
+constexpr std::uint64_t kEventsPerThread = 20000;
+}  // namespace
+
+TEST(TelemetryConcurrency, DrainedPlusDroppedEqualsPushed) {
+  telemetry::set_enabled(false);
+  telemetry::stop_collector();
+  telemetry::reset_for_testing();
+
+  auto& tracer = telemetry::Tracer::instance();
+  tracer.set_ring_capacity(256);  // small rings force overflow under load
+  const char* name = tracer.intern("concurrency:events");
+  auto& counter = telemetry::MetricsRegistry::instance().counter(
+      "test_concurrency_total", "Events attempted by the concurrency test.");
+
+  std::atomic<bool> stop{false};
+  std::vector<telemetry::TraceEvent> drained;
+  std::thread drainer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      tracer.drain(drained);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kEventsPerThread; ++i) {
+        telemetry::TraceEvent event;
+        event.ts_ns = (static_cast<std::uint64_t>(t) << 32) | i;
+        event.dur_ns = 1;
+        event.name = name;
+        event.kind = telemetry::EventKind::Launch;
+        tracer.emit(event);
+        counter.inc();
+      }
+    });
+  }
+  for (auto& thread : producers) thread.join();
+  stop.store(true, std::memory_order_release);
+  drainer.join();
+  // Final sweep: anything still sitting in the rings after the drainer saw
+  // the stop flag.
+  tracer.drain(drained);
+
+  const std::uint64_t attempted = kThreads * kEventsPerThread;
+  EXPECT_EQ(counter.value(), attempted);
+  EXPECT_EQ(drained.size() + tracer.dropped(), attempted);
+  EXPECT_GT(drained.size(), 0u);
+
+  // Per-producer FIFO survives the concurrent drain: for any thread, drained
+  // sequence numbers appear in increasing order.
+  std::vector<std::uint64_t> last(kThreads, 0);
+  std::vector<bool> seen(kThreads, false);
+  for (const auto& event : drained) {
+    const auto t = static_cast<std::size_t>(event.ts_ns >> 32);
+    const std::uint64_t seq = event.ts_ns & 0xffffffffu;
+    ASSERT_LT(t, static_cast<std::size_t>(kThreads));
+    if (seen[t]) {
+      EXPECT_GT(seq, last[t]);
+    }
+    last[t] = seq;
+    seen[t] = true;
+  }
+
+  telemetry::reset_for_testing();
+}
+
+TEST(TelemetryConcurrency, MetricsStayExactUnderContention) {
+  telemetry::reset_for_testing();
+  auto& registry = telemetry::MetricsRegistry::instance();
+  auto& counter = registry.counter("test_contended_total", "Contended counter.");
+  auto& gauge = registry.gauge("test_contended_gauge", "Contended gauge.");
+  auto& hist = registry.histogram("test_contended_seconds", "Contended histogram.",
+                                  telemetry::duration_bounds());
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kEventsPerThread; ++i) {
+        counter.inc();
+        gauge.add(1.0);
+        hist.observe(1e-6);
+      }
+    });
+  }
+  for (auto& thread : workers) thread.join();
+
+  const std::uint64_t total = kThreads * kEventsPerThread;
+  EXPECT_EQ(counter.value(), total);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(total));
+  EXPECT_EQ(hist.count(), total);
+
+  // Registry lookups race against updates (new series created while other
+  // threads expose): exercised here so TSan sees the interleaving.
+  std::thread reader([&] {
+    for (int i = 0; i < 50; ++i) (void)registry.expose();
+  });
+  std::thread creator([&] {
+    for (int i = 0; i < 50; ++i) {
+      registry
+          .counter("test_contended_total", "Contended counter.",
+                   "worker=\"" + std::to_string(i) + "\"")
+          .inc();
+    }
+  });
+  reader.join();
+  creator.join();
+
+  telemetry::reset_for_testing();
+}

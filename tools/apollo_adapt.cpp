@@ -14,12 +14,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "core/runtime.hpp"
 #include "core/trainer.hpp"
+#include "telemetry/build_info.hpp"
 
 using namespace apollo;
 
@@ -55,6 +57,10 @@ double oracle_cost(std::int64_t size) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", build_info_string().c_str());
+    return 0;
+  }
   std::size_t pre = 150;
   std::size_t post = 450;
   double epsilon = 0.05;

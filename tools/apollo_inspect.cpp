@@ -18,6 +18,7 @@
 
 #include "core/features.hpp"
 #include "core/tuner_model.hpp"
+#include "telemetry/build_info.hpp"
 #include "perf/csv_export.hpp"
 #include "perf/record.hpp"
 
@@ -99,6 +100,10 @@ int inspect_model(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", apollo::build_info_string().c_str());
+    return 0;
+  }
   if (argc < 3) {
     std::fprintf(stderr, "usage: apollo_inspect records|model <file> | export <in> <out.csv>\n");
     return 2;

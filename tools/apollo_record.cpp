@@ -21,10 +21,15 @@
 
 #include "apps/application.hpp"
 #include "core/runtime.hpp"
+#include "telemetry/build_info.hpp"
 
 using namespace apollo;
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", build_info_string().c_str());
+    return 0;
+  }
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: apollo_record <lulesh|cleverleaf|ares> <records-out>\n"

@@ -15,10 +15,15 @@
 #include "instr/mix.hpp"
 #include "sim/gpu.hpp"
 #include "sim/machine.hpp"
+#include "telemetry/build_info.hpp"
 
 using namespace apollo;
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", build_info_string().c_str());
+    return 0;
+  }
   int fp = 6, divs = 0, loads = 4, stores = 2;
   std::int64_t bytes = 48;
   unsigned threads = 16;

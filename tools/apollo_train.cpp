@@ -19,6 +19,7 @@
 #include "core/trainer.hpp"
 #include "ml/codegen.hpp"
 #include "ml/cross_validation.hpp"
+#include "telemetry/build_info.hpp"
 
 using namespace apollo;
 
@@ -86,6 +87,10 @@ bool parse(int argc, char** argv, Options& options) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", build_info_string().c_str());
+    return 0;
+  }
   Options options;
   if (!parse(argc, argv, options)) {
     usage();

@@ -14,10 +14,15 @@
 #include "apps/application.hpp"
 #include "core/runtime.hpp"
 #include "core/stats_report.hpp"
+#include "telemetry/build_info.hpp"
 
 using namespace apollo;
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", build_info_string().c_str());
+    return 0;
+  }
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: apollo_tune <lulesh|cleverleaf|ares> --policy-model FILE\n"
