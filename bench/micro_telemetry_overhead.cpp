@@ -91,6 +91,7 @@ void TelemetryOnTune(benchmark::State& state) {
   config.trace_file.clear();
   config.decisions_file.clear();
   config.flush_interval_seconds = 0.0;
+  config.probe_stride = 0;  // quality probes priced separately (QualityOnTune)
   apollo::telemetry::configure(config);
   apollo::telemetry::set_enabled(true);
   apollo::telemetry::start_collector();
@@ -102,6 +103,33 @@ void TelemetryOnTune(benchmark::State& state) {
   apollo::telemetry::reset_for_testing();
 }
 BENCHMARK(TelemetryOnTune);
+
+void QualityOnTune(benchmark::State& state) {
+  // Telemetry on PLUS the model-quality layer: per-launch baseline updates
+  // and choice scoring, calibration on the introspection stride, and a
+  // ground-truth probe every 64th launch (audit log off — it is opt-in).
+  // Acceptance: within 5% of TelemetryOffTune, like TelemetryOnTune.
+  apollo::telemetry::Config config;
+  config.trace_file.clear();
+  config.decisions_file.clear();
+  config.flush_interval_seconds = 0.0;
+  config.probe_stride = 64;
+  apollo::telemetry::configure(config);
+  apollo::telemetry::set_enabled(true);
+  apollo::telemetry::start_collector();
+  run_tuned_loop(state);
+  apollo::telemetry::set_enabled(false);
+  apollo::telemetry::stop_collector();
+  // run_tuned_loop resets the runtime (and its accountant); the registry
+  // counter survives until reset_for_testing below.
+  state.counters["probes"] =
+      static_cast<double>(apollo::telemetry::MetricsRegistry::instance()
+                              .counter("apollo_probe_total",
+                                       "Ground-truth probes launched (alternative-variant timings).")
+                              .value());
+  apollo::telemetry::reset_for_testing();
+}
+BENCHMARK(QualityOnTune);
 
 void EnabledCheck(benchmark::State& state) {
   // The whole off-state per-site cost.

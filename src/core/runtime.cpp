@@ -7,6 +7,8 @@
 #include "core/cluster_accountant.hpp"
 #include "core/features.hpp"
 #include "perf/blackboard.hpp"
+#include "telemetry/audit.hpp"
+#include "telemetry/env.hpp"
 
 namespace apollo {
 
@@ -20,6 +22,11 @@ struct PendingLaunch {
   std::uint64_t decide_dur_ns = 0;
   bool introspect_armed = false;
   telemetry::Decision decision;
+  /// Audit capture (APOLLO_AUDIT_FILE): the model's chosen label and the
+  /// exact feature vector, recorded for every tuned launch when armed.
+  bool audit_armed = false;
+  std::string audit_label;
+  std::vector<std::pair<std::string, double>> audit_features;
 };
 thread_local PendingLaunch t_pending;
 
@@ -52,10 +59,9 @@ Runtime::Runtime() {
       mode_ = Mode::Adapt;
     }
   }
-  if (const char* env = std::getenv("APOLLO_SAMPLE_CAPACITY")) {
-    const long long capacity = std::atoll(env);
-    if (capacity > 0) records_.set_capacity(static_cast<std::size_t>(capacity));
-  }
+  const std::size_t capacity =
+      telemetry::env_size("APOLLO_SAMPLE_CAPACITY", online::kDefaultSampleCapacity);
+  if (capacity != online::kDefaultSampleCapacity) records_.set_capacity(capacity);
   // The paper's training protocol: re-run the same binary once per parameter
   // value, selected through the RAJA_POLICY / RAJA_CHUNK_SIZE environment
   // variables (SIII-A). An explicit policy disables sweep recording.
@@ -218,9 +224,26 @@ void Runtime::reset() {
     kernel_telemetry_.clear();
     last_telemetry_key_ = nullptr;
     last_telemetry_ = nullptr;
+    quality_.clear();
+    probe_rotor_ = 0;
   }
   t_introspect_tick = 0;
   t_pending = PendingLaunch{};
+}
+
+std::vector<std::pair<std::string, telemetry::KernelQuality>> Runtime::quality_snapshot() {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return quality_.snapshot();
+}
+
+std::uint64_t Runtime::probe_count() {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return quality_.total_probes();
+}
+
+double Runtime::regret_seconds_total() {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return quality_.total_regret_seconds();
 }
 
 std::optional<perf::Value> Runtime::resolve_feature(const std::string& name,
@@ -305,6 +328,12 @@ Runtime::KernelTelemetry& Runtime::kernel_telemetry_locked(const KernelHandle& k
       &registry.histogram("apollo_decision_seconds",
                           "Model-evaluation latency, sampled on the introspection stride.",
                           telemetry::duration_bounds(), label);
+  entry.accuracy = &registry.gauge(
+      "apollo_model_accuracy",
+      "Share of scored tuned launches whose variant matched the best-known.", label);
+  entry.regret_seconds = &registry.gauge(
+      "apollo_regret_seconds_total",
+      "Cumulative seconds lost versus the best-known variant per kernel.", label);
   it = kernel_telemetry_.emplace(kernel.loop_id(), std::move(entry)).first;
   last_telemetry_key_ = &it->first;
   last_telemetry_ = &it->second;
@@ -346,18 +375,30 @@ void Runtime::tuned_decision(ModelParams& params, const KernelHandle& kernel,
 void Runtime::maybe_capture_decision(const ModelParams& params, const KernelHandle& kernel,
                                      const raja::IndexSet& iset) {
   const auto& cfg = telemetry::config();
-  if (cfg.introspect_stride == 0 || !policy_model_) return;
-  if (t_introspect_tick++ % cfg.introspect_stride != 0) {
-    return;
+  if (!policy_model_) return;
+  const bool introspect_due =
+      cfg.introspect_stride != 0 && t_introspect_tick++ % cfg.introspect_stride == 0;
+  const bool audit_due = telemetry::AuditLog::instance().audit_enabled();
+  if (!introspect_due && !audit_due) return;
+  // Re-evaluate the policy model for this captured launch; feature_buffer_
+  // then holds exactly the vector the tree saw. Introspection and the audit
+  // log share the one extra evaluation.
+  const int label = predict_compiled(*policy_model_, policy_features_, kernel, iset);
+  const auto& names = policy_model_->tree().feature_names();
+  if (audit_due) {
+    t_pending.audit_armed = true;
+    t_pending.audit_label = policy_model_->label_name(label);
+    t_pending.audit_features.clear();
+    t_pending.audit_features.reserve(names.size());
+    for (std::size_t f = 0; f < names.size(); ++f) {
+      t_pending.audit_features.emplace_back(names[f], feature_buffer_[f]);
+    }
   }
+  if (!introspect_due) return;
   telemetry::Decision decision;
   decision.kernel = kernel.loop_id();
   decision.ts_ns = telemetry::now_ns();
   decision.model_version = adapt_version_;
-  // Re-evaluate the policy model for this sampled launch; feature_buffer_
-  // then holds exactly the vector the tree saw.
-  const int label = predict_compiled(*policy_model_, policy_features_, kernel, iset);
-  const auto& names = policy_model_->tree().feature_names();
   decision.features.reserve(names.size());
   for (std::size_t f = 0; f < names.size(); ++f) {
     decision.features.emplace_back(names[f], feature_buffer_[f]);
@@ -496,8 +537,13 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
   }
 
   const bool telem = telemetry::enabled();
+  const bool tuned = mode_ == Mode::Tune || mode_ == Mode::Adapt;
   if (accountant_ != nullptr) accountant_->charge(seconds);
   const char* trace_name = nullptr;
+  std::uint64_t bucket = 0;
+  bool probe_armed = false;
+  online::Variant probe_variant{};
+  if (telem && tuned) bucket = online::feature_bucket(iset.getLength(), iset.getNumSegments());
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.total_seconds += seconds;
@@ -512,6 +558,40 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
       // the labeled series trades resolution for ~40ns off the hot path.
       if (t_pending.introspect_armed && t_pending.decide_dur_ns > 0) {
         entry.decision_seconds->observe(static_cast<double>(t_pending.decide_dur_ns) * 1e-9);
+      }
+      if (tuned) {
+        // Quality accounting: refresh this variant's baseline and score the
+        // model's choice (explored launches refresh evidence only).
+        const std::uint64_t vkey = online::Variant{params.policy, params.chunk_size}.key();
+        quality_.observe_choice(kernel.loop_id(), bucket, vkey, seconds, !params.explored);
+        if (t_pending.introspect_armed) {
+          quality_.observe_calibration(kernel.loop_id(), t_pending.decision.predicted_seconds,
+                                       seconds);
+          // The exported gauges ride the introspection stride (and the probe
+          // path below): the live files refresh on a 500ms cadence, so
+          // per-launch gauge stores would buy nothing but hot-path cost.
+          if (const telemetry::KernelQuality* q = quality_.kernel(kernel.loop_id())) {
+            entry.accuracy->set(q->accuracy());
+            entry.regret_seconds->set(q->regret_seconds);
+          }
+        }
+        // Budgeted ground-truth probe: every probe_stride-th tuned launch
+        // also times one non-executed variant, round-robin. Model timing
+        // only — a finished wall-clock launch cannot be re-run untuned
+        // (there, the Adapt explorer supplies off-policy ground truth).
+        if (timing_ == TimingSource::Model &&
+            quality_.probe_due(telemetry::config().probe_stride)) {
+          const online::Variant candidates[] = {
+              {raja::PolicyType::seq_segit_seq_exec, 0},
+              {raja::PolicyType::seq_segit_omp_parallel_for_exec, 0}};
+          for (int i = 0; i < 2 && !probe_armed; ++i) {
+            const online::Variant candidate = candidates[probe_rotor_++ % 2];
+            if (candidate.key() != vkey) {
+              probe_variant = candidate;
+              probe_armed = true;
+            }
+          }
+        }
       }
     }
   }
@@ -537,6 +617,62 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
       t_pending.introspect_armed = false;
     }
     t_pending.start_ns = 0;
+  }
+
+  if (telem && t_pending.audit_armed) {
+    telemetry::AuditRecord record;
+    record.kind = telemetry::AuditRecord::Kind::Decision;
+    record.ts_ns = telemetry::now_ns();
+    record.kernel = kernel.loop_id();
+    record.bucket = bucket;
+    record.model_version = adapt_version_;
+    record.label = std::move(t_pending.audit_label);
+    record.policy = raja::policy_name(params.policy);
+    record.chunk = params.chunk_size;
+    record.explored = params.explored;
+    record.seconds = seconds;
+    record.features = std::move(t_pending.audit_features);
+    telemetry::AuditLog::instance().append(record);
+    t_pending.audit_armed = false;
+    t_pending.audit_label.clear();
+    t_pending.audit_features.clear();
+  }
+
+  if (probe_armed) {
+    // The probe runs outside the stats lock: it prices the alternative
+    // variant through the machine model and shares the measurement with the
+    // sample buffer (retraining data), the drift detector (Adapt mode), the
+    // quality baselines, and the audit log.
+    const double probe_seconds =
+        measure_seconds(make_query(kernel, iset, probe_variant.policy, probe_variant.chunk));
+    emit_record(kernel, iset, probe_variant.policy, probe_variant.chunk, probe_seconds);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      quality_.record_probe(kernel.loop_id(), bucket, probe_variant.key(), probe_seconds);
+      if (const telemetry::KernelQuality* q = quality_.kernel(kernel.loop_id())) {
+        KernelTelemetry& entry = kernel_telemetry_locked(kernel);
+        entry.accuracy->set(q->accuracy());
+        entry.regret_seconds->set(q->regret_seconds);
+      }
+    }
+    if (mode_ == Mode::Adapt) {
+      online().observe_probe(kernel.loop_id(), bucket, probe_variant, probe_seconds);
+    }
+    static telemetry::Counter& probes = telemetry::MetricsRegistry::instance().counter(
+        "apollo_probe_total", "Ground-truth probes launched (alternative-variant timings).");
+    probes.inc();
+    if (telemetry::AuditLog::instance().audit_enabled()) {
+      telemetry::AuditRecord record;
+      record.kind = telemetry::AuditRecord::Kind::Probe;
+      record.ts_ns = telemetry::now_ns();
+      record.kernel = kernel.loop_id();
+      record.bucket = bucket;
+      record.model_version = adapt_version_;
+      record.policy = raja::policy_name(probe_variant.policy);
+      record.chunk = probe_variant.chunk;
+      record.seconds = probe_seconds;
+      telemetry::AuditLog::instance().append(record);
+    }
   }
 
   if (mode_ == Mode::Adapt) {

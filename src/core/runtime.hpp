@@ -42,6 +42,7 @@
 #include "raja/index_set.hpp"
 #include "raja/policy_switcher.hpp"
 #include "sim/machine.hpp"
+#include "telemetry/quality.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace apollo {
@@ -160,6 +161,16 @@ public:
   void configure_online(online::OnlineConfig config);
   [[nodiscard]] bool has_online() const noexcept { return online_ != nullptr; }
 
+  // --- model quality (telemetry on, Tune/Adapt modes) -----------------------
+  /// Per-kernel quality counters: online accuracy vs the best-known variant,
+  /// cumulative regret seconds, probe counts, and predicted-vs-observed
+  /// calibration. Sorted by kernel name; empty until a tuned launch ran with
+  /// telemetry enabled.
+  [[nodiscard]] std::vector<std::pair<std::string, telemetry::KernelQuality>> quality_snapshot();
+  /// Ground-truth probes launched (all kernels) and total regret charged.
+  [[nodiscard]] std::uint64_t probe_count();
+  [[nodiscard]] double regret_seconds_total();
+
   /// Mirror every kernel charge into a per-rank accountant (strong-scaling
   /// experiments). Pass nullptr to detach. Not owned.
   void set_cluster_accountant(ClusterAccountant* accountant) noexcept { accountant_ = accountant; }
@@ -233,6 +244,8 @@ private:
   struct KernelTelemetry {
     const char* name = nullptr;
     telemetry::Histogram* decision_seconds = nullptr;
+    telemetry::Gauge* accuracy = nullptr;        ///< apollo_model_accuracy
+    telemetry::Gauge* regret_seconds = nullptr;  ///< apollo_regret_seconds_total
     std::vector<std::pair<std::uint64_t, telemetry::Counter*>> variants;
   };
   KernelTelemetry& kernel_telemetry_locked(const KernelHandle& kernel);
@@ -276,6 +289,11 @@ private:
   std::unordered_map<std::string, KernelTelemetry> kernel_telemetry_;  ///< stats_mutex_
   const std::string* last_telemetry_key_ = nullptr;  ///< one-entry lookup cache (stats_mutex_)
   KernelTelemetry* last_telemetry_ = nullptr;
+
+  /// Online model-quality accounting (stats_mutex_). The probe rotor cycles
+  /// ground-truth probes round-robin over the non-executed variants.
+  telemetry::QualityAccountant quality_;
+  std::uint64_t probe_rotor_ = 0;
 };
 
 /// The application-facing execution method: decide, run, account.

@@ -48,6 +48,30 @@ std::string format_stats(const RunStats& stats) {
   return out.str();
 }
 
+std::string format_quality(
+    const std::vector<std::pair<std::string, telemetry::KernelQuality>>& quality) {
+  bool any = false;
+  for (const auto& [loop_id, q] : quality) {
+    if (q.launches > 0 || q.probes > 0) any = true;
+  }
+  if (!any) return "";
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "model quality (vs best-known variant):\n";
+  for (const auto& [loop_id, q] : quality) {
+    if (q.launches == 0 && q.probes == 0) continue;
+    out << "  " << loop_id << "  accuracy " << q.accuracy() * 100.0 << "% (" << q.agreements
+        << "/" << q.launches << "), regret " << q.regret_seconds * 1e3 << " ms, probes "
+        << q.probes;
+    if (q.calibration_samples > 0) {
+      out << ", calibration " << q.calibration() << " (" << q.calibration_samples << " samples)";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
 void write_stats_csv(std::ostream& out, const RunStats& stats) {
   out << "loop_id,invocations,seconds,percent,p50_seconds,p95_seconds,p99_seconds\n";
   out.precision(9);

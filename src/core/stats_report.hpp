@@ -14,6 +14,12 @@ namespace apollo {
 /// Human-readable table, most expensive kernel first.
 [[nodiscard]] std::string format_stats(const RunStats& stats);
 
+/// Human-readable model-quality table from Runtime::quality_snapshot():
+/// per-kernel accuracy, regret, probes, and calibration. Empty string when
+/// nothing has been scored (telemetry off or no tuned launches).
+[[nodiscard]] std::string format_quality(
+    const std::vector<std::pair<std::string, telemetry::KernelQuality>>& quality);
+
 /// CSV with header: loop_id,invocations,seconds,percent.
 void write_stats_csv(std::ostream& out, const RunStats& stats);
 void write_stats_csv_file(const std::string& path, const RunStats& stats);

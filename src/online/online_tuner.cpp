@@ -101,6 +101,11 @@ void OnlineTuner::observe(const std::string& loop_id, std::uint64_t bucket,
   }
 }
 
+void OnlineTuner::observe_probe(const std::string& loop_id, std::uint64_t bucket,
+                                const Variant& variant, double seconds) {
+  detector_for(loop_id).observe(bucket, variant.key(), seconds, /*chosen=*/false);
+}
+
 void OnlineTuner::maybe_retrain() {
   // Cheap checks first: this runs on every launch, so the common no-op path
   // must not touch the buffer lock or the retrainer state.

@@ -106,6 +106,12 @@ public:
   void observe(const std::string& loop_id, std::uint64_t bucket, const Variant& executed,
                double seconds, bool explored);
 
+  /// Feed a ground-truth probe: `variant` was timed for this bucket but not
+  /// executed for the application, so it refreshes the detector's baseline
+  /// evidence without counting as a launch or arming the retrain triggers.
+  void observe_probe(const std::string& loop_id, std::uint64_t bucket, const Variant& variant,
+                     double seconds);
+
   /// Kick a background retrain when due (drift fired and enough fresh
   /// samples arrived, or the launch-count cadence elapsed). Never blocks.
   void maybe_retrain();

@@ -1,0 +1,339 @@
+#include "telemetry/audit.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace apollo::telemetry {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+/// Extract `"key":"..."` (unescaping) from a fixed-shape line.
+std::optional<std::string> string_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::string out;
+  std::size_t pos = at + needle.size();
+  while (pos < line.size() && line[pos] != '"') {
+    if (line[pos] == '\\' && pos + 1 < line.size()) {
+      ++pos;
+      switch (line[pos]) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        default: out += line[pos];
+      }
+      ++pos;
+    } else {
+      out += line[pos++];
+    }
+  }
+  if (pos >= line.size()) return std::nullopt;  // unterminated string
+  return out;
+}
+
+std::optional<double> number_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const char* start = line.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::string to_json_line(const AuditRecord& record) {
+  std::ostringstream out;
+  out << "{\"type\":\"" << (record.kind == AuditRecord::Kind::Decision ? "decision" : "probe")
+      << "\",\"ts_ns\":" << record.ts_ns << ",\"kernel\":\"" << json_escape(record.kernel)
+      << "\",\"bucket\":" << record.bucket << ",\"gen\":" << record.model_version
+      << ",\"policy\":\"" << json_escape(record.policy) << "\",\"chunk\":" << record.chunk
+      << ",\"seconds\":" << json_number(record.seconds);
+  if (record.kind == AuditRecord::Kind::Decision) {
+    out << ",\"label\":\"" << json_escape(record.label) << "\",\"explored\":"
+        << (record.explored ? "true" : "false") << ",\"features\":[";
+    bool first = true;
+    for (const auto& [name, value] : record.features) {
+      if (!first) out << ",";
+      first = false;
+      out << "[\"" << json_escape(name) << "\"," << json_number(value) << "]";
+    }
+    out << "]";
+  }
+  out << "}";
+  return out.str();
+}
+
+std::optional<AuditRecord> parse_audit_line(const std::string& line) {
+  const auto type = string_field(line, "type");
+  if (!type || (*type != "decision" && *type != "probe")) return std::nullopt;
+  const auto kernel = string_field(line, "kernel");
+  const auto policy = string_field(line, "policy");
+  const auto ts = number_field(line, "ts_ns");
+  const auto bucket = number_field(line, "bucket");
+  const auto gen = number_field(line, "gen");
+  const auto chunk = number_field(line, "chunk");
+  const auto seconds = number_field(line, "seconds");
+  if (!kernel || !policy || !ts || !bucket || !gen || !chunk || !seconds) return std::nullopt;
+
+  AuditRecord record;
+  record.kind = *type == "decision" ? AuditRecord::Kind::Decision : AuditRecord::Kind::Probe;
+  record.ts_ns = static_cast<std::uint64_t>(*ts);
+  record.kernel = *kernel;
+  record.bucket = static_cast<std::uint64_t>(*bucket);
+  record.model_version = static_cast<std::uint64_t>(*gen);
+  record.policy = *policy;
+  record.chunk = static_cast<std::int64_t>(*chunk);
+  record.seconds = *seconds;
+  if (record.kind == AuditRecord::Kind::Decision) {
+    const auto label = string_field(line, "label");
+    if (!label) return std::nullopt;
+    record.label = *label;
+    record.explored = line.find("\"explored\":true") != std::string::npos;
+    const std::size_t features_at = line.find("\"features\":[");
+    if (features_at == std::string::npos) return std::nullopt;
+    std::size_t pos = features_at + std::string("\"features\":[").size();
+    while (pos < line.size() && line[pos] != ']') {
+      if (line[pos] != '[') {
+        ++pos;
+        continue;
+      }
+      // One ["name",value] pair.
+      const std::size_t name_start = line.find('"', pos);
+      if (name_start == std::string::npos) return std::nullopt;
+      std::string name;
+      std::size_t p = name_start + 1;
+      while (p < line.size() && line[p] != '"') {
+        if (line[p] == '\\' && p + 1 < line.size()) ++p;
+        name += line[p++];
+      }
+      const std::size_t comma = line.find(',', p);
+      if (comma == std::string::npos) return std::nullopt;
+      const char* start = line.c_str() + comma + 1;
+      char* end = nullptr;
+      const double value = std::strtod(start, &end);
+      if (end == start) return std::nullopt;
+      record.features.emplace_back(std::move(name), value);
+      pos = static_cast<std::size_t>(end - line.c_str());
+      while (pos < line.size() && line[pos] != ']') ++pos;
+      if (pos < line.size()) ++pos;  // closing ']' of the pair
+      while (pos < line.size() && (line[pos] == ',' || line[pos] == ' ')) ++pos;
+    }
+  }
+  return record;
+}
+
+std::optional<std::vector<std::string>> read_complete_lines(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string text = content.str();
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;  // partial trailing line: writer mid-append
+    if (nl > start) lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+AuditLog& AuditLog::instance() {
+  static AuditLog log;
+  return log;
+}
+
+std::string AuditLog::segment_path(std::uint64_t index) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, ".%06llu.jsonl", static_cast<unsigned long long>(index));
+  return stem_ + buf;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> AuditLog::existing_segments_locked() const {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  if (stem_.empty()) return found;
+  const fs::path stem(stem_);
+  const fs::path dir = stem.has_parent_path() ? stem.parent_path() : fs::path(".");
+  const std::string prefix = stem.filename().string() + ".";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != prefix.size() + 12 || name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - 6, 6, ".jsonl") != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(prefix.size(), 6);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    found.emplace_back(std::strtoull(digits.c_str(), nullptr, 10), entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+void AuditLog::open_segment_locked() {
+  const std::string path = segment_path(segment_index_);
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  segment_written_ = 0;
+  if (file_ != nullptr) {
+    // "ab" leaves the reported position at 0 until the first write; seek so
+    // an append to an existing segment counts its current size.
+    std::fseek(file_, 0, SEEK_END);
+    const long at = std::ftell(file_);
+    if (at > 0) segment_written_ = static_cast<std::size_t>(at);
+  }
+}
+
+void AuditLog::configure(AuditConfig config) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    flush_locked();
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  config_ = std::move(config);
+  stem_ = config_.base_path;
+  if (stem_.size() > 6 && stem_.compare(stem_.size() - 6, 6, ".jsonl") == 0) {
+    stem_.resize(stem_.size() - 6);
+  }
+  if (config_.base_path.empty()) {
+    enabled_.store(false, std::memory_order_relaxed);
+    return;
+  }
+  const auto existing = existing_segments_locked();
+  segment_index_ = existing.empty() ? 1 : existing.back().first + 1;
+  open_segment_locked();
+  enabled_.store(file_ != nullptr, std::memory_order_relaxed);
+}
+
+AuditConfig AuditLog::config() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
+}
+
+void AuditLog::flush_locked() {
+  if (buffer_.empty() || file_ == nullptr) return;
+  std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  std::fflush(file_);
+  segment_written_ += buffer_.size();
+  buffer_.clear();
+}
+
+void AuditLog::rotate_locked() {
+  flush_locked();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  ++segment_index_;
+  open_segment_locked();
+  rotated_.fetch_add(1, std::memory_order_relaxed);
+  // Trim oldest segments past the cap.
+  auto existing = existing_segments_locked();
+  while (existing.size() > config_.max_segments) {
+    std::error_code ec;
+    fs::remove(existing.front().second, ec);
+    existing.erase(existing.begin());
+  }
+}
+
+void AuditLog::append(const AuditRecord& record) {
+  if (!audit_enabled()) return;
+  std::string line = to_json_line(record);
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ == nullptr) return;
+  buffer_ += line;
+  appended_.fetch_add(1, std::memory_order_relaxed);
+  if (segment_written_ + buffer_.size() >= config_.segment_bytes) {
+    rotate_locked();
+  } else if (buffer_.size() >= config_.flush_bytes) {
+    flush_locked();
+  }
+}
+
+void AuditLog::flush() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+void AuditLog::close() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::vector<std::string> AuditLog::segment_paths() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> paths;
+  for (const auto& [index, path] : existing_segments_locked()) {
+    (void)index;
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+void AuditLog::reset_for_testing() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffer_.clear();
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  config_ = AuditConfig{};
+  stem_.clear();
+  segment_index_ = 0;
+  segment_written_ = 0;
+  enabled_.store(false, std::memory_order_relaxed);
+  appended_.store(0, std::memory_order_relaxed);
+  rotated_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace apollo::telemetry

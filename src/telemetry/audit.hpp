@@ -1,0 +1,127 @@
+#pragma once
+
+// Decision audit log: the complete-record big sibling of the sampled
+// introspection log. When enabled, *every* tuned launch appends one JSON
+// line — model generation, the exact feature vector the policy tree saw, the
+// chosen label, the executed variant, and the measured runtime — and every
+// ground-truth probe appends its measurement. That is exactly the state a
+// replay needs to re-evaluate any candidate model offline and answer "what
+// if this model had been live?" (tools/apollo_replay) without rerunning the
+// application.
+//
+// Durability is bounded: lines append to rotating segment files
+// (<base>.000001.jsonl, ...) capped in size and count, so a long-running
+// process never grows an unbounded log. Appends buffer in memory and flush on
+// a byte threshold, the collector cadence, and shutdown; readers tailing a
+// live segment must tolerate one partial trailing line (read_complete_lines).
+//
+// Thread-safety: append/flush are internally synchronized (one mutex; the
+// hot path formats outside any file I/O, which happens only on flush).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace apollo::telemetry {
+
+struct AuditConfig {
+  std::string base_path;                     ///< "" disables; ".jsonl" suffix optional
+  std::size_t segment_bytes = 4u << 20;      ///< rotate a segment past this size
+  std::size_t max_segments = 8;              ///< oldest segments deleted beyond this
+  std::size_t flush_bytes = 64u << 10;       ///< buffered bytes that force a flush
+};
+
+/// One audited event: a tuned-launch decision or a ground-truth probe.
+struct AuditRecord {
+  enum class Kind : std::uint8_t { Decision, Probe };
+  Kind kind = Kind::Decision;
+  std::uint64_t ts_ns = 0;
+  std::string kernel;
+  std::uint64_t bucket = 0;         ///< coarse feature bucket (online::feature_bucket)
+  std::uint64_t model_version = 0;  ///< registry generation (0 = offline model)
+  std::string label;                ///< policy model's chosen label ("" = no model)
+  std::string policy;               ///< executed (decision) / probed (probe) policy name
+  std::int64_t chunk = 0;
+  bool explored = false;            ///< executed variant was an exploration substitute
+  double seconds = 0.0;             ///< measured (or model-charged) runtime
+  /// Feature vector in the policy model's feature order (decisions only).
+  std::vector<std::pair<std::string, double>> features;
+};
+
+/// Serialize one record as a single JSON line (no trailing newline).
+[[nodiscard]] std::string to_json_line(const AuditRecord& record);
+/// Parse a line written by to_json_line (nullopt on malformed input).
+[[nodiscard]] std::optional<AuditRecord> parse_audit_line(const std::string& line);
+
+/// All '\n'-terminated lines of a file. A final unterminated line — a live
+/// writer mid-append — is skipped rather than misparsed; empty lines are
+/// dropped. Returns nullopt when the file cannot be opened.
+[[nodiscard]] std::optional<std::vector<std::string>> read_complete_lines(
+    const std::string& path);
+
+class AuditLog {
+public:
+  static AuditLog& instance();
+
+  /// Apply a configuration. A non-empty base path enables the log and opens
+  /// the next segment (numbering continues after any existing segments); an
+  /// empty one flushes, closes, and disables.
+  void configure(AuditConfig config);
+  [[nodiscard]] AuditConfig config() const;
+
+  /// Cheap hot-path check (one relaxed load).
+  [[nodiscard]] bool audit_enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Format and buffer one record; flushes and rotates as thresholds demand.
+  void append(const AuditRecord& record);
+
+  /// Write buffered lines to the current segment (collector cadence, tests).
+  void flush();
+  /// Flush and close the current segment (shutdown; configure reopens).
+  void close();
+
+  /// Existing segment paths for the configured base, oldest first.
+  [[nodiscard]] std::vector<std::string> segment_paths() const;
+
+  [[nodiscard]] std::uint64_t records_appended() const noexcept {
+    return appended_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t segments_rotated() const noexcept {
+    return rotated_.load(std::memory_order_relaxed);
+  }
+
+  /// Close and forget configuration and counters (tests). Existing segment
+  /// files are left on disk.
+  void reset_for_testing();
+
+private:
+  AuditLog() = default;
+
+  void open_segment_locked();
+  void flush_locked();
+  void rotate_locked();
+  [[nodiscard]] std::string segment_path(std::uint64_t index) const;
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>> existing_segments_locked()
+      const;
+
+  mutable std::mutex mutex_;
+  AuditConfig config_;
+  std::atomic<bool> enabled_{false};
+  std::string buffer_;
+  std::string stem_;               ///< base path without the .jsonl suffix
+  std::uint64_t segment_index_ = 0;
+  std::size_t segment_written_ = 0;    ///< bytes in the current segment
+  std::FILE* file_ = nullptr;          ///< current segment (append-only)
+  std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> rotated_{0};
+};
+
+}  // namespace apollo::telemetry

@@ -11,7 +11,9 @@
 #include <mutex>
 #include <thread>
 
+#include "telemetry/audit.hpp"
 #include "telemetry/build_info.hpp"
+#include "telemetry/env.hpp"
 
 namespace apollo::telemetry {
 
@@ -76,6 +78,7 @@ void write_live_files() {
   } catch (const std::exception&) {
     // Live refresh is best-effort; the shutdown export reports real errors.
   }
+  AuditLog::instance().flush();
 }
 
 void collector_loop() {
@@ -141,6 +144,11 @@ void configure(Config config) {
   Collector& c = Collector::instance();
   Tracer::instance().set_ring_capacity(config.ring_capacity);
   if (config.introspect_stride > 0) DecisionLog::instance().set_per_kernel_limit(8);
+  AuditConfig audit;
+  audit.base_path = config.audit_file;
+  audit.segment_bytes = config.audit_segment_bytes;
+  audit.max_segments = config.audit_segments;
+  AuditLog::instance().configure(std::move(audit));
   const std::lock_guard<std::mutex> lock(c.mutex);
   c.config = std::move(config);
 }
@@ -163,15 +171,17 @@ void init_from_env() {
   if (!on) return;
 
   Config cfg;
-  if (const char* v = std::getenv("APOLLO_TRACE_FILE")) cfg.trace_file = v;
-  if (const char* v = std::getenv("APOLLO_METRICS_FILE")) cfg.metrics_file = v;
-  if (const char* v = std::getenv("APOLLO_DECISIONS_FILE")) cfg.decisions_file = v;
-  if (const char* v = std::getenv("APOLLO_TELEMETRY_FLUSH_MS")) {
-    cfg.flush_interval_seconds = std::atof(v) / 1e3;
-  }
-  if (const char* v = std::getenv("APOLLO_INTROSPECT_STRIDE")) {
-    cfg.introspect_stride = static_cast<std::size_t>(std::atoll(v));
-  }
+  cfg.trace_file = env_string("APOLLO_TRACE_FILE", cfg.trace_file);
+  cfg.metrics_file = env_string("APOLLO_METRICS_FILE", cfg.metrics_file);
+  cfg.decisions_file = env_string("APOLLO_DECISIONS_FILE", cfg.decisions_file);
+  cfg.flush_interval_seconds =
+      env_double("APOLLO_TELEMETRY_FLUSH_MS", cfg.flush_interval_seconds * 1e3, 0.0) / 1e3;
+  cfg.introspect_stride = env_size("APOLLO_INTROSPECT_STRIDE", cfg.introspect_stride, 0);
+  cfg.probe_stride = env_size("APOLLO_PROBE_STRIDE", cfg.probe_stride, 0);
+  cfg.audit_file = env_string("APOLLO_AUDIT_FILE", cfg.audit_file);
+  cfg.audit_segment_bytes =
+      env_size("APOLLO_AUDIT_SEGMENT_BYTES", cfg.audit_segment_bytes, 1);
+  cfg.audit_segments = env_size("APOLLO_AUDIT_SEGMENTS", cfg.audit_segments, 1);
   configure(std::move(cfg));
   register_build_info_metric();
   set_enabled(true);
@@ -270,6 +280,7 @@ void shutdown() {
   if (done.exchange(true)) return;
   stop_collector();
   if (enabled()) export_all();
+  AuditLog::instance().close();
 }
 
 void reset_for_testing() {
@@ -283,6 +294,7 @@ void reset_for_testing() {
   Tracer::instance().reset();
   MetricsRegistry::instance().zero();
   DecisionLog::instance().clear();
+  AuditLog::instance().reset_for_testing();
 }
 
 }  // namespace apollo::telemetry

@@ -20,6 +20,12 @@
 //                                 apollo_decisions.jsonl, refreshed live)
 //   APOLLO_TELEMETRY_FLUSH_MS=n   live refresh cadence (default 500, 0 = off)
 //   APOLLO_INTROSPECT_STRIDE=n    sample every nth tuned launch (default 64, 0 = off)
+//   APOLLO_PROBE_STRIDE=n         ground-truth probe every nth tuned launch
+//                                 (default 64, 0 = off; model-timing runs only)
+//   APOLLO_AUDIT_FILE=path        decision audit log base path (unset = off);
+//                                 rotating segments <path>.000001.jsonl, ...
+//   APOLLO_AUDIT_SEGMENT_BYTES=n  audit segment rotation size (default 4 MiB)
+//   APOLLO_AUDIT_SEGMENTS=n       audit segments kept on disk (default 8)
 
 #include <cstdint>
 #include <string>
@@ -47,6 +53,10 @@ struct Config {
   std::string decisions_file = "apollo_decisions.jsonl";  ///< "" disables
   double flush_interval_seconds = 0.5;  ///< live metrics/decisions refresh (0 = off)
   std::size_t introspect_stride = 64;   ///< sample 1/n tuned launches (0 = off)
+  std::size_t probe_stride = 64;        ///< ground-truth probe 1/n tuned launches (0 = off)
+  std::string audit_file;               ///< audit log base path ("" disables)
+  std::size_t audit_segment_bytes = 4u << 20;  ///< audit segment rotation size
+  std::size_t audit_segments = 8;       ///< audit segments kept on disk
   std::size_t ring_capacity = std::size_t{1} << 13;  ///< per-thread trace ring
   std::size_t collector_event_limit = std::size_t{1} << 19;  ///< retained trace events
 };

@@ -59,6 +59,88 @@ TEST(ConfusionMatrix, TextRendering) {
   EXPECT_NE(text.find("omp\t1\t0"), std::string::npos);
 }
 
+TEST(ConfusionMatrix, EmptyMatrixIsInertButValid) {
+  const ConfusionMatrix m(0);
+  EXPECT_EQ(m.num_classes(), 0u);
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+  EXPECT_TRUE(m.recall().empty());
+  EXPECT_TRUE(m.precision().empty());
+  EXPECT_NO_THROW((void)m.to_text({}));
+  // from() with empty inputs is the degenerate-but-legal replay of a log with
+  // zero scorable records.
+  const auto empty = ConfusionMatrix::from({}, {}, 0);
+  EXPECT_EQ(empty.total(), 0);
+}
+
+TEST(ConfusionMatrix, SingleClassIsAlwaysPerfect) {
+  const auto m = ConfusionMatrix::from({0, 0, 0}, {0, 0, 0}, 1);
+  EXPECT_EQ(m.total(), 3);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+  ASSERT_EQ(m.recall().size(), 1u);
+  EXPECT_DOUBLE_EQ(m.recall()[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.precision()[0], 1.0);
+  EXPECT_NE(m.to_text({"seq"}).find("seq\t3"), std::string::npos);
+}
+
+TEST(ConfusionMatrix, TruthLabelsUnseenInTrainingScoreAgainstTheModel) {
+  // Replay scenario: the model was trained on {seq, omp} (classes 0, 1) but
+  // the audit log proves a third policy best for some buckets. The matrix is
+  // widened with the extra truth class; the model can never predict it, so
+  // that row's diagonal stays empty and accuracy drops accordingly.
+  ConfusionMatrix m(3);
+  m.add(0, 0);
+  m.add(1, 1);
+  m.add(2, 0);  // truth = unseen class, model falls back to class 0
+  m.add(2, 1);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(m.recall()[2], 0.0);   // unseen class is never recovered
+  EXPECT_DOUBLE_EQ(m.precision()[2], 0.0);
+  EXPECT_EQ(m.count(2, 0) + m.count(2, 1), 2);
+}
+
+TEST(HistogramQuantiles, ZeroSamplesQuantileIsZero) {
+  apollo::telemetry::Histogram h({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  // A bucketless histogram still counts but cannot estimate quantiles.
+  apollo::telemetry::Histogram bare;
+  bare.observe(3.0);
+  EXPECT_DOUBLE_EQ(bare.quantile(0.5), 0.0);
+}
+
+TEST(HistogramQuantiles, SingleSampleInterpolatesWithinItsBucket) {
+  apollo::telemetry::Histogram h({1.0, 2.0, 4.0});
+  h.observe(1.5);  // lands in the (1, 2] bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+
+  // One sample past the last bound clamps to the highest finite bound.
+  apollo::telemetry::Histogram overflow({1.0, 2.0, 4.0});
+  overflow.observe(100.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 4.0);
+}
+
+TEST(StatsReport, QuantileColumnsTolerateEmptyAndSingleSampleKernels) {
+  apollo::RunStats stats;
+  stats.total_seconds = 0.001;
+  stats.invocations = 1;
+  stats.per_kernel["untimed"];  // zero launches observed into the histogram
+  auto& timed = stats.per_kernel["timed"];
+  timed.seconds = 0.001;
+  timed.invocations = 1;
+  timed.launch_seconds.observe(0.001);
+
+  EXPECT_NO_THROW((void)apollo::format_stats(stats));
+  std::ostringstream out;
+  apollo::write_stats_csv(out, stats);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("untimed,0,0,0,0,0,0"), std::string::npos);  // all-zero quantiles
+  EXPECT_NE(csv.find("timed,1,0.001"), std::string::npos);
+}
+
 TEST(StatsReport, FormatsSortedTable) {
   apollo::RunStats stats;
   stats.total_seconds = 0.003;

@@ -1,0 +1,392 @@
+// Unit tests for the model-quality observability layer: the QualityAccountant
+// (online accuracy / regret / calibration with budgeted probes), the decision
+// audit log (JSON round-trip, segment rotation, partial-line tolerance), the
+// hardened environment parsing, and the quality pane formatting.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/stats_report.hpp"
+#include "telemetry/audit.hpp"
+#include "telemetry/env.hpp"
+#include "telemetry/quality.hpp"
+
+namespace telemetry = apollo::telemetry;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint64_t kSeq = 1;
+constexpr std::uint64_t kOmp = 2;
+
+/// Fresh temp directory per test; removed on teardown.
+class AuditLogTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("apollo_audit_test_" + std::to_string(::getpid()) + "_" +
+                                        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    telemetry::AuditLog::instance().reset_for_testing();
+  }
+  void TearDown() override {
+    telemetry::AuditLog::instance().reset_for_testing();
+    fs::remove_all(dir_);
+  }
+  [[nodiscard]] std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+telemetry::AuditRecord make_decision() {
+  telemetry::AuditRecord record;
+  record.kind = telemetry::AuditRecord::Kind::Decision;
+  record.ts_ns = 123456789;
+  record.kernel = "stream \"triad\"";
+  record.bucket = 42;
+  record.model_version = 3;
+  record.label = "omp";
+  record.policy = "seq";
+  record.chunk = 128;
+  record.explored = true;
+  record.seconds = 0.00125;
+  record.features.emplace_back("num_indices", 4096.0);
+  record.features.emplace_back("segment\\kind", -1.0);
+  return record;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QualityAccountant
+
+TEST(QualityAccountant, UnscoredKernelReportsPerfectAccuracyAndNoRegret) {
+  telemetry::QualityAccountant accountant;
+  EXPECT_EQ(accountant.kernel("never_seen"), nullptr);
+  telemetry::KernelQuality empty;
+  EXPECT_DOUBLE_EQ(empty.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(empty.calibration(), 0.0);
+  EXPECT_EQ(accountant.total_probes(), 0u);
+  EXPECT_DOUBLE_EQ(accountant.total_regret_seconds(), 0.0);
+}
+
+TEST(QualityAccountant, AgreementAndRegretTrackBestKnownVariant) {
+  telemetry::QualityAccountant accountant({/*baseline_alpha=*/1.0});
+
+  // First launch: only evidence is itself, so it scores as an agreement.
+  EXPECT_DOUBLE_EQ(accountant.observe_choice("k", 0, kSeq, 0.010, true), 0.0);
+  // A probe proves the other variant is 4x faster...
+  accountant.record_probe("k", 0, kOmp, 0.0025);
+  // ...so sticking with the slow variant now charges regret.
+  const double regret = accountant.observe_choice("k", 0, kSeq, 0.010, true);
+  EXPECT_NEAR(regret, 0.010 - 0.0025, 1e-12);
+
+  const telemetry::KernelQuality* quality = accountant.kernel("k");
+  ASSERT_NE(quality, nullptr);
+  EXPECT_EQ(quality->launches, 2u);
+  EXPECT_EQ(quality->agreements, 1u);
+  EXPECT_EQ(quality->probes, 1u);
+  EXPECT_NEAR(quality->regret_seconds, regret, 1e-12);
+  EXPECT_DOUBLE_EQ(quality->accuracy(), 0.5);
+  EXPECT_NEAR(accountant.total_regret_seconds(), regret, 1e-12);
+
+  // Switching to the fast variant is an agreement with zero regret.
+  EXPECT_DOUBLE_EQ(accountant.observe_choice("k", 0, kOmp, 0.0025, true), 0.0);
+  EXPECT_EQ(accountant.kernel("k")->agreements, 2u);
+}
+
+TEST(QualityAccountant, ExplorationRefreshesBaselinesWithoutScoring) {
+  telemetry::QualityAccountant accountant({/*baseline_alpha=*/1.0});
+  accountant.observe_choice("k", 7, kSeq, 0.020, true);
+  // Exploration substitute: feeds the baseline, does not count as a decision.
+  EXPECT_DOUBLE_EQ(accountant.observe_choice("k", 7, kOmp, 0.001, false), 0.0);
+  const telemetry::KernelQuality* quality = accountant.kernel("k");
+  ASSERT_NE(quality, nullptr);
+  EXPECT_EQ(quality->launches, 1u);
+  EXPECT_NEAR(accountant.baseline("k", 7, kOmp), 0.001, 1e-12);
+  EXPECT_NEAR(accountant.best_baseline("k", 7), 0.001, 1e-12);
+  // The next model-chosen slow launch is now a disagreement.
+  accountant.observe_choice("k", 7, kSeq, 0.020, true);
+  EXPECT_EQ(accountant.kernel("k")->launches, 2u);
+  EXPECT_EQ(accountant.kernel("k")->agreements, 1u);
+}
+
+TEST(QualityAccountant, BucketsAreScoredIndependently) {
+  telemetry::QualityAccountant accountant({/*baseline_alpha=*/1.0});
+  accountant.record_probe("k", 1, kOmp, 0.001);
+  accountant.observe_choice("k", 1, kSeq, 0.010, true);  // disagreement in bucket 1
+  accountant.observe_choice("k", 2, kSeq, 0.010, true);  // bucket 2 has no omp evidence
+  const telemetry::KernelQuality* quality = accountant.kernel("k");
+  ASSERT_NE(quality, nullptr);
+  EXPECT_EQ(quality->launches, 2u);
+  EXPECT_EQ(quality->agreements, 1u);
+  EXPECT_DOUBLE_EQ(accountant.baseline("k", 2, kOmp), -1.0);
+  EXPECT_DOUBLE_EQ(accountant.best_baseline("k", 3), -1.0);
+}
+
+TEST(QualityAccountant, ProbeBudgetIsStrided) {
+  telemetry::QualityAccountant accountant;
+  EXPECT_FALSE(accountant.probe_due(0));  // 0 disables probing entirely
+  EXPECT_FALSE(accountant.probe_due(0));
+
+  telemetry::QualityAccountant strided;
+  int due = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (strided.probe_due(8)) ++due;
+  }
+  EXPECT_EQ(due, 8);  // exactly one probe per 8 tuned launches
+}
+
+TEST(QualityAccountant, CalibrationAveragesPredictedOverObserved) {
+  telemetry::QualityAccountant accountant;
+  accountant.observe_calibration("k", 0.004, 0.002);
+  accountant.observe_calibration("k", 0.002, 0.004);
+  const telemetry::KernelQuality* quality = accountant.kernel("k");
+  ASSERT_NE(quality, nullptr);
+  EXPECT_EQ(quality->calibration_samples, 2u);
+  EXPECT_DOUBLE_EQ(quality->calibration(), 1.0);
+}
+
+TEST(QualityAccountant, ClearForgetsEverything) {
+  telemetry::QualityAccountant accountant;
+  accountant.observe_choice("k", 0, kSeq, 0.010, true);
+  accountant.record_probe("k", 0, kOmp, 0.001);
+  accountant.clear();
+  EXPECT_EQ(accountant.kernel("k"), nullptr);
+  EXPECT_EQ(accountant.total_probes(), 0u);
+  EXPECT_DOUBLE_EQ(accountant.total_regret_seconds(), 0.0);
+  EXPECT_TRUE(accountant.snapshot().empty());
+  // And the accountant still works after the reset (caches were invalidated).
+  accountant.observe_choice("k", 0, kSeq, 0.010, true);
+  ASSERT_NE(accountant.kernel("k"), nullptr);
+  EXPECT_EQ(accountant.kernel("k")->launches, 1u);
+}
+
+TEST(QualityAccountant, SnapshotIsSortedByKernelName) {
+  telemetry::QualityAccountant accountant;
+  accountant.observe_choice("zeta", 0, kSeq, 0.01, true);
+  accountant.observe_choice("alpha", 0, kSeq, 0.01, true);
+  const auto snapshot = accountant.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  EXPECT_EQ(snapshot[0].first, "alpha");
+  EXPECT_EQ(snapshot[1].first, "zeta");
+}
+
+// ---------------------------------------------------------------------------
+// Audit records: JSON round-trip
+
+TEST(AuditRecordJson, DecisionRoundTripsWithFeaturesAndEscapes) {
+  const telemetry::AuditRecord record = make_decision();
+  const std::string line = to_json_line(record);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+
+  const auto parsed = telemetry::parse_audit_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, telemetry::AuditRecord::Kind::Decision);
+  EXPECT_EQ(parsed->ts_ns, record.ts_ns);
+  EXPECT_EQ(parsed->kernel, record.kernel);  // quotes survive escaping
+  EXPECT_EQ(parsed->bucket, record.bucket);
+  EXPECT_EQ(parsed->model_version, record.model_version);
+  EXPECT_EQ(parsed->label, record.label);
+  EXPECT_EQ(parsed->policy, record.policy);
+  EXPECT_EQ(parsed->chunk, record.chunk);
+  EXPECT_TRUE(parsed->explored);
+  EXPECT_DOUBLE_EQ(parsed->seconds, record.seconds);
+  ASSERT_EQ(parsed->features.size(), 2u);
+  EXPECT_EQ(parsed->features[0].first, "num_indices");
+  EXPECT_DOUBLE_EQ(parsed->features[0].second, 4096.0);
+  EXPECT_EQ(parsed->features[1].first, "segment\\kind");  // backslash survives
+  EXPECT_DOUBLE_EQ(parsed->features[1].second, -1.0);
+}
+
+TEST(AuditRecordJson, ProbeRoundTripsWithoutDecisionFields) {
+  telemetry::AuditRecord record;
+  record.kind = telemetry::AuditRecord::Kind::Probe;
+  record.ts_ns = 99;
+  record.kernel = "k";
+  record.bucket = 5;
+  record.model_version = 1;
+  record.policy = "omp";
+  record.chunk = 0;
+  record.seconds = 0.5;
+  const auto parsed = telemetry::parse_audit_line(to_json_line(record));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->kind, telemetry::AuditRecord::Kind::Probe);
+  EXPECT_EQ(parsed->policy, "omp");
+  EXPECT_TRUE(parsed->label.empty());
+  EXPECT_TRUE(parsed->features.empty());
+}
+
+TEST(AuditRecordJson, MalformedLinesAreRejected) {
+  EXPECT_FALSE(telemetry::parse_audit_line("").has_value());
+  EXPECT_FALSE(telemetry::parse_audit_line("not json").has_value());
+  EXPECT_FALSE(telemetry::parse_audit_line("{\"type\":\"unknown\"}").has_value());
+  // A truncated prefix of a valid line (torn write) must not parse.
+  const std::string line = to_json_line(make_decision());
+  EXPECT_FALSE(telemetry::parse_audit_line(line.substr(0, line.size() / 2)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// AuditLog: rotation, bounded retention, reader tolerance
+
+TEST_F(AuditLogTest, AppendFlushReadBack) {
+  telemetry::AuditConfig config;
+  config.base_path = path("audit.jsonl");
+  telemetry::AuditLog::instance().configure(config);
+  EXPECT_TRUE(telemetry::AuditLog::instance().audit_enabled());
+
+  for (int i = 0; i < 5; ++i) telemetry::AuditLog::instance().append(make_decision());
+  telemetry::AuditLog::instance().flush();
+
+  const auto segments = telemetry::AuditLog::instance().segment_paths();
+  ASSERT_EQ(segments.size(), 1u);
+  const auto lines = telemetry::read_complete_lines(segments.front());
+  ASSERT_TRUE(lines.has_value());
+  EXPECT_EQ(lines->size(), 5u);
+  EXPECT_EQ(telemetry::AuditLog::instance().records_appended(), 5u);
+  for (const auto& line : *lines) {
+    EXPECT_TRUE(telemetry::parse_audit_line(line).has_value());
+  }
+}
+
+TEST_F(AuditLogTest, RotatesSegmentsAndCapsRetention) {
+  telemetry::AuditConfig config;
+  config.base_path = path("audit");  // ".jsonl" suffix is optional
+  config.segment_bytes = 512;        // force rotation every few records
+  config.max_segments = 2;
+  config.flush_bytes = 1;            // flush every append
+  telemetry::AuditLog::instance().configure(config);
+
+  for (int i = 0; i < 64; ++i) telemetry::AuditLog::instance().append(make_decision());
+  telemetry::AuditLog::instance().close();
+
+  EXPECT_GT(telemetry::AuditLog::instance().segments_rotated(), 0u);
+  const auto segments = telemetry::AuditLog::instance().segment_paths();
+  ASSERT_LE(segments.size(), 2u);  // older segments were deleted
+  ASSERT_FALSE(segments.empty());
+  // Every surviving segment holds only complete, parseable lines.
+  for (const auto& segment : segments) {
+    const auto lines = telemetry::read_complete_lines(segment);
+    ASSERT_TRUE(lines.has_value());
+    EXPECT_FALSE(lines->empty());
+    for (const auto& line : *lines) {
+      EXPECT_TRUE(telemetry::parse_audit_line(line).has_value());
+    }
+  }
+}
+
+TEST_F(AuditLogTest, ConfigureAppendsAfterExistingSegments) {
+  telemetry::AuditConfig config;
+  config.base_path = path("audit.jsonl");
+  config.flush_bytes = 1;
+  telemetry::AuditLog::instance().configure(config);
+  telemetry::AuditLog::instance().append(make_decision());
+  telemetry::AuditLog::instance().close();
+
+  // Reconfigure (a restarted process): appends continue, nothing is clobbered.
+  telemetry::AuditLog::instance().configure(config);
+  telemetry::AuditLog::instance().append(make_decision());
+  telemetry::AuditLog::instance().close();
+
+  std::size_t total_lines = 0;
+  for (const auto& segment : telemetry::AuditLog::instance().segment_paths()) {
+    const auto lines = telemetry::read_complete_lines(segment);
+    ASSERT_TRUE(lines.has_value());
+    total_lines += lines->size();
+  }
+  EXPECT_EQ(total_lines, 2u);
+}
+
+TEST_F(AuditLogTest, ReadCompleteLinesSkipsPartialTrailingLine) {
+  const std::string file = path("partial.jsonl");
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << "first line\n";
+    out << "\n";  // empty lines are dropped
+    out << "second line\n";
+    out << "{\"type\":\"decision\",\"ts_ns\":12";  // live writer mid-append
+  }
+  const auto lines = telemetry::read_complete_lines(file);
+  ASSERT_TRUE(lines.has_value());
+  ASSERT_EQ(lines->size(), 2u);
+  EXPECT_EQ((*lines)[0], "first line");
+  EXPECT_EQ((*lines)[1], "second line");
+
+  EXPECT_FALSE(telemetry::read_complete_lines(path("does_not_exist.jsonl")).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Hardened environment parsing
+
+class EnvParsingTest : public ::testing::Test {
+protected:
+  void TearDown() override { ::unsetenv("APOLLO_TEST_ENV_KNOB"); }
+  static void set(const char* value) { ::setenv("APOLLO_TEST_ENV_KNOB", value, 1); }
+};
+
+TEST_F(EnvParsingTest, UnsetUsesFallbackWithoutWarning) {
+  EXPECT_EQ(telemetry::env_int64("APOLLO_TEST_ENV_KNOB", 64), 64);
+  EXPECT_EQ(telemetry::env_size("APOLLO_TEST_ENV_KNOB", 1024), 1024u);
+  EXPECT_DOUBLE_EQ(telemetry::env_double("APOLLO_TEST_ENV_KNOB", 0.5), 0.5);
+  EXPECT_EQ(telemetry::env_string("APOLLO_TEST_ENV_KNOB", "dflt"), "dflt");
+}
+
+TEST_F(EnvParsingTest, ValidValuesParse) {
+  set("128");
+  EXPECT_EQ(telemetry::env_int64("APOLLO_TEST_ENV_KNOB", 64), 128);
+  EXPECT_EQ(telemetry::env_size("APOLLO_TEST_ENV_KNOB", 64), 128u);
+  set("2.5");
+  EXPECT_DOUBLE_EQ(telemetry::env_double("APOLLO_TEST_ENV_KNOB", 1.0), 2.5);
+  set("text");
+  EXPECT_EQ(telemetry::env_string("APOLLO_TEST_ENV_KNOB", ""), "text");
+}
+
+TEST_F(EnvParsingTest, GarbageKeepsTheDefault) {
+  for (const char* bad : {"", "abc", "12abc", "64k", "1e6junk", " "}) {
+    set(bad);
+    EXPECT_EQ(telemetry::env_int64("APOLLO_TEST_ENV_KNOB", 64), 64) << "value: " << bad;
+  }
+  set("nan");
+  EXPECT_DOUBLE_EQ(telemetry::env_double("APOLLO_TEST_ENV_KNOB", 0.25), 0.25);
+}
+
+TEST_F(EnvParsingTest, ZeroAndNegativeAreRejectedByMinimum) {
+  set("0");
+  EXPECT_EQ(telemetry::env_int64("APOLLO_TEST_ENV_KNOB", 64), 64);  // min_value = 1
+  set("-3");
+  EXPECT_EQ(telemetry::env_size("APOLLO_TEST_ENV_KNOB", 64), 64u);
+  EXPECT_DOUBLE_EQ(telemetry::env_double("APOLLO_TEST_ENV_KNOB", 0.5), 0.5);  // min = 0.0
+  // A knob that explicitly allows 0 (strides) accepts it.
+  set("0");
+  EXPECT_EQ(telemetry::env_int64("APOLLO_TEST_ENV_KNOB", 64, /*min_value=*/0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Quality pane formatting
+
+TEST(FormatQuality, EmptyAndUnscoredRenderNothing) {
+  EXPECT_TRUE(apollo::format_quality({}).empty());
+  // Kernels with zero scored launches and no probes carry no signal.
+  EXPECT_TRUE(apollo::format_quality({{"k", telemetry::KernelQuality{}}}).empty());
+}
+
+TEST(FormatQuality, RendersAccuracyRegretAndProbes) {
+  telemetry::KernelQuality quality;
+  quality.launches = 10;
+  quality.agreements = 9;
+  quality.probes = 3;
+  quality.regret_seconds = 0.0025;
+  const std::string text = apollo::format_quality({{"stream", quality}});
+  EXPECT_NE(text.find("stream"), std::string::npos);
+  EXPECT_NE(text.find("90"), std::string::npos);      // 90% accuracy
+  EXPECT_NE(text.find("2.500"), std::string::npos);   // regret in ms
+  EXPECT_NE(text.find("probes 3"), std::string::npos);
+}

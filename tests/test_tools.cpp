@@ -6,6 +6,8 @@
 #include <array>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <string>
 
 #ifndef APOLLO_TOOLS_DIR
@@ -173,6 +175,61 @@ TEST_F(ToolsTest, UsageErrorsExitNonZero) {
   EXPECT_NE(run_command(tool("apollo_inspect") + " bogus xyz").status, 0);
   EXPECT_NE(run_command(tool("apollo_record") + " unknown-app out").status, 0);
   EXPECT_NE(run_command(tool("apollo_tune") + " lulesh").status, 0);  // model required
+  EXPECT_NE(run_command(tool("apollo_replay")).status, 0);  // log + model required
+}
+
+TEST_F(ToolsTest, AdaptAuditReplayPipeline) {
+  // The full observability loop: run the adaptive demo with the audit log and
+  // metrics enabled, then replay the recorded decisions through both the
+  // adapted (live, generation 1) model and the offline baseline.
+  const std::string model_dir = (workdir_ / "models").string();
+  const std::string offline = (workdir_ / "offline.policy.model").string();
+  const std::string audit_base = (workdir_ / "audit.jsonl").string();
+  const std::string metrics = (workdir_ / "metrics.prom").string();
+
+  const auto adapt = run_command(
+      "APOLLO_TELEMETRY=1 APOLLO_AUDIT_FILE=" + audit_base + " APOLLO_METRICS_FILE=" + metrics +
+      " APOLLO_PROBE_STRIDE=16 " + tool("apollo_adapt") + " --model-dir " + model_dir +
+      " --save-offline " + offline);
+  ASSERT_EQ(adapt.status, 0) << adapt.output;
+  EXPECT_NE(adapt.output.find("model quality"), std::string::npos) << adapt.output;
+  ASSERT_TRUE(fs::exists(offline));
+
+  // The audit log rotates under a numbered-segment scheme next to the base.
+  std::string segment;
+  for (const auto& entry : fs::directory_iterator(workdir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("audit.", 0) == 0 && name.find(".jsonl") != std::string::npos) {
+      segment = entry.path().string();
+      break;
+    }
+  }
+  ASSERT_FALSE(segment.empty()) << "no audit segment written in " << workdir_;
+
+  // Metrics export proves the probe budget held: probes <= dispatches / 16.
+  ASSERT_TRUE(fs::exists(metrics));
+  std::ifstream prom(metrics);
+  const std::string prom_text((std::istreambuf_iterator<char>(prom)),
+                              std::istreambuf_iterator<char>());
+  EXPECT_NE(prom_text.find("apollo_probe_total"), std::string::npos) << prom_text;
+  EXPECT_NE(prom_text.find("apollo_model_accuracy"), std::string::npos);
+
+  // The adapted model must reproduce its own recorded generation-1 decisions
+  // bit-for-bit; the offline model rides along as the what-if candidate.
+  const std::string live_model = model_dir + "/v000001.policy.model";
+  ASSERT_TRUE(fs::exists(live_model)) << adapt.output;
+  const auto replay = run_command(tool("apollo_replay") + " " + segment + " --model " +
+                                  live_model + " --model " + offline +
+                                  " --expect-match 1 --min-accuracy 0.5 --confusion");
+  ASSERT_EQ(replay.status, 0) << replay.output;
+  EXPECT_NE(replay.output.find("decision"), std::string::npos);
+  EXPECT_NE(replay.output.find("gen 1 replay match"), std::string::npos) << replay.output;
+  EXPECT_NE(replay.output.find("accuracy"), std::string::npos);
+
+  // A determinism claim the wrong model cannot honor must fail the gate.
+  const auto mismatch = run_command(tool("apollo_replay") + " " + segment + " --model " +
+                                    offline + " --expect-match 1");
+  EXPECT_NE(mismatch.status, 0) << mismatch.output;
 }
 
 #ifdef APOLLO_EXAMPLES_DIR

@@ -10,6 +10,11 @@
 //
 // Usage:
 //   apollo_adapt [--pre N] [--post N] [--epsilon X] [--model-dir DIR]
+//                [--save-offline FILE]
+//
+// --save-offline persists the offline-trained generation-0 policy model, so
+// a later apollo_replay has a second candidate to compare against the
+// adapted generations in --model-dir.
 
 #include <algorithm>
 #include <cstdio>
@@ -20,6 +25,7 @@
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "core/stats_report.hpp"
 #include "core/trainer.hpp"
 #include "telemetry/build_info.hpp"
 
@@ -65,6 +71,7 @@ int main(int argc, char** argv) {
   std::size_t post = 450;
   double epsilon = 0.05;
   std::string model_dir;
+  std::string save_offline;
   for (int a = 1; a < argc; ++a) {
     const std::string arg = argv[a];
     auto next = [&]() -> const char* { return a + 1 < argc ? argv[++a] : nullptr; };
@@ -72,9 +79,11 @@ int main(int argc, char** argv) {
     else if (arg == "--post") { if (const char* v = next()) post = static_cast<std::size_t>(std::atoll(v)); }
     else if (arg == "--epsilon") { if (const char* v = next()) epsilon = std::atof(v); }
     else if (arg == "--model-dir") { if (const char* v = next()) model_dir = v; }
+    else if (arg == "--save-offline") { if (const char* v = next()) save_offline = v; }
     else {
       std::fprintf(stderr,
-                   "usage: apollo_adapt [--pre N] [--post N] [--epsilon X] [--model-dir DIR]\n");
+                   "usage: apollo_adapt [--pre N] [--post N] [--epsilon X] [--model-dir DIR] "
+                   "[--save-offline FILE]\n");
       return 2;
     }
   }
@@ -97,6 +106,10 @@ int main(int argc, char** argv) {
     const TunerModel offline_model = Trainer::train(rt.records(), TunedParameter::Policy);
     std::printf("offline model trained on %zu samples (small sizes -> policy %s)\n\n",
                 rt.records().size(), "seq");
+    if (!save_offline.empty()) {
+      offline_model.save_file(save_offline);
+      std::printf("offline model saved to %s\n\n", save_offline.c_str());
+    }
 
     // Online phase: same model, workload shifts after `pre` launches.
     rt.reset();
@@ -154,6 +167,8 @@ int main(int argc, char** argv) {
       std::printf("published generations persisted to %s (LATEST -> v%06llu)\n",
                   model_dir.c_str(), static_cast<unsigned long long>(status.model_version));
     }
+    const std::string quality = format_quality(rt.quality_snapshot());
+    if (!quality.empty()) std::printf("\n%s", quality.c_str());
     rt.reset();
   } catch (const std::exception& error) {
     std::fprintf(stderr, "apollo_adapt: %s\n", error.what());

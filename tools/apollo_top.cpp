@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/audit.hpp"  // read_complete_lines: tolerate live writers
 #include "telemetry/build_info.hpp"
 
 namespace {
@@ -77,6 +78,9 @@ struct KernelRow {
   std::vector<std::pair<double, double>> buckets;  ///< (le, cumulative) for decision latency
   double decision_count = 0.0;
   double drift_fires = 0.0;
+  // Model quality (present once a tuned launch was scored).
+  double accuracy = -1.0;  ///< -1 = no quality data exported yet
+  double regret_seconds = 0.0;
   // Most recent sampled decision (from the JSONL).
   std::string predicted;
   double predicted_seconds = 0.0;
@@ -88,6 +92,7 @@ struct Snapshot {
   double model_generation = 0.0;
   double hot_swaps = 0.0;
   double explores = 0.0;
+  double probes = 0.0;
   double samples_pushed = 0.0;
   double samples_dropped = 0.0;
   double buffer_occupancy = 0.0;
@@ -145,6 +150,12 @@ bool load_metrics(const std::string& path, Snapshot& snap) {
       snap.kernels[label("kernel")].decision_count = sample->value;
     } else if (sample->name == "apollo_drift_fires_total") {
       snap.kernels[label("kernel")].drift_fires = sample->value;
+    } else if (sample->name == "apollo_model_accuracy") {
+      snap.kernels[label("kernel")].accuracy = sample->value;
+    } else if (sample->name == "apollo_regret_seconds_total") {
+      snap.kernels[label("kernel")].regret_seconds = sample->value;
+    } else if (sample->name == "apollo_probe_total") {
+      snap.probes = sample->value;
     } else if (sample->name == "apollo_model_generation") {
       snap.model_generation = sample->value;
     } else if (sample->name == "apollo_hot_swaps_total") {
@@ -195,12 +206,13 @@ double json_number_field(const std::string& line, const std::string& key) {
 }
 
 void load_decisions(const std::string& path, Snapshot& snap) {
-  std::ifstream in(path);
-  if (!in) return;
-  std::string line;
+  // read_complete_lines drops a final unterminated line, so tailing a file a
+  // writer is appending to mid-flush never misparses the torn record.
+  const auto lines = apollo::telemetry::read_complete_lines(path);
+  if (!lines) return;
   // Lines are grouped per kernel, oldest first: the last line seen per
   // kernel is its freshest sampled decision.
-  while (std::getline(in, line)) {
+  for (const std::string& line : *lines) {
     const std::string kernel = json_string_field(line, "kernel");
     if (kernel.empty()) continue;
     KernelRow& row = snap.kernels[kernel];
@@ -240,6 +252,25 @@ void print_snapshot(const Snapshot& snap) {
                 row.predicted.empty() ? "-" : row.predicted.c_str(), ratio);
     if (row.drift_fires > 0.0) {
       std::printf("%-24s   drift fires: %.0f\n", "", row.drift_fires);
+    }
+  }
+
+  // Model-quality pane: only once a tuned launch was scored (the gauges
+  // exist only with APOLLO_TELEMETRY=1 in Tune/Adapt mode).
+  bool any_quality = false;
+  double launches_total = 0.0;
+  for (const auto& [kernel, row] : snap.kernels) {
+    (void)kernel;
+    launches_total += row.launches;
+    if (row.accuracy >= 0.0) any_quality = true;
+  }
+  if (any_quality || snap.probes > 0.0) {
+    std::printf("\nmodel quality — probes %.0f / %.0f dispatches\n", snap.probes, launches_total);
+    std::printf("%-24s %9s %12s\n", "kernel", "accuracy", "regret");
+    for (const auto& [kernel, row] : snap.kernels) {
+      if (row.accuracy < 0.0) continue;
+      std::printf("%-24s %8.1f%% %10.3fms\n", kernel.c_str(), row.accuracy * 100.0,
+                  row.regret_seconds * 1e3);
     }
   }
 }
