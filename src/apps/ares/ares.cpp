@@ -556,7 +556,11 @@ void Simulation::conduction(double dt) {
   query.bytes_per_iteration = 64;
   query.policy = sim::PolicyKind::OpenMP;
   query.threads = Runtime::instance().threads();
-  Runtime::instance().charge_external("ares:conduction_package", query);
+  // Context resolved once: the package charges every step, so the steady
+  // path skips the runtime's name lookup (contexts live for the process).
+  static KernelContext& context =
+      Runtime::instance().context_for_id("ares:conduction_package");
+  Runtime::instance().charge_external(context, query);
 }
 
 void Simulation::radiation(double dt) {
@@ -597,7 +601,9 @@ void Simulation::radiation(double dt) {
   query.bytes_per_iteration = 80;
   query.policy = sim::PolicyKind::OpenMP;
   query.threads = Runtime::instance().threads();
-  Runtime::instance().charge_external("ares:radiation_package", query);
+  static KernelContext& context =
+      Runtime::instance().context_for_id("ares:radiation_package");
+  Runtime::instance().charge_external(context, query);
 }
 
 void Simulation::step() {

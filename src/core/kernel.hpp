@@ -4,7 +4,14 @@
 // apollo::forall. It names the kernel (loop_id stands in for the paper's
 // code address), carries the registered instruction signature, and lets the
 // application pin a static default policy (ARES's hand-assigned kernels).
+//
+// The handle also carries the dispatch fast path: an atomic pointer to this
+// kernel's KernelContext, filled in on the first launch. Contexts live for
+// the process lifetime (Runtime::reset() clears their state in place), so a
+// handle — typically a function-local static — hits the runtime's context
+// map at most once, ever.
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -14,6 +21,8 @@
 #include "raja/policy.hpp"
 
 namespace apollo {
+
+class KernelContext;
 
 class KernelHandle {
 public:
@@ -37,12 +46,23 @@ public:
   [[nodiscard]] std::int64_t bytes_per_iteration() const noexcept { return bytes_per_iteration_; }
   [[nodiscard]] raja::PolicyType default_policy() const noexcept { return default_policy_; }
 
+  /// The cached per-kernel context (nullptr until the first launch resolved
+  /// it). Maintained by Runtime::context_for; const because resolution does
+  /// not change the kernel's identity.
+  [[nodiscard]] KernelContext* cached_context() const noexcept {
+    return context_.load(std::memory_order_acquire);
+  }
+  void cache_context(KernelContext* context) const noexcept {
+    context_.store(context, std::memory_order_release);
+  }
+
 private:
   std::string loop_id_;
   std::string func_;
   instr::InstructionMix mix_;
   std::int64_t bytes_per_iteration_;
   raja::PolicyType default_policy_;
+  mutable std::atomic<KernelContext*> context_{nullptr};
 };
 
 }  // namespace apollo

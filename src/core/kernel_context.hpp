@@ -1,0 +1,114 @@
+#pragma once
+
+// Per-kernel runtime state. Every call site resolves its KernelContext once
+// (cached on the KernelHandle as an atomic pointer), and from then on each
+// launch touches only this shard:
+//
+//   - the stats shard (seconds / invocations / launch-runtime histogram) is
+//     charged with relaxed atomics — the steady-state dispatch path takes no
+//     lock and looks up no map;
+//   - the telemetry handle cache (interned trace name, per-variant dispatch
+//     counters, decision-latency histogram, quality gauges) and the
+//     quality-accounting state are guarded by a per-kernel mutex, so two
+//     threads launching *different* kernels never contend, and the mutex is
+//     touched only when telemetry is enabled;
+//   - the probe rotor cycles ground-truth probes round-robin over the
+//     non-executed variants of this kernel.
+//
+// Contexts are created on first use and then live for the process lifetime
+// (Runtime::reset() clears their state in place), so pointers cached on
+// static KernelHandles never dangle.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/model_params.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/quality.hpp"
+
+namespace apollo {
+
+/// Value-semantic copy of one kernel's stats shard.
+struct KernelStats {
+  double seconds = 0.0;
+  std::int64_t invocations = 0;
+  /// Per-launch runtime distribution (always on; atomic bucket increments).
+  telemetry::Histogram launch_seconds{telemetry::duration_bounds()};
+};
+
+class KernelContext {
+public:
+  explicit KernelContext(std::string loop_id) : loop_id_(std::move(loop_id)) {}
+  KernelContext(const KernelContext&) = delete;
+  KernelContext& operator=(const KernelContext&) = delete;
+
+  [[nodiscard]] const std::string& loop_id() const noexcept { return loop_id_; }
+
+  // --- stats shard (lock-free) ----------------------------------------------
+  void charge(double seconds) noexcept {
+    seconds_.fetch_add(seconds, std::memory_order_relaxed);
+    invocations_.fetch_add(1, std::memory_order_relaxed);
+    launch_seconds_.observe(seconds);
+  }
+  [[nodiscard]] std::int64_t invocations() const noexcept {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] KernelStats stats_snapshot() const;
+  void reset_stats() noexcept;
+
+  // --- telemetry + quality (per-kernel mutex) -------------------------------
+  /// Cached metric handles: interned name, per-variant dispatch counters,
+  /// decision-latency histogram, quality gauges. Registry lookups are paid
+  /// once per kernel (and once per new variant), never per launch.
+  struct TelemetryHandles {
+    const char* name = nullptr;
+    telemetry::Histogram* decision_seconds = nullptr;
+    telemetry::Gauge* accuracy = nullptr;        ///< apollo_model_accuracy
+    telemetry::Gauge* regret_seconds = nullptr;  ///< apollo_regret_seconds_total
+    std::vector<std::pair<std::uint64_t, telemetry::Counter*>> variants;
+  };
+
+  /// Serializes telemetry-handle init, variant-counter growth, and quality
+  /// updates for this kernel only. Never taken when telemetry is off.
+  [[nodiscard]] std::mutex& mutex() noexcept { return mutex_; }
+
+  /// Handle cache, resolved lazily on the first telemetry-on launch.
+  /// Requires mutex().
+  [[nodiscard]] TelemetryHandles& telemetry_locked();
+  /// The dispatch counter for this launch's executed variant. Requires mutex().
+  [[nodiscard]] telemetry::Counter& variant_counter_locked(const ModelParams& params);
+
+  /// Model-quality counters for this kernel. Requires mutex().
+  [[nodiscard]] telemetry::QualityAccountant& quality_locked() noexcept { return quality_; }
+
+  /// Probe rotor: the next slot in this kernel's round-robin over candidate
+  /// probe variants. Lock-free.
+  [[nodiscard]] std::uint64_t next_probe_slot() noexcept {
+    return probe_rotor_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Reset every counter in place (stats, quality, rotor) and drop the
+  /// telemetry handle cache so it re-resolves after a telemetry reconfigure.
+  /// The context itself — and any pointer cached on a KernelHandle — stays
+  /// valid.
+  void reset();
+
+private:
+  const std::string loop_id_;
+
+  std::atomic<double> seconds_{0.0};
+  std::atomic<std::int64_t> invocations_{0};
+  telemetry::Histogram launch_seconds_{telemetry::duration_bounds()};
+
+  std::mutex mutex_;
+  bool telemetry_ready_ = false;  ///< mutex_
+  TelemetryHandles telemetry_;    ///< mutex_
+  telemetry::QualityAccountant quality_;  ///< mutex_
+  std::atomic<std::uint64_t> probe_rotor_{0};
+};
+
+}  // namespace apollo

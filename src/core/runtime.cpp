@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "core/cluster_accountant.hpp"
 #include "core/features.hpp"
@@ -34,6 +35,31 @@ thread_local PendingLaunch t_pending;
 // purpose: a shared atomic would add cross-thread contention to every tuned
 // launch, and per-thread phase drift does not bias a uniform stride sample.
 thread_local std::uint64_t t_introspect_tick = 0;
+
+/// This thread's view of the published model snapshot. The dispatch path
+/// compares one relaxed epoch load against the cached epoch; the models
+/// mutex is taken only in the launch after a publish — so the steady state
+/// reads models with no lock and no shared-refcount traffic.
+struct ThreadModelCache {
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const ModelSnapshot> snapshot;
+};
+thread_local ThreadModelCache t_models;
+
+/// Per-thread feature scratch for model evaluation (the tree reads a dense
+/// double vector; reusing one allocation per thread keeps the decision path
+/// allocation-free).
+thread_local std::vector<double> t_features;
+
+/// Per-thread wall-clock stopwatch for TimingSource::Wallclock (begin/end
+/// always pair on the launching thread).
+thread_local perf::Stopwatch t_stopwatch;
+
+std::shared_ptr<const CompiledModel> compile_checked(TunerModel model, TunedParameter parameter,
+                                                     const char* what) {
+  if (model.parameter() != parameter) throw std::invalid_argument(what);
+  return std::make_shared<const CompiledModel>(CompiledModel::compile(std::move(model)));
+}
 
 }  // namespace
 
@@ -81,133 +107,130 @@ unsigned Runtime::threads() const noexcept {
   return threads_ > 0 ? threads_ : machine_.config().cores;
 }
 
-std::vector<Runtime::CompiledFeature> Runtime::compile_features(const TunerModel& model) const {
-  using Source = CompiledFeature::Source;
-  std::vector<CompiledFeature> compiled;
-  compiled.reserve(model.tree().feature_names().size());
-  for (const auto& name : model.tree().feature_names()) {
-    CompiledFeature feature;
-    if (name == features::kFunc) {
-      feature.source = Source::Func;
-    } else if (name == features::kFuncSize) {
-      feature.source = Source::FuncSize;
-    } else if (name == features::kIndexType) {
-      feature.source = Source::IndexType;
-    } else if (name == features::kLoopId) {
-      feature.source = Source::LoopId;
-    } else if (name == features::kNumIndices) {
-      feature.source = Source::NumIndices;
-    } else if (name == features::kNumSegments) {
-      feature.source = Source::NumSegments;
-    } else if (name == features::kStride) {
-      feature.source = Source::Stride;
-    } else {
-      feature.source = Source::App;
-      feature.key = name;
-      for (std::size_t m = 0; m < instr::kMnemonicCount; ++m) {
-        const auto mnemonic = static_cast<instr::Mnemonic>(m);
-        if (name == instr::mnemonic_name(mnemonic)) {
-          feature.source = Source::Mnemonic;
-          feature.mnemonic = mnemonic;
-          break;
-        }
-      }
-    }
-    auto dict_it = model.dictionaries().find(name);
-    if (dict_it != model.dictionaries().end()) {
-      for (std::size_t code = 0; code < dict_it->second.size(); ++code) {
-        feature.dictionary.emplace(dict_it->second[code], static_cast<double>(code));
-      }
-    }
-    compiled.push_back(std::move(feature));
+// --- model snapshot (RCU) ----------------------------------------------------
+
+const std::shared_ptr<const ModelSnapshot>& Runtime::current_models() const {
+  const std::uint64_t epoch = model_epoch_.load(std::memory_order_acquire);
+  if (t_models.epoch != epoch) {
+    const std::lock_guard<std::mutex> lock(models_mutex_);
+    t_models.snapshot = models_;
+    // Re-read under the lock: a publish between the load above and the lock
+    // is folded into this refresh instead of triggering another one.
+    t_models.epoch = model_epoch_.load(std::memory_order_relaxed);
   }
-  return compiled;
+  return t_models.snapshot;
 }
 
-int Runtime::predict_compiled(const TunerModel& model,
-                              const std::vector<CompiledFeature>& features,
-                              const KernelHandle& kernel, const raja::IndexSet& iset) {
-  using Source = CompiledFeature::Source;
-  feature_buffer_.resize(features.size());
-  auto& board = perf::Blackboard::instance();
-  for (std::size_t f = 0; f < features.size(); ++f) {
-    const CompiledFeature& feature = features[f];
-    double value = -1.0;
-    const auto categorical = [&](const std::string& text) {
-      auto it = feature.dictionary.find(text);
-      return it != feature.dictionary.end() ? it->second : -1.0;
-    };
-    switch (feature.source) {
-      case Source::Func: value = categorical(kernel.func()); break;
-      case Source::FuncSize: value = static_cast<double>(kernel.mix().total()); break;
-      case Source::IndexType: value = categorical(iset.type_name()); break;
-      case Source::LoopId: value = categorical(kernel.loop_id()); break;
-      case Source::NumIndices: value = static_cast<double>(iset.getLength()); break;
-      case Source::NumSegments: value = static_cast<double>(iset.getNumSegments()); break;
-      case Source::Stride: value = static_cast<double>(iset.stride()); break;
-      case Source::Mnemonic: value = static_cast<double>(kernel.mix().count(feature.mnemonic)); break;
-      case Source::App: {
-        const auto attr = board.get(feature.key);
-        if (attr) value = attr->is_string() ? categorical(attr->as_string()) : attr->as_number();
-        break;
-      }
-    }
-    feature_buffer_[f] = value;
+void Runtime::publish_models(std::shared_ptr<const ModelSnapshot> next) {
+  const std::lock_guard<std::mutex> lock(models_mutex_);
+  models_ = std::move(next);
+  model_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void Runtime::replace_model(TunerModel model, TunedParameter parameter) {
+  const char* what = parameter == TunedParameter::Policy      ? "Runtime: not a policy model"
+                     : parameter == TunedParameter::ChunkSize ? "Runtime: not a chunk-size model"
+                                                              : "Runtime: not a team-size model";
+  // Compile outside the lock; publication itself is a pointer swap.
+  auto compiled = compile_checked(std::move(model), parameter, what);
+  const std::lock_guard<std::mutex> lock(models_mutex_);
+  auto next = models_ ? std::make_shared<ModelSnapshot>(*models_) : std::make_shared<ModelSnapshot>();
+  switch (parameter) {
+    case TunedParameter::Policy: next->policy = std::move(compiled); break;
+    case TunedParameter::ChunkSize: next->chunk = std::move(compiled); break;
+    case TunedParameter::Threads: next->threads = std::move(compiled); break;
   }
-  return model.tree().predict(feature_buffer_.data());
+  models_ = std::move(next);
+  model_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void Runtime::set_policy_model(TunerModel model) {
-  if (model.parameter() != TunedParameter::Policy) {
-    throw std::invalid_argument("Runtime: not a policy model");
-  }
-  policy_model_ = std::move(model);
-  policy_features_ = compile_features(*policy_model_);
+  replace_model(std::move(model), TunedParameter::Policy);
 }
 
 void Runtime::set_chunk_model(TunerModel model) {
-  if (model.parameter() != TunedParameter::ChunkSize) {
-    throw std::invalid_argument("Runtime: not a chunk-size model");
-  }
-  chunk_model_ = std::move(model);
-  chunk_features_ = compile_features(*chunk_model_);
+  replace_model(std::move(model), TunedParameter::ChunkSize);
 }
 
 void Runtime::set_threads_model(TunerModel model) {
-  if (model.parameter() != TunedParameter::Threads) {
-    throw std::invalid_argument("Runtime: not a team-size model");
-  }
-  threads_model_ = std::move(model);
-  threads_features_ = compile_features(*threads_model_);
+  replace_model(std::move(model), TunedParameter::Threads);
 }
 
 void Runtime::clear_models() noexcept {
-  policy_model_.reset();
-  chunk_model_.reset();
-  threads_model_.reset();
-  policy_features_.clear();
-  chunk_features_.clear();
-  threads_features_.clear();
+  publish_models(nullptr);
 }
+
+bool Runtime::has_policy_model() const noexcept {
+  const auto& snapshot = current_models();
+  return snapshot && snapshot->policy;
+}
+
+bool Runtime::has_chunk_model() const noexcept {
+  const auto& snapshot = current_models();
+  return snapshot && snapshot->chunk;
+}
+
+bool Runtime::has_threads_model() const noexcept {
+  const auto& snapshot = current_models();
+  return snapshot && snapshot->threads;
+}
+
+const TunerModel& Runtime::policy_model() const {
+  const auto& snapshot = current_models();
+  if (!snapshot || !snapshot->policy) throw std::logic_error("Runtime: no policy model loaded");
+  return snapshot->policy->model();
+}
+
+// --- contexts ----------------------------------------------------------------
+
+KernelContext& Runtime::context_for_id(std::string_view loop_id) {
+  const std::lock_guard<std::mutex> lock(contexts_mutex_);
+  auto it = contexts_.find(loop_id);
+  if (it == contexts_.end()) {
+    it = contexts_.emplace(std::string(loop_id),
+                           std::make_unique<KernelContext>(std::string(loop_id)))
+             .first;
+  }
+  return *it->second;
+}
+
+// --- records / online --------------------------------------------------------
 
 void Runtime::flush_records(const std::string& path) {
   perf::append_records_file(path, records_.drain());
 }
 
-online::OnlineTuner& Runtime::online() {
-  if (!online_) online_ = std::make_unique<online::OnlineTuner>(&records_);
+online::OnlineTuner& Runtime::online_locked() {
+  if (!online_) {
+    online_ = std::make_unique<online::OnlineTuner>(&records_);
+    online_ptr_.store(online_.get(), std::memory_order_release);
+  }
   return *online_;
 }
 
+online::OnlineTuner& Runtime::online() {
+  if (online::OnlineTuner* tuner = online_ptr_.load(std::memory_order_acquire)) return *tuner;
+  const std::lock_guard<std::mutex> lock(online_mutex_);
+  return online_locked();
+}
+
 void Runtime::configure_online(online::OnlineConfig config) {
-  online().configure(std::move(config));
-  adapt_version_ = 0;  // re-examine the registry (it may hold restored models)
+  {
+    const std::lock_guard<std::mutex> lock(online_mutex_);
+    online_locked().configure(std::move(config));
+  }
+  // Re-examine the registry (it may hold restored models).
+  adapt_version_.store(0, std::memory_order_release);
 }
 
 void Runtime::reset() {
-  online_.reset();  // joins any in-flight retrain before state is torn down
-  adapt_version_ = 0;
-  mode_ = Mode::Off;
+  {
+    const std::lock_guard<std::mutex> lock(online_mutex_);
+    online_ptr_.store(nullptr, std::memory_order_release);
+    online_.reset();  // joins any in-flight retrain before state is torn down
+  }
+  adapt_version_.store(0, std::memory_order_relaxed);
+  mode_.store(Mode::Off, std::memory_order_relaxed);
   timing_ = TimingSource::Model;
   machine_ = sim::MachineModel{};
   threads_ = 0;
@@ -216,35 +239,76 @@ void Runtime::reset() {
   execute_selected_ = true;
   accountant_ = nullptr;
   clear_models();
-  reset_stats();
-  clear_records();
-  sample_counter_ = 0;
   {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    kernel_telemetry_.clear();
-    last_telemetry_key_ = nullptr;
-    last_telemetry_ = nullptr;
-    quality_.clear();
-    probe_rotor_ = 0;
+    // Reset in place: contexts (and the pointers KernelHandles cache) stay
+    // valid; only their counters and handle caches are cleared.
+    const std::lock_guard<std::mutex> lock(contexts_mutex_);
+    for (auto& [loop_id, context] : contexts_) context->reset();
   }
+  decision_latency_.reset();
+  clear_records();
+  sample_counter_.store(0, std::memory_order_relaxed);
+  probe_tick_.store(0, std::memory_order_relaxed);
   t_introspect_tick = 0;
   t_pending = PendingLaunch{};
+  t_models = ThreadModelCache{};  // other threads refresh on their next launch
+}
+
+// --- aggregation -------------------------------------------------------------
+
+RunStats Runtime::stats() const {
+  RunStats stats;
+  stats.decision_latency = decision_latency_;  // relaxed histogram snapshot
+  const std::lock_guard<std::mutex> lock(contexts_mutex_);
+  for (const auto& [loop_id, context] : contexts_) {
+    KernelStats shard = context->stats_snapshot();
+    // Contexts persist across reset_stats(); an idle shard is not a kernel
+    // this run touched.
+    if (shard.invocations == 0) continue;
+    stats.total_seconds += shard.seconds;
+    stats.invocations += shard.invocations;
+    stats.per_kernel.emplace(loop_id, std::move(shard));
+  }
+  return stats;
+}
+
+void Runtime::reset_stats() noexcept {
+  const std::lock_guard<std::mutex> lock(contexts_mutex_);
+  for (auto& [loop_id, context] : contexts_) context->reset_stats();
+  decision_latency_.reset();
 }
 
 std::vector<std::pair<std::string, telemetry::KernelQuality>> Runtime::quality_snapshot() {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return quality_.snapshot();
+  std::vector<std::pair<std::string, telemetry::KernelQuality>> result;
+  const std::lock_guard<std::mutex> lock(contexts_mutex_);
+  for (auto& [loop_id, context] : contexts_) {
+    const std::lock_guard<std::mutex> context_lock(context->mutex());
+    for (auto& entry : context->quality_locked().snapshot()) result.push_back(std::move(entry));
+  }
+  return result;  // contexts_ is name-sorted, so the merged view is too
 }
 
 std::uint64_t Runtime::probe_count() {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return quality_.total_probes();
+  std::uint64_t total = 0;
+  const std::lock_guard<std::mutex> lock(contexts_mutex_);
+  for (auto& [loop_id, context] : contexts_) {
+    const std::lock_guard<std::mutex> context_lock(context->mutex());
+    total += context->quality_locked().total_probes();
+  }
+  return total;
 }
 
 double Runtime::regret_seconds_total() {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  return quality_.total_regret_seconds();
+  double total = 0.0;
+  const std::lock_guard<std::mutex> lock(contexts_mutex_);
+  for (auto& [loop_id, context] : contexts_) {
+    const std::lock_guard<std::mutex> context_lock(context->mutex());
+    total += context->quality_locked().total_regret_seconds();
+  }
+  return total;
 }
+
+// --- features / cost queries -------------------------------------------------
 
 std::optional<perf::Value> Runtime::resolve_feature(const std::string& name,
                                                     const KernelHandle& kernel,
@@ -292,119 +356,76 @@ double Runtime::measure_seconds(const sim::CostQuery& query) {
                                    sample_counter_.fetch_add(1, std::memory_order_relaxed));
 }
 
-void Runtime::update_stats_locked(KernelStats& kernel_stats, double seconds) {
-  kernel_stats.seconds += seconds;
-  kernel_stats.invocations += 1;
-  kernel_stats.launch_seconds.observe(seconds);
-}
+// --- decisions ---------------------------------------------------------------
 
-void Runtime::charge(const std::string& loop_id, double seconds) {
-  if (accountant_ != nullptr) accountant_->charge(seconds);
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
-  stats_.total_seconds += seconds;
-  stats_.invocations += 1;
-  update_stats_locked(stats_.per_kernel[loop_id], seconds);
-}
-
-Runtime::KernelTelemetry& Runtime::kernel_telemetry_locked(const KernelHandle& kernel) {
-  // Single-kernel phases dominate launch streams: a one-entry cache turns
-  // the per-launch map lookup (string hash) into a pointer compare.
-  if (last_telemetry_ != nullptr && kernel.loop_id() == *last_telemetry_key_) {
-    return *last_telemetry_;
+void Runtime::apply_models(const ModelSnapshot* snapshot, ModelParams& params,
+                           const KernelHandle& kernel, const raja::IndexSet& iset) {
+  if (snapshot == nullptr) return;
+  if (snapshot->policy) {
+    const int label = snapshot->policy->predict(kernel, iset, t_features);
+    params.selection = label;
+    params.policy = raja::policy_from_name(snapshot->policy->model().label_name(label));
   }
-  auto it = kernel_telemetry_.find(kernel.loop_id());
-  if (it != kernel_telemetry_.end()) {
-    last_telemetry_key_ = &it->first;  // node-based map: addresses are stable
-    last_telemetry_ = &it->second;
-    return it->second;
+  if (snapshot->chunk && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
+    const int label = snapshot->chunk->predict(kernel, iset, t_features);
+    params.chunk_size = std::stoll(snapshot->chunk->model().label_name(label));
   }
-  // First launch of this kernel with telemetry on: resolve and cache every
-  // handle the per-launch path needs, so later launches pay atomics only.
-  auto& registry = telemetry::MetricsRegistry::instance();
-  KernelTelemetry entry;
-  entry.name = telemetry::Tracer::instance().intern(kernel.loop_id());
-  const std::string label = "kernel=\"" + kernel.loop_id() + "\"";
-  entry.decision_seconds =
-      &registry.histogram("apollo_decision_seconds",
-                          "Model-evaluation latency, sampled on the introspection stride.",
-                          telemetry::duration_bounds(), label);
-  entry.accuracy = &registry.gauge(
-      "apollo_model_accuracy",
-      "Share of scored tuned launches whose variant matched the best-known.", label);
-  entry.regret_seconds = &registry.gauge(
-      "apollo_regret_seconds_total",
-      "Cumulative seconds lost versus the best-known variant per kernel.", label);
-  it = kernel_telemetry_.emplace(kernel.loop_id(), std::move(entry)).first;
-  last_telemetry_key_ = &it->first;
-  last_telemetry_ = &it->second;
-  return it->second;
+  if (snapshot->threads && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
+    const int label = snapshot->threads->predict(kernel, iset, t_features);
+    params.threads = static_cast<unsigned>(std::stoul(snapshot->threads->model().label_name(label)));
+  }
 }
 
-telemetry::Counter& Runtime::variant_counter_locked(KernelTelemetry& entry,
-                                                    const KernelHandle& kernel,
-                                                    const ModelParams& params) {
-  const std::uint64_t key = online::Variant{params.policy, params.chunk_size}.key();
-  for (auto& [variant_key, counter] : entry.variants) {
-    if (variant_key == key) return *counter;
-  }
-  std::string label = "kernel=\"" + kernel.loop_id() + "\",variant=\"";
-  label += raja::policy_name(params.policy);
-  if (params.chunk_size > 0) label += "/c" + std::to_string(params.chunk_size);
-  label += "\"";
-  auto& counter = telemetry::MetricsRegistry::instance().counter(
-      "apollo_dispatch_total", "Launches dispatched per kernel and executed variant.", label);
-  entry.variants.emplace_back(key, &counter);
-  return counter;
-}
-
-void Runtime::tuned_decision(ModelParams& params, const KernelHandle& kernel,
-                             const raja::IndexSet& iset, bool telem) {
+void Runtime::tuned_decision(const ModelSnapshot* snapshot, ModelParams& params,
+                             const KernelHandle& kernel, const raja::IndexSet& iset, bool telem) {
   // With telemetry on, begin() just stamped the launch start; reuse it as
   // the decision start rather than paying a second clock read.
   const std::uint64_t decide_start = telem ? t_pending.start_ns : telemetry::now_ns();
-  apply_models(params, kernel, iset);
+  apply_models(snapshot, params, kernel, iset);
   const std::uint64_t decide_end = telemetry::now_ns();
-  // Always on: feeds the p50/p95/p99 decision-latency report in stats_report.
-  stats_.decision_latency.observe(static_cast<double>(decide_end - decide_start) * 1e-9);
+  // Always on, atomic bucket increments: feeds the p50/p95/p99
+  // decision-latency report in stats_report.
+  decision_latency_.observe(static_cast<double>(decide_end - decide_start) * 1e-9);
   if (telem) {
     t_pending.decide_dur_ns = decide_end - decide_start;
-    maybe_capture_decision(params, kernel, iset);
+    if (snapshot != nullptr) maybe_capture_decision(*snapshot, params, kernel, iset);
   }
 }
 
-void Runtime::maybe_capture_decision(const ModelParams& params, const KernelHandle& kernel,
-                                     const raja::IndexSet& iset) {
+void Runtime::maybe_capture_decision(const ModelSnapshot& snapshot, const ModelParams& params,
+                                     const KernelHandle& kernel, const raja::IndexSet& iset) {
   const auto& cfg = telemetry::config();
-  if (!policy_model_) return;
+  if (!snapshot.policy) return;
   const bool introspect_due =
       cfg.introspect_stride != 0 && t_introspect_tick++ % cfg.introspect_stride == 0;
   const bool audit_due = telemetry::AuditLog::instance().audit_enabled();
   if (!introspect_due && !audit_due) return;
-  // Re-evaluate the policy model for this captured launch; feature_buffer_
-  // then holds exactly the vector the tree saw. Introspection and the audit
-  // log share the one extra evaluation.
-  const int label = predict_compiled(*policy_model_, policy_features_, kernel, iset);
-  const auto& names = policy_model_->tree().feature_names();
+  // Re-evaluate the policy model for this captured launch; t_features then
+  // holds exactly the vector the tree saw. Introspection and the audit log
+  // share the one extra evaluation.
+  const TunerModel& policy = snapshot.policy->model();
+  const int label = snapshot.policy->predict(kernel, iset, t_features);
+  const auto& names = policy.tree().feature_names();
   if (audit_due) {
     t_pending.audit_armed = true;
-    t_pending.audit_label = policy_model_->label_name(label);
+    t_pending.audit_label = policy.label_name(label);
     t_pending.audit_features.clear();
     t_pending.audit_features.reserve(names.size());
     for (std::size_t f = 0; f < names.size(); ++f) {
-      t_pending.audit_features.emplace_back(names[f], feature_buffer_[f]);
+      t_pending.audit_features.emplace_back(names[f], t_features[f]);
     }
   }
   if (!introspect_due) return;
   telemetry::Decision decision;
   decision.kernel = kernel.loop_id();
   decision.ts_ns = telemetry::now_ns();
-  decision.model_version = adapt_version_;
+  decision.model_version = snapshot.version;
   decision.features.reserve(names.size());
   for (std::size_t f = 0; f < names.size(); ++f) {
-    decision.features.emplace_back(names[f], feature_buffer_[f]);
+    decision.features.emplace_back(names[f], t_features[f]);
   }
-  policy_model_->tree().predict_path(feature_buffer_.data(), decision.tree_path);
-  decision.predicted = policy_model_->label_name(label);
+  policy.tree().predict_path(t_features.data(), decision.tree_path);
+  decision.predicted = policy.label_name(label);
   decision.predicted_seconds = machine_.cost_seconds(
       make_query(kernel, iset, params.policy, params.chunk_size, params.threads));
   t_pending.decision = std::move(decision);
@@ -436,35 +457,55 @@ void Runtime::emit_record(const KernelHandle& kernel, const raja::IndexSet& iset
 
 void Runtime::charge_external(const std::string& loop_id, const sim::CostQuery& query) {
   if (timing_ != TimingSource::Model) return;
-  charge(loop_id, measure_seconds(query));
+  charge_external(context_for_id(loop_id), query);
 }
 
-void Runtime::apply_models(ModelParams& params, const KernelHandle& kernel,
-                           const raja::IndexSet& iset) {
-  if (policy_model_) {
-    const int label = predict_compiled(*policy_model_, policy_features_, kernel, iset);
-    params.selection = label;
-    params.policy = raja::policy_from_name(policy_model_->label_name(label));
-  }
-  if (chunk_model_ && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
-    const int label = predict_compiled(*chunk_model_, chunk_features_, kernel, iset);
-    params.chunk_size = std::stoll(chunk_model_->label_name(label));
-  }
-  if (threads_model_ && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
-    const int label = predict_compiled(*threads_model_, threads_features_, kernel, iset);
-    params.threads = static_cast<unsigned>(std::stoul(threads_model_->label_name(label)));
-  }
+void Runtime::charge_external(KernelContext& context, const sim::CostQuery& query) {
+  if (timing_ != TimingSource::Model) return;
+  const double seconds = measure_seconds(query);
+  if (accountant_ != nullptr) accountant_->charge(seconds);
+  context.charge(seconds);
 }
 
-void Runtime::refresh_adapt_models() {
+const std::shared_ptr<const ModelSnapshot>& Runtime::refresh_adapt_models() {
   online::OnlineTuner& tuner = online();
   const std::uint64_t version = tuner.registry().version();  // single atomic load
-  if (version == adapt_version_) return;
-  if (const auto snapshot = tuner.registry().current()) {
-    if (snapshot->policy) set_policy_model(*snapshot->policy);
-    if (snapshot->chunk) set_chunk_model(*snapshot->chunk);
-    if (snapshot->threads) set_threads_model(*snapshot->threads);
-    tuner.on_models_swapped();
+  if (version == adapt_version_.load(std::memory_order_acquire)) return current_models();
+  bool swapped = false;
+  {
+    const std::lock_guard<std::mutex> lock(models_mutex_);
+    if (version != adapt_version_.load(std::memory_order_relaxed)) {
+      if (const auto published = tuner.registry().current()) {
+        // Slots the registry did not retrain carry the previous generation's
+        // compilation forward (shared, immutable).
+        auto next = models_ ? std::make_shared<ModelSnapshot>(*models_)
+                            : std::make_shared<ModelSnapshot>();
+        next->version = version;
+        if (published->policy) {
+          next->policy = compile_checked(*published->policy, TunedParameter::Policy,
+                                         "Runtime: not a policy model");
+        }
+        if (published->chunk) {
+          next->chunk = compile_checked(*published->chunk, TunedParameter::ChunkSize,
+                                        "Runtime: not a chunk-size model");
+        }
+        if (published->threads) {
+          next->threads = compile_checked(*published->threads, TunedParameter::Threads,
+                                          "Runtime: not a team-size model");
+        }
+        models_ = std::move(next);
+        model_epoch_.fetch_add(1, std::memory_order_release);
+        swapped = true;
+      }
+      adapt_version_.store(version, std::memory_order_release);
+    }
+  }
+  if (swapped) {
+    // Outside models_mutex_ (lock order: never hold it across online calls).
+    {
+      const std::lock_guard<std::mutex> lock(online_mutex_);
+      online_locked().on_models_swapped();
+    }
     if (telemetry::enabled()) {
       auto& registry = telemetry::MetricsRegistry::instance();
       registry.counter("apollo_hot_swaps_total", "Model hot-swaps applied by the runtime.").inc();
@@ -475,10 +516,15 @@ void Runtime::refresh_adapt_models() {
       telemetry::emit_instant(telemetry::EventKind::HotSwap, "hot_swap", version);
     }
   }
-  adapt_version_ = version;
+  return current_models();
 }
 
-ModelParams Runtime::begin(const KernelHandle& kernel, const raja::IndexSet& iset) {
+// --- the begin/end hooks -----------------------------------------------------
+
+ModelParams Runtime::begin(KernelContext& context, const KernelHandle& kernel,
+                           const raja::IndexSet& iset) {
+  (void)context;  // resolved by the caller so end() reuses it; begin() itself
+                  // only reads immutable kernel identity and the snapshot
   const bool telem = telemetry::enabled();
   if (telem) {
     t_pending.start_ns = telemetry::now_ns();
@@ -490,7 +536,7 @@ ModelParams Runtime::begin(const KernelHandle& kernel, const raja::IndexSet& ise
   params.policy = default_override_.value_or(kernel.default_policy());
   params.chunk_size = 0;
 
-  switch (mode_) {
+  switch (mode_.load(std::memory_order_relaxed)) {
     case Mode::Off:
       break;
     case Mode::Record:
@@ -500,13 +546,17 @@ ModelParams Runtime::begin(const KernelHandle& kernel, const raja::IndexSet& ise
       }
       break;
     case Mode::Tune:
-      tuned_decision(params, kernel, iset, telem);
+      tuned_decision(current_models().get(), params, kernel, iset, telem);
       break;
     case Mode::Adapt: {
-      refresh_adapt_models();
-      tuned_decision(params, kernel, iset, telem);
+      tuned_decision(refresh_adapt_models().get(), params, kernel, iset, telem);
       const auto bucket = online::feature_bucket(iset.getLength(), iset.getNumSegments());
-      if (const auto explored = online().maybe_explore(kernel.loop_id(), bucket)) {
+      std::optional<online::Variant> explored;
+      {
+        const std::lock_guard<std::mutex> lock(online_mutex_);
+        explored = online_locked().maybe_explore(kernel.loop_id(), bucket);
+      }
+      if (explored) {
         params.policy = explored->policy;
         params.chunk_size = explored->chunk;
         params.threads = 0;
@@ -522,74 +572,79 @@ ModelParams Runtime::begin(const KernelHandle& kernel, const raja::IndexSet& ise
     }
   }
 
-  if (timing_ == TimingSource::Wallclock) stopwatch_.start();
+  if (timing_ == TimingSource::Wallclock) t_stopwatch.start();
   return params;
 }
 
-void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
+void Runtime::end(KernelContext& context, const KernelHandle& kernel, const raja::IndexSet& iset,
                   const ModelParams& params) {
   double seconds = 0.0;
   if (timing_ == TimingSource::Wallclock) {
-    seconds = stopwatch_.stop();
+    seconds = t_stopwatch.stop();
   } else {
     seconds = measure_seconds(
         make_query(kernel, iset, params.policy, params.chunk_size, params.threads));
   }
 
+  const Mode mode = mode_.load(std::memory_order_relaxed);
   const bool telem = telemetry::enabled();
-  const bool tuned = mode_ == Mode::Tune || mode_ == Mode::Adapt;
+  const bool tuned = mode == Mode::Tune || mode == Mode::Adapt;
   if (accountant_ != nullptr) accountant_->charge(seconds);
+  // The stats shard: two relaxed atomic adds plus atomic histogram buckets.
+  // The steady-state dispatch path ends here when telemetry is off — no lock
+  // was taken anywhere between begin() and this point.
+  context.charge(seconds);
+
   const char* trace_name = nullptr;
   std::uint64_t bucket = 0;
   bool probe_armed = false;
   online::Variant probe_variant{};
   if (telem && tuned) bucket = online::feature_bucket(iset.getLength(), iset.getNumSegments());
-  {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.total_seconds += seconds;
-    stats_.invocations += 1;
-    update_stats_locked(stats_.per_kernel[kernel.loop_id()], seconds);
-    if (telem) {
-      KernelTelemetry& entry = kernel_telemetry_locked(kernel);
-      trace_name = entry.name;
-      variant_counter_locked(entry, kernel, params).inc();
-      // The registry histogram rides the introspection stride: every launch
-      // already feeds the always-on stats_.decision_latency histogram, so
-      // the labeled series trades resolution for ~40ns off the hot path.
-      if (t_pending.introspect_armed && t_pending.decide_dur_ns > 0) {
-        entry.decision_seconds->observe(static_cast<double>(t_pending.decide_dur_ns) * 1e-9);
-      }
-      if (tuned) {
-        // Quality accounting: refresh this variant's baseline and score the
-        // model's choice (explored launches refresh evidence only).
-        const std::uint64_t vkey = online::Variant{params.policy, params.chunk_size}.key();
-        quality_.observe_choice(kernel.loop_id(), bucket, vkey, seconds, !params.explored);
-        if (t_pending.introspect_armed) {
-          quality_.observe_calibration(kernel.loop_id(), t_pending.decision.predicted_seconds,
-                                       seconds);
-          // The exported gauges ride the introspection stride (and the probe
-          // path below): the live files refresh on a 500ms cadence, so
-          // per-launch gauge stores would buy nothing but hot-path cost.
-          if (const telemetry::KernelQuality* q = quality_.kernel(kernel.loop_id())) {
-            entry.accuracy->set(q->accuracy());
-            entry.regret_seconds->set(q->regret_seconds);
-          }
+  if (telem) {
+    // Per-kernel lock: concurrent launches of *different* kernels never
+    // serialize here.
+    const std::lock_guard<std::mutex> lock(context.mutex());
+    KernelContext::TelemetryHandles& entry = context.telemetry_locked();
+    trace_name = entry.name;
+    context.variant_counter_locked(params).inc();
+    // The registry histogram rides the introspection stride: every launch
+    // already feeds the always-on decision_latency_ histogram, so the
+    // labeled series trades resolution for ~40ns off the hot path.
+    if (t_pending.introspect_armed && t_pending.decide_dur_ns > 0) {
+      entry.decision_seconds->observe(static_cast<double>(t_pending.decide_dur_ns) * 1e-9);
+    }
+    if (tuned) {
+      // Quality accounting: refresh this variant's baseline and score the
+      // model's choice (explored launches refresh evidence only).
+      telemetry::QualityAccountant& quality = context.quality_locked();
+      const std::uint64_t vkey = online::Variant{params.policy, params.chunk_size}.key();
+      quality.observe_choice(context.loop_id(), bucket, vkey, seconds, !params.explored);
+      if (t_pending.introspect_armed) {
+        quality.observe_calibration(context.loop_id(), t_pending.decision.predicted_seconds,
+                                    seconds);
+        // The exported gauges ride the introspection stride (and the probe
+        // path below): the live files refresh on a 500ms cadence, so
+        // per-launch gauge stores would buy nothing but hot-path cost.
+        if (const telemetry::KernelQuality* q = quality.kernel(context.loop_id())) {
+          entry.accuracy->set(q->accuracy());
+          entry.regret_seconds->set(q->regret_seconds);
         }
-        // Budgeted ground-truth probe: every probe_stride-th tuned launch
-        // also times one non-executed variant, round-robin. Model timing
-        // only — a finished wall-clock launch cannot be re-run untuned
-        // (there, the Adapt explorer supplies off-policy ground truth).
-        if (timing_ == TimingSource::Model &&
-            quality_.probe_due(telemetry::config().probe_stride)) {
-          const online::Variant candidates[] = {
-              {raja::PolicyType::seq_segit_seq_exec, 0},
-              {raja::PolicyType::seq_segit_omp_parallel_for_exec, 0}};
-          for (int i = 0; i < 2 && !probe_armed; ++i) {
-            const online::Variant candidate = candidates[probe_rotor_++ % 2];
-            if (candidate.key() != vkey) {
-              probe_variant = candidate;
-              probe_armed = true;
-            }
+      }
+      // Budgeted ground-truth probe: every probe_stride-th tuned launch
+      // (process-wide tick, so the budget holds across kernels and threads)
+      // also times one non-executed variant, rotating through this kernel's
+      // candidates. Model timing only — a finished wall-clock launch cannot
+      // be re-run untuned (there, the Adapt explorer supplies off-policy
+      // ground truth).
+      if (timing_ == TimingSource::Model && probe_due(telemetry::config().probe_stride)) {
+        const online::Variant candidates[] = {
+            {raja::PolicyType::seq_segit_seq_exec, 0},
+            {raja::PolicyType::seq_segit_omp_parallel_for_exec, 0}};
+        for (int i = 0; i < 2 && !probe_armed; ++i) {
+          const online::Variant candidate = candidates[context.next_probe_slot() % 2];
+          if (candidate.key() != vkey) {
+            probe_variant = candidate;
+            probe_armed = true;
           }
         }
       }
@@ -609,7 +664,8 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
       // the latency histograms, but only sampled launches pay a second event.
       if (t_pending.decide_dur_ns > 0) {
         telemetry::emit_span(telemetry::EventKind::Decide, trace_name, t_pending.start_ns,
-                             t_pending.start_ns + t_pending.decide_dur_ns, adapt_version_, 0);
+                             t_pending.start_ns + t_pending.decide_dur_ns,
+                             adapt_version_.load(std::memory_order_relaxed), 0);
       }
       t_pending.decision.observed_seconds = seconds;
       t_pending.decision.explored = params.explored;
@@ -625,7 +681,7 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
     record.ts_ns = telemetry::now_ns();
     record.kernel = kernel.loop_id();
     record.bucket = bucket;
-    record.model_version = adapt_version_;
+    record.model_version = adapt_version_.load(std::memory_order_relaxed);
     record.label = std::move(t_pending.audit_label);
     record.policy = raja::policy_name(params.policy);
     record.chunk = params.chunk_size;
@@ -639,7 +695,7 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
   }
 
   if (probe_armed) {
-    // The probe runs outside the stats lock: it prices the alternative
+    // The probe runs outside the per-kernel lock: it prices the alternative
     // variant through the machine model and shares the measurement with the
     // sample buffer (retraining data), the drift detector (Adapt mode), the
     // quality baselines, and the audit log.
@@ -647,16 +703,18 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
         measure_seconds(make_query(kernel, iset, probe_variant.policy, probe_variant.chunk));
     emit_record(kernel, iset, probe_variant.policy, probe_variant.chunk, probe_seconds);
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
-      quality_.record_probe(kernel.loop_id(), bucket, probe_variant.key(), probe_seconds);
-      if (const telemetry::KernelQuality* q = quality_.kernel(kernel.loop_id())) {
-        KernelTelemetry& entry = kernel_telemetry_locked(kernel);
+      const std::lock_guard<std::mutex> lock(context.mutex());
+      telemetry::QualityAccountant& quality = context.quality_locked();
+      quality.record_probe(context.loop_id(), bucket, probe_variant.key(), probe_seconds);
+      if (const telemetry::KernelQuality* q = quality.kernel(context.loop_id())) {
+        KernelContext::TelemetryHandles& entry = context.telemetry_locked();
         entry.accuracy->set(q->accuracy());
         entry.regret_seconds->set(q->regret_seconds);
       }
     }
-    if (mode_ == Mode::Adapt) {
-      online().observe_probe(kernel.loop_id(), bucket, probe_variant, probe_seconds);
+    if (mode == Mode::Adapt) {
+      const std::lock_guard<std::mutex> lock(online_mutex_);
+      online_locked().observe_probe(kernel.loop_id(), bucket, probe_variant, probe_seconds);
     }
     static telemetry::Counter& probes = telemetry::MetricsRegistry::instance().counter(
         "apollo_probe_total", "Ground-truth probes launched (alternative-variant timings).");
@@ -667,7 +725,7 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
       record.ts_ns = telemetry::now_ns();
       record.kernel = kernel.loop_id();
       record.bucket = bucket;
-      record.model_version = adapt_version_;
+      record.model_version = adapt_version_.load(std::memory_order_relaxed);
       record.policy = raja::policy_name(probe_variant.policy);
       record.chunk = probe_variant.chunk;
       record.seconds = probe_seconds;
@@ -675,22 +733,26 @@ void Runtime::end(const KernelHandle& kernel, const raja::IndexSet& iset,
     }
   }
 
-  if (mode_ == Mode::Adapt) {
-    online::OnlineTuner& tuner = online();
+  if (mode == Mode::Adapt) {
+    const auto adapt_bucket = online::feature_bucket(iset.getLength(), iset.getNumSegments());
+    // One lock for the whole Adapt tail: the tuner's bookkeeping methods are
+    // single-threaded by contract (see OnlineTuner), and the retrain itself
+    // runs on the Retrainer's background thread, so this stays short.
+    const std::lock_guard<std::mutex> lock(online_mutex_);
+    online::OnlineTuner& tuner = online_locked();
     // Explored launches always land in the buffer (they carry the off-policy
     // labels retraining needs); predicted launches are strided to keep the
     // hot path cheap.
     if (params.explored || tuner.should_record_sample()) {
       emit_record(kernel, iset, params.policy, params.chunk_size, seconds, params.threads);
     }
-    const auto bucket = online::feature_bucket(iset.getLength(), iset.getNumSegments());
-    tuner.observe(kernel.loop_id(), bucket,
+    tuner.observe(kernel.loop_id(), adapt_bucket,
                   online::Variant{params.policy, params.chunk_size}, seconds, params.explored);
     tuner.maybe_retrain();
     return;
   }
 
-  if (mode_ != Mode::Record) return;
+  if (mode != Mode::Record) return;
 
   if (!training_.sweep_variants) {
     emit_record(kernel, iset, params.policy, params.chunk_size, seconds);

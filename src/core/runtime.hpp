@@ -19,6 +19,16 @@
 // drift detection triggers background retrains, and freshly trained models
 // hot-swap in via the versioned ModelRegistry — the "dynamically updating
 // models" direction from the paper's conclusion, closed inside one process.
+//
+// Layering (see docs/architecture.md): the Runtime is a facade. Per-kernel
+// state — the stats shard, cached telemetry handles, quality accounting, the
+// probe rotor — lives in KernelContext (resolved once per call site, cached
+// on the KernelHandle as an atomic pointer). Models live in an immutable
+// ModelSnapshot published by atomic pointer swap. The steady-state dispatch
+// path therefore takes no lock and looks up no map: concurrent application
+// threads launching different kernels never serialize, and launches of the
+// same kernel contend only on that kernel's atomics (plus its mutex when
+// telemetry is on).
 
 #include <atomic>
 #include <cstdint>
@@ -27,11 +37,13 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "core/kernel.hpp"
+#include "core/kernel_context.hpp"
 #include "core/model_params.hpp"
+#include "core/model_snapshot.hpp"
 #include "core/tuner_model.hpp"
 #include "online/online_tuner.hpp"
 #include "online/sample_buffer.hpp"
@@ -71,17 +83,13 @@ struct TrainingConfig {
   std::vector<unsigned> thread_values = {};
 };
 
-struct KernelStats {
-  double seconds = 0.0;
-  std::int64_t invocations = 0;
-  /// Per-launch runtime distribution (always on; atomic bucket increments).
-  telemetry::Histogram launch_seconds{telemetry::duration_bounds()};
-};
-
+/// Aggregated run statistics, built on demand from the per-kernel shards
+/// (stats() returns a consistent point-in-time copy, not a live reference).
 struct RunStats {
   double total_seconds = 0.0;
   std::int64_t invocations = 0;
-  std::map<std::string, KernelStats> per_kernel;  ///< keyed by loop_id
+  /// Keyed by loop_id; heterogeneous comparator so lookups never copy keys.
+  std::map<std::string, KernelStats, std::less<>> per_kernel;
   /// Time spent evaluating models per tuned launch (Tune/Adapt modes).
   /// Histogram buckets replace the old mean-only view: stats_report prints
   /// p50/p95/p99 from here.
@@ -95,8 +103,8 @@ public:
   static Runtime& instance();
 
   // --- configuration -------------------------------------------------------
-  void set_mode(Mode mode) noexcept { mode_ = mode; }
-  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  void set_mode(Mode mode) noexcept { mode_.store(mode, std::memory_order_relaxed); }
+  [[nodiscard]] Mode mode() const noexcept { return mode_.load(std::memory_order_relaxed); }
 
   void set_timing_source(TimingSource source) noexcept { timing_ = source; }
   [[nodiscard]] TimingSource timing_source() const noexcept { return timing_; }
@@ -127,21 +135,48 @@ public:
   }
 
   // --- models --------------------------------------------------------------
+  // Each setter compiles the model and publishes a fresh immutable
+  // ModelSnapshot by atomic swap; in-flight launches keep reading the
+  // snapshot they started with.
   void set_policy_model(TunerModel model);
   void set_chunk_model(TunerModel model);
   void set_threads_model(TunerModel model);
   void clear_models() noexcept;
-  [[nodiscard]] bool has_policy_model() const noexcept { return policy_model_.has_value(); }
-  [[nodiscard]] bool has_chunk_model() const noexcept { return chunk_model_.has_value(); }
-  [[nodiscard]] bool has_threads_model() const noexcept { return threads_model_.has_value(); }
-  [[nodiscard]] const TunerModel& policy_model() const { return policy_model_.value(); }
+  [[nodiscard]] bool has_policy_model() const noexcept;
+  [[nodiscard]] bool has_chunk_model() const noexcept;
+  [[nodiscard]] bool has_threads_model() const noexcept;
+  /// The deployed policy model. Valid until the caller's next launch or
+  /// model mutation on this thread (the thread-cached snapshot keeps it
+  /// alive). Throws when no policy model is loaded.
+  [[nodiscard]] const TunerModel& policy_model() const;
 
   void load_policy_model_file(const std::string& path) { set_policy_model(TunerModel::load_file(path)); }
   void load_chunk_model_file(const std::string& path) { set_chunk_model(TunerModel::load_file(path)); }
 
+  // --- per-kernel contexts --------------------------------------------------
+  /// Resolve (and cache on the handle) the kernel's context. The first call
+  /// per handle takes the context-map lock; every later call is one atomic
+  /// load.
+  [[nodiscard]] KernelContext& context_for(const KernelHandle& kernel) {
+    if (KernelContext* context = kernel.cached_context()) return *context;
+    KernelContext& context = context_for_id(kernel.loop_id());
+    kernel.cache_context(&context);
+    return context;
+  }
+  /// Resolve a context by loop id (creating it on first use). Contexts are
+  /// never destroyed, so the returned reference stays valid for the process
+  /// lifetime.
+  [[nodiscard]] KernelContext& context_for_id(std::string_view loop_id);
+
   // --- results -------------------------------------------------------------
-  [[nodiscard]] const RunStats& stats() const noexcept { return stats_; }
-  void reset_stats() noexcept { stats_ = RunStats{}; }
+  /// Point-in-time aggregate of every kernel shard. Safe to call while other
+  /// threads launch (their charges land in the shards; this reads a relaxed
+  /// snapshot).
+  [[nodiscard]] RunStats stats() const;
+  /// Zero every shard and the decision-latency histogram. Safe to call
+  /// concurrently with launches (in-flight charges land in the zeroed
+  /// counters, never in freed memory).
+  void reset_stats() noexcept;
 
   /// Oldest-first copy of the buffered training samples. (The live buffer is
   /// bounded and shared with the background retrainer, so callers get a
@@ -156,10 +191,14 @@ public:
 
   // --- online adaptation (Mode::Adapt) --------------------------------------
   /// The adaptation loop (created on first use; shares the sample buffer).
+  /// Creation is thread-safe; the tuner's own methods are serialized by the
+  /// runtime's online lock on the dispatch path.
   [[nodiscard]] online::OnlineTuner& online();
   /// Replace the adaptation configuration (waits for in-flight retrains).
   void configure_online(online::OnlineConfig config);
-  [[nodiscard]] bool has_online() const noexcept { return online_ != nullptr; }
+  [[nodiscard]] bool has_online() const noexcept {
+    return online_ptr_.load(std::memory_order_acquire) != nullptr;
+  }
 
   // --- model quality (telemetry on, Tune/Adapt modes) -----------------------
   /// Per-kernel quality counters: online accuracy vs the best-known variant,
@@ -177,23 +216,35 @@ public:
   [[nodiscard]] ClusterAccountant* cluster_accountant() const noexcept { return accountant_; }
 
   /// Reset everything (mode, models, stats, records, counters). For tests.
+  /// Kernel contexts are reset in place, never destroyed, so pointers cached
+  /// on static KernelHandles stay valid across resets.
   void reset();
 
   // --- hooks (called by apollo::forall) -------------------------------------
   /// Decide execution parameters for this launch (and arm the stopwatch when
   /// measuring wall-clock).
-  ModelParams begin(const KernelHandle& kernel, const raja::IndexSet& iset);
+  ModelParams begin(KernelContext& context, const KernelHandle& kernel,
+                    const raja::IndexSet& iset);
+  ModelParams begin(const KernelHandle& kernel, const raja::IndexSet& iset) {
+    return begin(context_for(kernel), kernel, iset);
+  }
 
   /// Account for a finished launch: charge stats and, in Record mode, emit
   /// training samples.
-  void end(const KernelHandle& kernel, const raja::IndexSet& iset, const ModelParams& params);
+  void end(KernelContext& context, const KernelHandle& kernel, const raja::IndexSet& iset,
+           const ModelParams& params);
+  void end(const KernelHandle& kernel, const raja::IndexSet& iset, const ModelParams& params) {
+    end(context_for(kernel), kernel, iset, params);
+  }
 
   /// Account for a loop in a physics package that has NOT been ported to
   /// RAJA/Apollo (ARES only has one ported package): charges its modeled
   /// runtime to the stats (and cluster accountant) with no tuning decision
   /// and no training sample. No-op under wall-clock timing, where such work
-  /// is already inside the measured interval.
+  /// is already inside the measured interval. Callers on a steady path can
+  /// resolve the context once via context_for_id and use the overload.
   void charge_external(const std::string& loop_id, const sim::CostQuery& query);
+  void charge_external(KernelContext& context, const sim::CostQuery& query);
 
   /// Feature resolver used by the tuner (exposed for tests): maps a feature
   /// name to its raw value for this launch.
@@ -204,103 +255,97 @@ public:
 private:
   Runtime();
 
-  /// One feature of a loaded model, pre-resolved so tune-time evaluation
-  /// does no string matching: the source is fixed and categorical encodings
-  /// are hash lookups. Built once when a model is loaded.
-  struct CompiledFeature {
-    enum class Source : std::uint8_t {
-      Func, FuncSize, IndexType, LoopId, NumIndices, NumSegments, Stride, Mnemonic, App
-    };
-    Source source = Source::App;
-    instr::Mnemonic mnemonic = instr::Mnemonic::count_;
-    std::string key;  ///< blackboard attribute name (App source)
-    std::unordered_map<std::string, double> dictionary;  ///< categorical codes
-  };
+  /// The thread's view of the current model snapshot (may be null). One
+  /// relaxed epoch load per call in the steady state; the models mutex is
+  /// taken only when a new snapshot was published since this thread's last
+  /// look.
+  [[nodiscard]] const std::shared_ptr<const ModelSnapshot>& current_models() const;
+  /// Publish `next` as the current snapshot (bumps the epoch).
+  void publish_models(std::shared_ptr<const ModelSnapshot> next);
+  /// Build a new snapshot from the current one with one slot replaced.
+  void replace_model(TunerModel model, TunedParameter parameter);
 
-  [[nodiscard]] std::vector<CompiledFeature> compile_features(const TunerModel& model) const;
-  [[nodiscard]] int predict_compiled(const TunerModel& model,
-                                     const std::vector<CompiledFeature>& features,
-                                     const KernelHandle& kernel, const raja::IndexSet& iset);
+  /// Adapt hot-swap: one relaxed registry-version load per launch; on a new
+  /// version, compile the registry snapshot and publish it (pointer store).
+  /// Returns the snapshot this launch should decide with.
+  const std::shared_ptr<const ModelSnapshot>& refresh_adapt_models();
 
-  /// Shared Tune/Adapt prediction: evaluate whichever models are loaded.
-  void apply_models(ModelParams& params, const KernelHandle& kernel, const raja::IndexSet& iset);
-  /// Adapt hot-swap: poll the registry version and recompile models on change.
-  void refresh_adapt_models();
+  /// The online tuner, created on first use. Requires online_mutex_.
+  [[nodiscard]] online::OnlineTuner& online_locked();
+
+  /// Shared Tune/Adapt decision: evaluate whichever models `snapshot` holds,
+  /// time the evaluation into the decision-latency histogram, and (telemetry
+  /// on) arm the decide span + sampled introspection.
+  void tuned_decision(const ModelSnapshot* snapshot, ModelParams& params,
+                      const KernelHandle& kernel, const raja::IndexSet& iset, bool telem);
+  void apply_models(const ModelSnapshot* snapshot, ModelParams& params,
+                    const KernelHandle& kernel, const raja::IndexSet& iset);
+  void maybe_capture_decision(const ModelSnapshot& snapshot, const ModelParams& params,
+                              const KernelHandle& kernel, const raja::IndexSet& iset);
 
   [[nodiscard]] sim::CostQuery make_query(const KernelHandle& kernel, const raja::IndexSet& iset,
                                           raja::PolicyType policy, std::int64_t chunk,
                                           unsigned team = 0) const;
   [[nodiscard]] double measure_seconds(const sim::CostQuery& query);
-  void charge(const std::string& loop_id, double seconds);
   void emit_record(const KernelHandle& kernel, const raja::IndexSet& iset,
                    raja::PolicyType policy, std::int64_t chunk, double seconds,
                    unsigned team = 0);
 
-  // --- telemetry (all dormant behind one branch when telemetry is off) -----
-  /// Cached per-kernel metric handles: interned name, launch counter,
-  /// per-variant dispatch counters, decision-latency histogram. Registry
-  /// lookups are paid once per kernel (and once per new variant), never per
-  /// launch. Guarded by stats_mutex_.
-  struct KernelTelemetry {
-    const char* name = nullptr;
-    telemetry::Histogram* decision_seconds = nullptr;
-    telemetry::Gauge* accuracy = nullptr;        ///< apollo_model_accuracy
-    telemetry::Gauge* regret_seconds = nullptr;  ///< apollo_regret_seconds_total
-    std::vector<std::pair<std::uint64_t, telemetry::Counter*>> variants;
-  };
-  KernelTelemetry& kernel_telemetry_locked(const KernelHandle& kernel);
-  telemetry::Counter& variant_counter_locked(KernelTelemetry& entry, const KernelHandle& kernel,
-                                             const ModelParams& params);
-  void update_stats_locked(KernelStats& kernel_stats, double seconds);
-  /// Shared Tune/Adapt decision wrapper: times apply_models into the stats
-  /// histogram and (telemetry on) arms the decide span + sampled introspection.
-  void tuned_decision(ModelParams& params, const KernelHandle& kernel,
-                      const raja::IndexSet& iset, bool telem);
-  void maybe_capture_decision(const ModelParams& params, const KernelHandle& kernel,
-                              const raja::IndexSet& iset);
+  /// Global strided probe budget: at most one true per `stride` calls across
+  /// all kernels and threads, so the probe count stays within
+  /// tuned launches / stride + 1 process-wide.
+  [[nodiscard]] bool probe_due(std::size_t stride) noexcept {
+    if (stride == 0) return false;
+    return probe_tick_.fetch_add(1, std::memory_order_relaxed) % stride == 0;
+  }
 
-  Mode mode_ = Mode::Off;
+  // --- configuration (set before launching; not hot-path mutable) ----------
+  std::atomic<Mode> mode_{Mode::Off};
   TimingSource timing_ = TimingSource::Model;
   sim::MachineModel machine_{};
   unsigned threads_ = 0;  // 0 = machine cores
   TrainingConfig training_{};
   std::optional<raja::PolicyType> default_override_;
-  std::optional<TunerModel> policy_model_;
-  std::optional<TunerModel> chunk_model_;
-  std::optional<TunerModel> threads_model_;
-  std::vector<CompiledFeature> policy_features_;
-  std::vector<CompiledFeature> chunk_features_;
-  std::vector<CompiledFeature> threads_features_;
-  std::vector<double> feature_buffer_;
-
   bool execute_selected_ = true;
   ClusterAccountant* accountant_ = nullptr;
-  /// charge() may be reached from concurrent application threads; the sample
-  /// counter additionally feeds the background retrainer's wait paths.
-  std::mutex stats_mutex_;
-  RunStats stats_{};
+
+  // --- model snapshot (RCU: epoch + mutex-guarded publish) ------------------
+  mutable std::mutex models_mutex_;
+  std::shared_ptr<const ModelSnapshot> models_;  ///< models_mutex_
+  std::atomic<std::uint64_t> model_epoch_{1};
+  /// Registry generation currently compiled (Adapt); reset by configure_online.
+  std::atomic<std::uint64_t> adapt_version_{0};
+
+  // --- per-kernel contexts --------------------------------------------------
+  mutable std::mutex contexts_mutex_;
+  /// Node-based and append-only: context addresses are stable for the
+  /// process lifetime. Heterogeneous comparator: lookups by string_view.
+  std::map<std::string, std::unique_ptr<KernelContext>, std::less<>> contexts_;
+
+  /// Always-on decision-latency distribution (atomic bucket increments).
+  telemetry::Histogram decision_latency_{telemetry::duration_bounds()};
+
   online::SampleBuffer records_{online::kDefaultSampleCapacity};
   std::atomic<std::uint64_t> sample_counter_{0};
-  perf::Stopwatch stopwatch_{};
+  std::atomic<std::uint64_t> probe_tick_{0};
 
-  std::unique_ptr<online::OnlineTuner> online_;
-  std::uint64_t adapt_version_ = 0;  ///< registry version currently compiled
-
-  std::unordered_map<std::string, KernelTelemetry> kernel_telemetry_;  ///< stats_mutex_
-  const std::string* last_telemetry_key_ = nullptr;  ///< one-entry lookup cache (stats_mutex_)
-  KernelTelemetry* last_telemetry_ = nullptr;
-
-  /// Online model-quality accounting (stats_mutex_). The probe rotor cycles
-  /// ground-truth probes round-robin over the non-executed variants.
-  telemetry::QualityAccountant quality_;
-  std::uint64_t probe_rotor_ = 0;
+  // --- online adaptation ----------------------------------------------------
+  /// Serializes OnlineTuner calls (exploration, drift observation, retrain
+  /// triggers) — the tuner itself is single-threaded by contract. The tuned
+  /// decision does not take this lock; only Adapt-mode bookkeeping does.
+  std::mutex online_mutex_;
+  std::unique_ptr<online::OnlineTuner> online_;  ///< online_mutex_ (creation)
+  std::atomic<online::OnlineTuner*> online_ptr_{nullptr};
 };
 
-/// The application-facing execution method: decide, run, account.
+/// The application-facing execution method: decide, run, account. The
+/// kernel's context is resolved once (atomic handle cache) and passed through
+/// both hooks.
 template <typename Body>
 void forall(const KernelHandle& kernel, const raja::IndexSet& iset, Body&& body) {
   auto& runtime = Runtime::instance();
-  const ModelParams params = runtime.begin(kernel, iset);
+  KernelContext& context = runtime.context_for(kernel);
+  const ModelParams params = runtime.begin(context, kernel, iset);
   if (runtime.execute_selected()) {
     raja::apollo::policySwitcher(params.policy, params.chunk_size, [&](auto exec) {
       if constexpr (std::is_same_v<decltype(exec), raja::omp_parallel_for_exec>) {
@@ -311,7 +356,7 @@ void forall(const KernelHandle& kernel, const raja::IndexSet& iset, Body&& body)
   } else {
     raja::forall(raja::seq_exec{}, iset, body);
   }
-  runtime.end(kernel, iset, params);
+  runtime.end(context, kernel, iset, params);
 }
 
 /// Convenience overload for a contiguous [0, n) range.

@@ -72,6 +72,13 @@ struct OnlineConfig {
   ExplorerConfig explorer;
 };
 
+/// Threading contract: the per-launch methods (maybe_explore, observe,
+/// observe_probe, should_record_sample, maybe_retrain, on_models_swapped)
+/// mutate unsynchronized state and must be externally serialized — the
+/// Runtime holds its online lock around every call, so concurrent
+/// application threads in Mode::Adapt are safe. The registry and sample
+/// buffer are internally thread-safe (the background Retrainer reads them
+/// directly); status() reads are serialized the same way.
 class OnlineTuner {
 public:
   /// `buffer` is the runtime's live sample sink; not owned.

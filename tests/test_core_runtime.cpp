@@ -351,3 +351,41 @@ TEST_F(RuntimeTest, ModeledTimeTracksPolicyChoice) {
   const double seq_cost = rt.stats().total_seconds;
   EXPECT_GT(omp_cost / seq_cost, 20.0);
 }
+
+TEST_F(RuntimeTest, KernelContextIsCachedAndStableAcrossReset) {
+  auto& rt = Runtime::instance();
+  KernelContext& context = rt.context_for(small_kernel());
+  // The handle now carries the resolved context: later launches skip the map.
+  EXPECT_EQ(small_kernel().cached_context(), &context);
+  EXPECT_EQ(&rt.context_for(small_kernel()), &context);
+  // Heterogeneous lookup resolves the same shard without copying the key.
+  EXPECT_EQ(&rt.context_for_id(std::string_view{"test:small"}), &context);
+  forall(small_kernel(), 10, [](raja::Index) {});
+  EXPECT_EQ(context.invocations(), 1);
+  rt.reset();
+  // Contexts are reset in place, never destroyed: the cached pointer stays
+  // valid and the counters restart from zero.
+  EXPECT_EQ(&rt.context_for(small_kernel()), &context);
+  EXPECT_EQ(context.invocations(), 0);
+}
+
+TEST_F(RuntimeTest, StatsSkipIdleContextsAfterReset) {
+  auto& rt = Runtime::instance();
+  forall(small_kernel(), 10, [](raja::Index) {});
+  EXPECT_EQ(rt.stats().per_kernel.count("test:small"), 1u);
+  rt.reset_stats();
+  // The context persists, but a kernel this run never launched must not
+  // appear in the aggregate.
+  EXPECT_EQ(rt.stats().per_kernel.count("test:small"), 0u);
+  EXPECT_EQ(rt.stats().invocations, 0);
+}
+
+TEST_F(RuntimeTest, StatsReturnsConsistentPointInTimeCopy) {
+  auto& rt = Runtime::instance();
+  forall(small_kernel(), 10, [](raja::Index) {});
+  const RunStats before = rt.stats();
+  forall(small_kernel(), 10, [](raja::Index) {});
+  // The earlier copy is unaffected by later launches.
+  EXPECT_EQ(before.invocations, 1);
+  EXPECT_EQ(rt.stats().invocations, 2);
+}
