@@ -1,0 +1,257 @@
+// Fork-join round-trip latency: the per-launch overhead every apollo::forall
+// pays before the first loop iteration runs. Measures parallel_for
+// round-trips (publish + execute + join) across N and team size for two
+// substrates:
+//
+//   epoch    the current executor — per-worker epoch slots, caller runs
+//            share 0, spin-then-park join, block-trampoline body dispatch;
+//   condvar  a faithful reproduction of the pre-rewrite pool — global
+//            mutex, condvar broadcast to every worker, parked caller, one
+//            std::function call per index — kept here as the baseline the
+//            CI gate compares against.
+//
+// Emits p50/p99/mean nanoseconds per (impl, n, team) row and writes
+// BENCH_forkjoin.json; CI gates small-N (N=1k) epoch p50 at >= 3x better
+// than condvar for the 8-member team when the runner has >= 8 cores, else
+// for the largest team the hardware can host (a 1-core runner cannot
+// express launch concurrency: both substrates collapse to one context
+// switch per member on the same core, and the ratio converges toward the
+// per-index-dispatch win alone as the team grows).
+//
+// Usage: micro_forkjoin_latency [--samples N] [--out FILE] [--quick]
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "telemetry/build_info.hpp"
+
+namespace {
+
+// --- baseline: the pre-rewrite mutex/condvar-broadcast pool ----------------
+
+class CondvarPool {
+public:
+  explicit CondvarPool(unsigned threads) {
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~CondvarPool() {
+    {
+      std::lock_guard lock(mutex_);
+      shutting_down_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  [[nodiscard]] unsigned thread_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+                    const std::function<void(std::int64_t)>& body, unsigned team = 0) {
+    if (end <= begin) return;
+    const unsigned effective =
+        team == 0 ? thread_count() : std::min(std::max(team, 1u), thread_count());
+    if (effective == 1 || thread_count() == 1) {
+      run_share(Job{&body, begin, end, chunk, 1}, 0, 1);
+      return;
+    }
+    std::unique_lock lock(mutex_);
+    work_done_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = Job{&body, begin, end, chunk, effective};
+    remaining_ = thread_count();
+    ++epoch_;
+    work_ready_.notify_all();
+    work_done_.wait(lock, [&] { return remaining_ == 0; });
+  }
+
+private:
+  struct Job {
+    const std::function<void(std::int64_t)>* body = nullptr;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t chunk = 1;
+    unsigned team = 0;
+  };
+
+  void run_share(const Job& job, unsigned worker_index, unsigned worker_total) {
+    const std::int64_t n = job.end - job.begin;
+    if (n <= 0) return;
+    std::int64_t chunk = job.chunk;
+    if (chunk <= 0) chunk = (n + worker_total - 1) / worker_total;
+    const std::int64_t num_blocks = (n + chunk - 1) / chunk;
+    for (std::int64_t block = worker_index; block < num_blocks; block += worker_total) {
+      const std::int64_t lo = job.begin + block * chunk;
+      const std::int64_t hi = std::min(job.end, lo + chunk);
+      for (std::int64_t i = lo; i < hi; ++i) (*job.body)(i);
+    }
+  }
+
+  void worker_loop(unsigned worker_index) {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock lock(mutex_);
+        work_ready_.wait(lock, [&] { return shutting_down_ || epoch_ != seen_epoch; });
+        if (shutting_down_) return;
+        seen_epoch = epoch_;
+        job = job_;
+      }
+      if (worker_index < job.team) run_share(job, worker_index, job.team);
+      {
+        std::lock_guard lock(mutex_);
+        if (--remaining_ == 0) work_done_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Job job_;
+  std::uint64_t epoch_ = 0;
+  unsigned remaining_ = 0;
+  bool shutting_down_ = false;
+};
+
+// --- measurement ------------------------------------------------------------
+
+struct Row {
+  const char* impl;
+  std::int64_t n;
+  unsigned team;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+  double mean_ns = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// The kernel body: one store + add per index, enough that the compiler
+/// cannot elide the loop but launch overhead still dominates at small N.
+struct BodyData {
+  std::vector<double> out;
+};
+
+template <typename Launch>
+Row measure(const char* impl, std::int64_t n, unsigned team, int samples, Launch&& launch) {
+  Row row{impl, n, team, 0.0, 0.0, 0.0};
+  std::vector<double> ns;
+  ns.reserve(static_cast<std::size_t>(samples));
+  for (int warm = 0; warm < samples / 10 + 8; ++warm) launch();
+  for (int s = 0; s < samples; ++s) {
+    const auto t0 = std::chrono::steady_clock::now();
+    launch();
+    const auto t1 = std::chrono::steady_clock::now();
+    ns.push_back(std::chrono::duration<double, std::nano>(t1 - t0).count());
+  }
+  std::sort(ns.begin(), ns.end());
+  row.p50_ns = percentile(ns, 0.50);
+  row.p99_ns = percentile(ns, 0.99);
+  double total = 0.0;
+  for (const double v : ns) total += v;
+  row.mean_ns = total / static_cast<double>(ns.size());
+  return row;
+}
+
+void trampoline(const void* body, std::int64_t lo, std::int64_t hi) {
+  auto& data = *const_cast<BodyData*>(static_cast<const BodyData*>(body));
+  for (std::int64_t i = lo; i < hi; ++i) data.out[static_cast<std::size_t>(i)] += 1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int samples = 600;
+  std::string out_path = "BENCH_forkjoin.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* { return a + 1 < argc ? argv[++a] : nullptr; };
+    if (arg == "--version") {
+      std::printf("%s\n", apollo::build_info_string().c_str());
+      return 0;
+    } else if (arg == "--samples") {
+      if (const char* v = next()) samples = std::atoi(v);
+    } else if (arg == "--out") {
+      if (const char* v = next()) out_path = v;
+    } else if (arg == "--quick") {
+      samples = 150;
+    } else {
+      std::fprintf(stderr, "usage: micro_forkjoin_latency [--samples N] [--out FILE] [--quick]\n");
+      return 2;
+    }
+  }
+
+  const std::int64_t sizes[] = {1000, 8192, 65536, 1048576};
+  const unsigned teams[] = {2, 4, 8};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  std::printf("fork-join round-trip latency (%d samples/config, hw=%u, chunk=default)\n",
+              samples, hw);
+  std::printf("%-8s %9s %5s %12s %12s %12s\n", "impl", "n", "team", "p50", "p99", "mean");
+
+  std::vector<Row> rows;
+  for (const unsigned team : teams) {
+    // One pool per team size, reused across N so worker threads are warm.
+    apollo::par::ThreadPool epoch_pool(team);
+    CondvarPool condvar_pool(team);
+    for (const std::int64_t n : sizes) {
+      BodyData data;
+      data.out.assign(static_cast<std::size_t>(n), 0.0);
+      rows.push_back(measure("epoch", n, team, samples, [&] {
+        epoch_pool.parallel_for_blocks(0, n, 0, &trampoline, &data);
+      }));
+      const std::function<void(std::int64_t)> fn = [&](std::int64_t i) {
+        data.out[static_cast<std::size_t>(i)] += 1.0;
+      };
+      rows.push_back(measure("condvar", n, team, samples,
+                             [&] { condvar_pool.parallel_for(0, n, 0, fn); }));
+      for (std::size_t r = rows.size() - 2; r < rows.size(); ++r) {
+        std::printf("%-8s %9lld %5u %10.1fus %10.1fus %10.1fus\n", rows[r].impl,
+                    static_cast<long long>(rows[r].n), rows[r].team, rows[r].p50_ns / 1e3,
+                    rows[r].p99_ns / 1e3, rows[r].mean_ns / 1e3);
+      }
+    }
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "micro_forkjoin_latency: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"context\": {\"hardware_concurrency\": " << hw << ", \"samples\": " << samples
+      << ", \"build\": \"" << apollo::build_info_string() << "\"},\n  \"benchmarks\": [\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << "    {\"impl\": \"" << rows[r].impl << "\", \"n\": " << rows[r].n
+        << ", \"team\": " << rows[r].team << ", \"p50_ns\": " << rows[r].p50_ns
+        << ", \"p99_ns\": " << rows[r].p99_ns << ", \"mean_ns\": " << rows[r].mean_ns << "}"
+        << (r + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

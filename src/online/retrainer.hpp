@@ -89,7 +89,8 @@ private:
   std::string last_error_;
   /// Dedicated pool: destroying the Retrainer joins any in-flight retrain,
   /// so a publish can never touch freed registry state. Declared last so it
-  /// is destroyed first.
+  /// is destroyed first. A team of one spawns no fork-join workers — the
+  /// only thread here is the async background lane the retrain runs on.
   par::ThreadPool pool_{1};
 };
 

@@ -1,37 +1,121 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
-#include <cstdlib>
+#include <chrono>
+
+#include "telemetry/env.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace apollo::par {
 
 namespace {
 
+// The pool (if any) whose region the current thread is executing: set for
+// the lifetime of a worker thread and around the caller's own share, so a
+// nested parallel_for on the same pool runs inline instead of deadlocking
+// on job serialization.
+thread_local const ThreadPool* t_active_pool = nullptr;
+
 unsigned default_thread_count() {
-  if (const char* env = std::getenv("APOLLO_NUM_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) return static_cast<unsigned>(parsed);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(
+      telemetry::env_int64("APOLLO_NUM_THREADS", static_cast<std::int64_t>(hw), 1));
+}
+
+std::int64_t default_spin_us() {
+  // Bounded so a typo'd huge value cannot turn the pool into a busy loop for
+  // seconds per join; 0 parks immediately.
+  constexpr std::int64_t kMaxSpinUs = 100000;
+  const std::int64_t us = telemetry::env_int64("APOLLO_SPIN_US", 50, 0);
+  return std::min(us, kMaxSpinUs);
+}
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Bounded wait for `done()` before falling back to the condvar park.
+/// On a dedicated core (team fits the machine) spins with the pause
+/// instruction; when oversubscribed spins with sched_yield, donating the
+/// quantum to the team member being waited on — a pause-spinner there would
+/// hold the core hostage for the whole budget. Returns true if `done()`
+/// became true within `budget_us` microseconds.
+template <typename Done>
+bool spin_wait(const Done& done, std::int64_t budget_us, bool yield) {
+  if (budget_us <= 0) return false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(budget_us);
+  if (yield) {
+    while (!done()) {
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::yield();
+    }
+    return true;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
+  do {
+    for (int i = 0; i < 64; ++i) {
+      if (done()) return true;
+      cpu_relax();
+    }
+  } while (std::chrono::steady_clock::now() < deadline);
+  return done();
+}
+
+/// Trampoline for the std::function compatibility entry point.
+void function_block(const void* body, std::int64_t lo, std::int64_t hi) {
+  const auto& fn = *static_cast<const std::function<void(std::int64_t)>*>(body);
+  for (std::int64_t i = lo; i < hi; ++i) fn(i);
 }
 
 }  // namespace
 
-ThreadPool::ThreadPool(unsigned threads) {
-  const unsigned count = threads > 0 ? threads : default_thread_count();
-  workers_.reserve(count);
-  for (unsigned i = 0; i < count; ++i) {
-    workers_.emplace_back([this, i] { worker_loop(i); });
+ThreadPool::ThreadPool(unsigned threads, std::int64_t spin_us) {
+  team_size_ = threads > 0 ? threads : default_thread_count();
+  spin_us_ = spin_us >= 0 ? spin_us : default_spin_us();
+  yield_spin_ = team_size_ > std::max(1u, std::thread::hardware_concurrency());
+
+  auto& registry = telemetry::MetricsRegistry::instance();
+  launches_ = &registry.counter("apollo_pool_launches_total",
+                                "Multi-member parallel_for fork-join launches");
+  inline_runs_ = &registry.counter("apollo_pool_inline_total",
+                                   "parallel_for launches run inline on the caller "
+                                   "(team of one or reentrant)");
+  wakeups_ = &registry.counter("apollo_pool_wakeups_total",
+                               "Parked pool workers notified by a job publication");
+  spin_completions_ = &registry.counter("apollo_pool_spin_completions_total",
+                                        "Fork-join waits satisfied within the spin budget");
+  park_completions_ = &registry.counter("apollo_pool_park_completions_total",
+                                        "Fork-join waits that parked on a condvar");
+
+  const unsigned worker_count = team_size_ - 1;
+  if (worker_count > 0) {
+    slots_ = std::make_unique<WorkerSlot[]>(worker_count);
+    workers_.reserve(worker_count);
+    for (unsigned i = 0; i < worker_count; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
-    shutting_down_ = true;
+    std::lock_guard lock(launch_mutex_);
+    shutting_down_.store(true, std::memory_order_seq_cst);
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      WorkerSlot& slot = slots_[w];
+      slot.epoch.store(~std::uint64_t{0}, std::memory_order_seq_cst);
+      {
+        std::lock_guard slot_lock(slot.mutex);
+      }
+      slot.cv.notify_one();
+    }
   }
-  work_ready_.notify_all();
   for (auto& worker : workers_) worker.join();
   {
     std::lock_guard lock(async_mutex_);
@@ -46,41 +130,175 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void ThreadPool::run_share(const Job& job, unsigned worker_index, unsigned worker_total) {
+bool ThreadPool::inside_region() const noexcept { return t_active_pool == this; }
+
+PoolStats ThreadPool::stats() {
+  auto& registry = telemetry::MetricsRegistry::instance();
+  PoolStats s;
+  s.launches = registry.counter("apollo_pool_launches_total", "").value();
+  s.inline_runs = registry.counter("apollo_pool_inline_total", "").value();
+  s.wakeups = registry.counter("apollo_pool_wakeups_total", "").value();
+  s.spin_completions = registry.counter("apollo_pool_spin_completions_total", "").value();
+  s.park_completions = registry.counter("apollo_pool_park_completions_total", "").value();
+  return s;
+}
+
+void ThreadPool::run_share(const Job& job, unsigned member, unsigned team) {
   const std::int64_t n = job.end - job.begin;
   if (n <= 0) return;
   std::int64_t chunk = job.chunk;
-  if (chunk <= 0) chunk = (n + worker_total - 1) / worker_total;  // OpenMP default
+  if (chunk <= 0) chunk = (n + team - 1) / team;  // OpenMP default
   const std::int64_t num_blocks = (n + chunk - 1) / chunk;
-  for (std::int64_t block = worker_index; block < num_blocks; block += worker_total) {
+  for (std::int64_t block = member; block < num_blocks; block += team) {
     const std::int64_t lo = job.begin + block * chunk;
     const std::int64_t hi = std::min(job.end, lo + chunk);
-    for (std::int64_t i = lo; i < hi; ++i) (*job.body)(i);
+    job.block(job.body, lo, hi);
   }
 }
 
-void ThreadPool::worker_loop(unsigned worker_index) {
-  std::uint64_t seen_epoch = 0;
+void ThreadPool::record_error() noexcept {
+  std::lock_guard lock(error_mutex_);
+  if (!first_error_) first_error_ = std::current_exception();
+}
+
+// Publication side of the slot protocol. The seq_cst epoch store and parked
+// load pair with the worker's seq_cst parked store and epoch load (inside
+// the condvar predicate): in the seq_cst total order either this store
+// precedes the worker's predicate load — the worker sees the new epoch and
+// never sleeps — or the worker's parked store precedes our load — we see
+// parked and notify. Taking (and releasing) the slot mutex before notifying
+// guarantees the worker is actually inside wait(), not between its predicate
+// check and the sleep.
+void ThreadPool::publish_to(WorkerSlot& slot, std::uint64_t epoch) {
+  slot.epoch.store(epoch, std::memory_order_seq_cst);
+  if (slot.parked.load(std::memory_order_seq_cst)) {
+    {
+      std::lock_guard slot_lock(slot.mutex);
+    }
+    slot.cv.notify_one();
+    wakeups_->inc();
+  }
+}
+
+void ThreadPool::worker_loop(unsigned slot_index) {
+  t_active_pool = this;  // a nested parallel_for from a share runs inline
+  WorkerSlot& slot = slots_[slot_index];
+  std::uint64_t seen = 0;
   for (;;) {
-    Job job;
-    {
-      std::unique_lock lock(mutex_);
-      work_ready_.wait(lock, [&] { return shutting_down_ || epoch_ != seen_epoch; });
-      if (shutting_down_) return;
-      seen_epoch = epoch_;
-      job = job_;
+    // Wait for a new epoch: bounded spin, then park on the slot condvar.
+    std::uint64_t next = slot.epoch.load(std::memory_order_acquire);
+    if (next == seen) {
+      const bool spun = spin_wait(
+          [&] {
+            next = slot.epoch.load(std::memory_order_acquire);
+            return next != seen;
+          },
+          spin_us_, yield_spin_);
+      if (spun) {
+        spin_completions_->inc();
+      } else {
+        std::unique_lock slot_lock(slot.mutex);
+        slot.parked.store(true, std::memory_order_seq_cst);
+        slot.cv.wait(slot_lock,
+                     [&] { return slot.epoch.load(std::memory_order_seq_cst) != seen; });
+        slot.parked.store(false, std::memory_order_relaxed);
+        next = slot.epoch.load(std::memory_order_acquire);
+        park_completions_->inc();
+      }
+    } else {
+      spin_completions_->inc();
     }
+    if (shutting_down_.load(std::memory_order_acquire)) return;
+    seen = next;
+
+    const Job job = job_;  // synchronized by the acquire epoch load
     try {
-      if (worker_index < job.team) run_share(job, worker_index, job.team);
+      run_share(job, slot_index + 1, job.team);
     } catch (...) {
-      std::lock_guard lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
+      record_error();
     }
-    {
-      std::lock_guard lock(mutex_);
-      if (--remaining_ == 0) work_done_.notify_all();
+    // Last member out wakes the caller iff it parked (same protocol as the
+    // worker slots, with the seq_cst RMW standing in for the epoch store).
+    if (remaining_.fetch_sub(1, std::memory_order_seq_cst) == 1) {
+      if (caller_parked_.load(std::memory_order_seq_cst)) {
+        {
+          std::lock_guard done_lock(done_mutex_);
+        }
+        done_cv_.notify_one();
+      }
     }
   }
+}
+
+void ThreadPool::parallel_for_blocks(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+                                     BlockFn block, const void* body, unsigned team) {
+  if (end <= begin) return;
+  const unsigned effective = team == 0 ? team_size_ : std::min(std::max(team, 1u), team_size_);
+  if (effective == 1 || t_active_pool == this) {
+    // A one-member team executes its blocks in ascending order — one
+    // contiguous sweep. A nested region (called from a share on this pool)
+    // runs the same way: the outer region's members are busy, and waiting
+    // for them here would deadlock the join.
+    inline_runs_->inc();
+    block(body, begin, end);
+    return;
+  }
+
+  std::exception_ptr error;
+  {
+    std::unique_lock launch_lock(launch_mutex_);
+    job_ = Job{block, body, begin, end, chunk, effective};
+    {
+      std::lock_guard error_lock(error_mutex_);
+      first_error_ = nullptr;
+    }
+    remaining_.store(static_cast<int>(effective) - 1, std::memory_order_relaxed);
+    const std::uint64_t epoch = ++epoch_counter_;
+    for (unsigned w = 0; w + 1 < effective; ++w) publish_to(slots_[w], epoch);
+    launches_->inc();
+
+    // The caller is member 0: run our share instead of sleeping through the
+    // region. Mark the pool active on this thread so a nested parallel_for
+    // from the body runs inline.
+    const ThreadPool* previous = t_active_pool;
+    t_active_pool = this;
+    try {
+      run_share(job_, 0, effective);
+    } catch (...) {
+      record_error();
+    }
+
+    // Join: spin for the same budget as the workers, then park.
+    if (remaining_.load(std::memory_order_acquire) != 0) {
+      const bool spun =
+          spin_wait([&] { return remaining_.load(std::memory_order_acquire) == 0; },
+                    spin_us_, yield_spin_);
+      if (spun) {
+        spin_completions_->inc();
+      } else {
+        std::unique_lock done_lock(done_mutex_);
+        caller_parked_.store(true, std::memory_order_seq_cst);
+        done_cv_.wait(done_lock,
+                      [&] { return remaining_.load(std::memory_order_seq_cst) == 0; });
+        caller_parked_.store(false, std::memory_order_relaxed);
+        park_completions_->inc();
+      }
+    } else {
+      spin_completions_->inc();
+    }
+    t_active_pool = previous;
+
+    {
+      std::lock_guard error_lock(error_mutex_);
+      error = first_error_;
+    }
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t chunk,
+                              const std::function<void(std::int64_t)>& body, unsigned team) {
+  parallel_for_blocks(begin, end, chunk, &function_block, &body, team);
 }
 
 void ThreadPool::submit(std::function<void()> job) {
@@ -133,32 +351,6 @@ void ThreadPool::async_loop() {
     }
     async_idle_.notify_all();
   }
-}
-
-void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end, std::int64_t chunk,
-                              const std::function<void(std::int64_t)>& body, unsigned team) {
-  if (end <= begin) return;
-  const unsigned effective =
-      team == 0 ? thread_count() : std::min(std::max(team, 1u), thread_count());
-  if (effective == 1 || thread_count() == 1) {
-    // A one-thread team executes its whole share in order; run it inline on
-    // the caller and skip the wakeup round-trip entirely.
-    run_share(Job{&body, begin, end, chunk, 1}, 0, 1);
-    return;
-  }
-  std::exception_ptr error;
-  {
-    std::unique_lock lock(mutex_);
-    work_done_.wait(lock, [&] { return remaining_ == 0; });  // serialize jobs
-    job_ = Job{&body, begin, end, chunk, effective};
-    first_error_ = nullptr;
-    remaining_ = thread_count();
-    ++epoch_;
-    work_ready_.notify_all();
-    work_done_.wait(lock, [&] { return remaining_ == 0; });
-    error = first_error_;
-  }
-  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace apollo::par

@@ -5,8 +5,13 @@
 // (policy, body-type) pair instantiates its own template, so the compiler can
 // inline and optimize every kernel independently — the property §II-D shows
 // is worth ~30% over a shared generic execution function.
+//
+// The parallel backends hand the pool a *block trampoline*: one monomorphic
+// `void(const void*, Index, Index)` instantiated per (segment-kind, body)
+// pair. Workers make a single indirect call per static-schedule block and the
+// per-index loop compiles — and inlines — inside the trampoline, so the
+// fork-join substrate never pays a std::function call per iteration.
 
-#include <functional>
 #include <type_traits>
 #include <utility>
 
@@ -16,6 +21,61 @@
 
 namespace raja {
 
+namespace detail {
+
+// The pool's trampoline ABI passes the body as const void*; the const_cast
+// restores the caller's original qualification (Body deduces const for const
+// callables), so mutable lambdas keep working exactly as they did when the
+// wrapper captured them by reference.
+
+template <typename Body>
+void range_block(const void* body, std::int64_t lo, std::int64_t hi) {
+  Body& b = *const_cast<Body*>(static_cast<const Body*>(body));
+  for (Index i = lo; i < hi; ++i) b(i);
+}
+
+template <typename Body>
+struct StridedBody {
+  Body* body;
+  Index begin;
+  Index stride;
+};
+
+template <typename Body>
+void strided_block(const void* ctx, std::int64_t lo, std::int64_t hi) {
+  const auto& s = *static_cast<const StridedBody<Body>*>(ctx);
+  for (Index k = lo; k < hi; ++k) (*s.body)(s.begin + k * s.stride);
+}
+
+template <typename Body>
+struct ListBody {
+  Body* body;
+  const Index* indices;
+};
+
+template <typename Body>
+void list_block(const void* ctx, std::int64_t lo, std::int64_t hi) {
+  const auto& l = *static_cast<const ListBody<Body>*>(ctx);
+  for (Index k = lo; k < hi; ++k) (*l.body)(l.indices[k]);
+}
+
+template <typename Body>
+struct SegitBody {
+  const IndexSet* iset;
+  Body* body;
+};
+
+template <typename Body>
+void segit_block(const void* ctx, std::int64_t lo, std::int64_t hi) {
+  const auto& s = *static_cast<const SegitBody<Body>*>(ctx);
+  for (Index seg = lo; seg < hi; ++seg) {
+    std::visit([&](const auto& segment) { segment.for_each(*s.body); },
+               s.iset->segment(static_cast<std::size_t>(seg)));
+  }
+}
+
+}  // namespace detail
+
 /// Sequential backend.
 template <typename Body>
 void forall(seq_exec, const IndexSet& iset, Body&& body) {
@@ -23,46 +83,42 @@ void forall(seq_exec, const IndexSet& iset, Body&& body) {
 }
 
 /// OpenMP-static backend on the owned thread pool: segments run in order,
-/// indices within a segment are dealt to threads in chunk-size blocks.
+/// indices within a segment are dealt to team members in chunk-size blocks
+/// (the caller participates as member 0).
 template <typename Body>
 void forall(omp_parallel_for_exec policy, const IndexSet& iset, Body&& body) {
+  using B = std::remove_reference_t<Body>;
   auto& pool = ::apollo::par::ThreadPool::global();
   for (std::size_t s = 0; s < iset.getNumSegments(); ++s) {
     std::visit(
         [&](const auto& seg) {
           using Seg = std::decay_t<decltype(seg)>;
           if constexpr (std::is_same_v<Seg, RangeSegment>) {
-            const std::function<void(Index)> fn = [&body](Index i) { body(i); };
-            pool.parallel_for(seg.begin, seg.end, policy.chunk, fn, policy.threads);
+            pool.parallel_for_blocks(seg.begin, seg.end, policy.chunk, &detail::range_block<B>,
+                                     &body, policy.threads);
           } else if constexpr (std::is_same_v<Seg, StridedSegment>) {
-            const Index begin = seg.begin;
-            const Index stride = seg.stride;
-            const std::function<void(Index)> fn = [&body, begin, stride](Index k) {
-              body(begin + k * stride);
-            };
-            pool.parallel_for(0, seg.size(), policy.chunk, fn, policy.threads);
+            const detail::StridedBody<B> ctx{&body, seg.begin, seg.stride};
+            pool.parallel_for_blocks(0, seg.size(), policy.chunk, &detail::strided_block<B>,
+                                     &ctx, policy.threads);
           } else {
-            const auto& indices = seg.indices;
-            const std::function<void(Index)> fn = [&body, &indices](Index k) {
-              body(indices[static_cast<std::size_t>(k)]);
-            };
-            pool.parallel_for(0, seg.size(), policy.chunk, fn, policy.threads);
+            const detail::ListBody<B> ctx{&body, seg.indices.data()};
+            pool.parallel_for_blocks(0, seg.size(), policy.chunk, &detail::list_block<B>, &ctx,
+                                     policy.threads);
           }
         },
         iset.segment(s));
   }
 }
 
-/// Segment-parallel backend: segments are dealt to threads round-robin, and
-/// each segment's indices run sequentially on its owning thread.
+/// Segment-parallel backend: segments are dealt to team members round-robin,
+/// and each segment's indices run sequentially on its owning member.
 template <typename Body>
 void forall(omp_segit_seq_exec, const IndexSet& iset, Body&& body) {
+  using B = std::remove_reference_t<Body>;
   auto& pool = ::apollo::par::ThreadPool::global();
-  const std::function<void(Index)> fn = [&](Index s) {
-    std::visit([&](const auto& seg) { seg.for_each(body); },
-               iset.segment(static_cast<std::size_t>(s)));
-  };
-  pool.parallel_for(0, static_cast<Index>(iset.getNumSegments()), 1, fn);
+  const detail::SegitBody<B> ctx{&iset, &body};
+  pool.parallel_for_blocks(0, static_cast<Index>(iset.getNumSegments()), 1,
+                           &detail::segit_block<B>, &ctx);
 }
 
 /// RAJA-style spelling: forall<exec_policy>(iset, body).

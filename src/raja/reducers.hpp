@@ -2,16 +2,43 @@
 
 // RAJA-style reduction objects: usable from forall bodies under any
 // execution policy. Like RAJA's ReduceMin/ReduceMax/ReduceSum, a reducer is
-// copyable (copies share state) so lambdas can capture it by value; updates
-// are lock-free atomics, and get() reads the combined result after forall
-// returns. LULESH's Courant/hydro timestep constraints use these.
+// copyable (copies share state) so lambdas can capture it by value; get()
+// reads the combined result after forall returns.
+//
+// Internally a reducer holds an array of cache-line-padded partial slots,
+// one per pool member (threads pick a stable slot from a process-wide id),
+// and get() combines the partials. Updates touch only the calling thread's
+// own cache line — the shared-single-atomic design this replaces turned
+// reduction-heavy kernels (LULESH's dt constraints) into a CAS storm, every
+// member hammering one cache line. Slot updates still use atomic combines,
+// so the result stays exact even if more threads than slots ever fold into
+// the same partial. LULESH's Courant/hydro timestep constraints use these.
 
 #include <atomic>
+#include <cstddef>
 #include <memory>
 
 namespace raja {
 
 namespace detail {
+
+/// Padded partial-slot count: a power of two comfortably above any pool the
+/// runtime spawns, so in practice every member owns a private slot.
+inline constexpr std::size_t kReducerSlots = 64;
+
+/// Stable per-thread slot index, assigned round-robin from a process-wide
+/// counter on the thread's first reduction.
+inline std::size_t reducer_slot_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) & (kReducerSlots - 1);
+  return slot;
+}
+
+template <typename T>
+struct alignas(64) PaddedSlot {
+  std::atomic<T> value;
+};
 
 /// Atomically combine `value` into `slot` with `better(candidate, current)`.
 template <typename T, typename Better>
@@ -22,50 +49,91 @@ void atomic_combine(std::atomic<T>& slot, T value, Better better) {
   }
 }
 
+/// Shared state for the min/max reducers: every slot starts at the initial
+/// value, so get() is simply the best across slots.
+template <typename T>
+struct SelectState {
+  explicit SelectState(T initial) {
+    for (auto& slot : slots) slot.value.store(initial, std::memory_order_relaxed);
+  }
+  PaddedSlot<T> slots[kReducerSlots];
+};
+
 }  // namespace detail
 
 template <typename T>
 class ReduceMin {
 public:
-  explicit ReduceMin(T initial) : state_(std::make_shared<std::atomic<T>>(initial)) {}
+  explicit ReduceMin(T initial) : state_(std::make_shared<detail::SelectState<T>>(initial)) {}
 
   void min(T value) const {
-    detail::atomic_combine(*state_, value, [](T a, T b) { return a < b; });
+    detail::atomic_combine(state_->slots[detail::reducer_slot_index()].value, value,
+                           [](T a, T b) { return a < b; });
   }
-  [[nodiscard]] T get() const { return state_->load(std::memory_order_relaxed); }
+  [[nodiscard]] T get() const {
+    T best = state_->slots[0].value.load(std::memory_order_relaxed);
+    for (std::size_t s = 1; s < detail::kReducerSlots; ++s) {
+      const T v = state_->slots[s].value.load(std::memory_order_relaxed);
+      if (v < best) best = v;
+    }
+    return best;
+  }
 
 private:
-  std::shared_ptr<std::atomic<T>> state_;
+  std::shared_ptr<detail::SelectState<T>> state_;
 };
 
 template <typename T>
 class ReduceMax {
 public:
-  explicit ReduceMax(T initial) : state_(std::make_shared<std::atomic<T>>(initial)) {}
+  explicit ReduceMax(T initial) : state_(std::make_shared<detail::SelectState<T>>(initial)) {}
 
   void max(T value) const {
-    detail::atomic_combine(*state_, value, [](T a, T b) { return a > b; });
+    detail::atomic_combine(state_->slots[detail::reducer_slot_index()].value, value,
+                           [](T a, T b) { return a > b; });
   }
-  [[nodiscard]] T get() const { return state_->load(std::memory_order_relaxed); }
+  [[nodiscard]] T get() const {
+    T best = state_->slots[0].value.load(std::memory_order_relaxed);
+    for (std::size_t s = 1; s < detail::kReducerSlots; ++s) {
+      const T v = state_->slots[s].value.load(std::memory_order_relaxed);
+      if (v > best) best = v;
+    }
+    return best;
+  }
 
 private:
-  std::shared_ptr<std::atomic<T>> state_;
+  std::shared_ptr<detail::SelectState<T>> state_;
 };
 
 template <typename T>
 class ReduceSum {
 public:
-  explicit ReduceSum(T initial = T{}) : state_(std::make_shared<std::atomic<T>>(initial)) {}
+  explicit ReduceSum(T initial = T{}) : state_(std::make_shared<State>(initial)) {}
 
   void add(T value) const {
-    T current = state_->load(std::memory_order_relaxed);
-    while (!state_->compare_exchange_weak(current, current + value, std::memory_order_relaxed)) {
-    }
+    // C++20 atomic fetch_add covers both integral and floating T; relaxed is
+    // enough — get() is only specified after the region completes, and the
+    // fork-join join supplies the synchronization.
+    state_->slots[detail::reducer_slot_index()].value.fetch_add(value,
+                                                               std::memory_order_relaxed);
   }
-  [[nodiscard]] T get() const { return state_->load(std::memory_order_relaxed); }
+  [[nodiscard]] T get() const {
+    T total = state_->initial;
+    for (const auto& slot : state_->slots) {
+      total += slot.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
 
 private:
-  std::shared_ptr<std::atomic<T>> state_;
+  struct State {
+    explicit State(T init) : initial(init) {
+      for (auto& slot : slots) slot.value.store(T{}, std::memory_order_relaxed);
+    }
+    T initial;
+    detail::PaddedSlot<T> slots[detail::kReducerSlots];
+  };
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace raja

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <map>
 #include <mutex>
 #include <numeric>
 #include <set>
@@ -205,6 +207,238 @@ TEST_P(ThreadSweep, SumIndependentOfThreadCount) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep, ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+// --- Fork-join executor: caller participation, determinism, reentrancy ----
+
+TEST(ForkJoin, CallerExecutesShareZero) {
+  // The caller is team member 0: block 0 must run on the calling thread, not
+  // be handed to a pool worker while the caller sleeps.
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::mutex m;
+  std::map<std::int64_t, std::thread::id> owner;
+  pool.parallel_for(0, 16, 4, [&](std::int64_t i) {
+    std::lock_guard lock(m);
+    owner[i] = std::this_thread::get_id();
+  });
+  // chunk=4, team=4: block 0 = [0,4) belongs to member 0 = the caller.
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(owner[i], caller) << "index " << i;
+}
+
+TEST(ForkJoin, StaticScheduleMatchesOpenMPSpecAcrossChunkAndTeamSweeps) {
+  // Bit-identical block->member map to OpenMP schedule(static, chunk): two
+  // indices share a thread iff their blocks k1, k2 satisfy k1 % T == k2 % T,
+  // and member 0 is always the caller.
+  ThreadPool pool(4);
+  const std::int64_t n = 211;  // prime: exercises ragged tails
+  const auto caller = std::this_thread::get_id();
+  for (const std::int64_t chunk : {std::int64_t{1}, std::int64_t{2}, std::int64_t{3},
+                                   std::int64_t{7}, std::int64_t{16}, std::int64_t{64},
+                                   std::int64_t{0}}) {
+    for (const unsigned team : {1u, 2u, 3u, 4u}) {
+      std::vector<std::thread::id> owner(static_cast<std::size_t>(n));
+      std::mutex m;
+      pool.parallel_for(
+          0, n, chunk,
+          [&](std::int64_t i) {
+            std::lock_guard lock(m);
+            owner[static_cast<std::size_t>(i)] = std::this_thread::get_id();
+          },
+          team);
+      const std::int64_t effective_chunk =
+          chunk > 0 ? chunk : (n + team - 1) / team;  // OpenMP default split
+      std::map<std::int64_t, std::thread::id> member_thread;  // k % T -> thread
+      for (std::int64_t i = 0; i < n; ++i) {
+        const std::int64_t member = (i / effective_chunk) % team;
+        const auto [it, inserted] =
+            member_thread.emplace(member, owner[static_cast<std::size_t>(i)]);
+        EXPECT_EQ(it->second, owner[static_cast<std::size_t>(i)])
+            << "chunk=" << chunk << " team=" << team << " index=" << i << (inserted ? "" : "");
+      }
+      // Distinct members map to distinct threads, and member 0 is the caller.
+      std::set<std::thread::id> distinct;
+      for (const auto& [member, tid] : member_thread) {
+        (void)member;
+        distinct.insert(tid);
+      }
+      EXPECT_EQ(distinct.size(), member_thread.size()) << "chunk=" << chunk << " team=" << team;
+      ASSERT_TRUE(member_thread.count(0));
+      EXPECT_EQ(member_thread[0], caller) << "chunk=" << chunk << " team=" << team;
+    }
+  }
+}
+
+TEST(ForkJoin, BlockTrampolineReceivesExactStaticBlocks) {
+  // parallel_for_blocks must cut [begin, end) into the exact OpenMP
+  // static,chunk block set: [begin + k*chunk, min(end, begin + (k+1)*chunk)).
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::int64_t, std::int64_t>> blocks;
+  struct Ctx {
+    std::mutex* m;
+    std::vector<std::pair<std::int64_t, std::int64_t>>* blocks;
+  } ctx{&m, &blocks};
+  pool.parallel_for_blocks(
+      10, 47, 5,
+      [](const void* body, std::int64_t lo, std::int64_t hi) {
+        const auto& c = *static_cast<const Ctx*>(body);
+        std::lock_guard lock(*c.m);
+        c.blocks->emplace_back(lo, hi);
+      },
+      &ctx);
+  std::sort(blocks.begin(), blocks.end());
+  std::vector<std::pair<std::int64_t, std::int64_t>> expected;
+  for (std::int64_t lo = 10; lo < 47; lo += 5) expected.emplace_back(lo, std::min<std::int64_t>(47, lo + 5));
+  EXPECT_EQ(blocks, expected);
+}
+
+TEST(ForkJoin, NestedParallelForFromWorkerRunsInline) {
+  // A parallel_for issued from inside a share (worker or caller) must run
+  // inline on that thread — the old pool deadlocked on job serialization.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64 * 16);
+  std::atomic<int> nested_on_other_thread{0};
+  pool.parallel_for(0, 64, 1, [&](std::int64_t outer) {
+    const auto outer_thread = std::this_thread::get_id();
+    pool.parallel_for(0, 16, 4, [&](std::int64_t inner) {
+      if (std::this_thread::get_id() != outer_thread) nested_on_other_thread.fetch_add(1);
+      hits[static_cast<std::size_t>(outer * 16 + inner)].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(nested_on_other_thread.load(), 0);  // nested regions stay on the share's thread
+}
+
+TEST(ForkJoin, InsideRegionFlagTracksShares) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.inside_region());
+  std::atomic<int> inside{0};
+  pool.parallel_for(0, 8, 1, [&](std::int64_t) {
+    if (pool.inside_region()) inside.fetch_add(1);
+  });
+  EXPECT_EQ(inside.load(), 8);
+  EXPECT_FALSE(pool.inside_region());
+}
+
+TEST(ForkJoin, ExceptionFromCallerShare) {
+  // chunk=8, team=2: index 0 is in block 0 — the caller's own share.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 16, 8,
+                                 [&](std::int64_t i) {
+                                   if (i == 0) throw std::runtime_error("caller boom");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, 1, [&](std::int64_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ForkJoin, ExceptionFromWorkerShare) {
+  // chunk=8, team=2: index 8 is in block 1 — a pool worker's share.
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 16, 8,
+                                 [&](std::int64_t i) {
+                                   if (i == 8) throw std::runtime_error("worker boom");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 10, 1, [&](std::int64_t) { count++; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ForkJoin, ExceptionsFromEveryShareRethrowsOne) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 4, 1, [&](std::int64_t) { throw std::logic_error("all"); }),
+               std::logic_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, 1, [&](std::int64_t) { count++; });
+  EXPECT_EQ(count.load(), 4);
+}
+
+TEST(ForkJoin, PoolCountersTrackLaunchesAndInlineRuns) {
+  ThreadPool pool(4);
+  const auto before = ThreadPool::stats();
+  std::atomic<int> sink{0};
+  pool.parallel_for(0, 100, 1, [&](std::int64_t) { sink++; });           // fork-join
+  pool.parallel_for(0, 100, 1, [&](std::int64_t) { sink++; }, 1);       // team of 1: inline
+  const auto after = ThreadPool::stats();
+  EXPECT_EQ(after.launches - before.launches, 1u);
+  EXPECT_EQ(after.inline_runs - before.inline_runs, 1u);
+}
+
+TEST(ForkJoin, ParkPoolCompletesViaCondvar) {
+  // spin_us=0 disables spinning: every wait must park, so the park and
+  // wakeup counters advance while results stay exact.
+  ThreadPool pool(4, /*spin_us=*/0);
+  EXPECT_EQ(pool.spin_us(), 0);
+  const auto before = ThreadPool::stats();
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(0, 100, 9, [&](std::int64_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 20 * 4950);
+  const auto after = ThreadPool::stats();
+  EXPECT_EQ(after.launches - before.launches, 20u);
+  EXPECT_GT(after.park_completions, before.park_completions);
+}
+
+TEST(ForkJoin, SpinPoolCompletesWithinBudget) {
+  // A generous spin budget with back-to-back launches: at least some waits
+  // should finish inside the spin window (all of them on idle hardware, but
+  // a loaded CI runner can preempt a spinner — assert growth, not totality).
+  ThreadPool pool(4, /*spin_us=*/20000);
+  const auto before = ThreadPool::stats();
+  std::atomic<std::int64_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(0, 64, 4, [&](std::int64_t i) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 50 * 2016);
+  const auto after = ThreadPool::stats();
+  EXPECT_GT(after.spin_completions, before.spin_completions);
+}
+
+TEST(ForkJoin, ConcurrentCallersSerializeLaunches) {
+  // Multiple application threads launching on one pool: regions serialize,
+  // every index of every launch executes exactly once.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 50;
+  constexpr std::int64_t kN = 256;
+  std::vector<std::atomic<std::int64_t>> sums(kCallers);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int r = 0; r < kRounds; ++r) {
+        pool.parallel_for(0, kN, 7, [&](std::int64_t i) {
+          sums[static_cast<std::size_t>(c)].fetch_add(i, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(c)].load(), kRounds * (kN - 1) * kN / 2);
+  }
+}
+
+TEST(ForkJoin, EnvKnobsAreHardened) {
+  // Garbage APOLLO_SPIN_US / APOLLO_NUM_THREADS warn and keep the defaults
+  // (hardened env parsing), instead of strtol quietly yielding 0 threads.
+  setenv("APOLLO_SPIN_US", "fast-please", 1);
+  setenv("APOLLO_NUM_THREADS", "-3", 1);
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.spin_us(), 50);  // documented default
+  unsetenv("APOLLO_SPIN_US");
+  unsetenv("APOLLO_NUM_THREADS");
+}
+
+TEST(ForkJoin, EnvSpinBudgetIsRead) {
+  setenv("APOLLO_SPIN_US", "125", 1);
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.spin_us(), 125);
+  unsetenv("APOLLO_SPIN_US");
+}
 
 // --- Async background-job lane (the online Retrainer's substrate) ---------
 

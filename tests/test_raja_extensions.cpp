@@ -53,6 +53,59 @@ TEST(Reducers, InitialValuePreservedWhenNoUpdate) {
   EXPECT_DOUBLE_EQ(rmin.get(), 42.0);
 }
 
+TEST(Reducers, SumExactWithPerWorkerPartials) {
+  // Per-slot partials must not lose updates: a large integer sum is exact
+  // regardless of which member touched which slot.
+  ReduceSum<std::int64_t> rsum(1000);
+  forall(omp_parallel_for_exec{1, 0}, IndexSet::range(0, 200000),
+         [=](Index i) { rsum.add(i); });
+  EXPECT_EQ(rsum.get(), 1000 + 200000LL * 199999 / 2);
+}
+
+TEST(Reducers, DoubleSumExactForRepresentableValues) {
+  // Doubles that are exact in binary sum associatively, so the partial-slot
+  // combine order cannot change the result.
+  ReduceSum<double> rsum(0.0);
+  forall(omp_parallel_for_exec{8, 0}, IndexSet::range(0, 4096),
+         [=](Index i) { rsum.add(static_cast<double>(i) * 0.5); });
+  EXPECT_DOUBLE_EQ(rsum.get(), 0.5 * 4095.0 * 4096.0 / 2.0);
+}
+
+TEST(Reducers, MinMaxSumTogetherUnderSmallChunks) {
+  // chunk=1 deals adjacent indices to different members — the worst case for
+  // the old shared-cache-line design and the broadest slot coverage here.
+  ReduceMin<double> rmin(1e30);
+  ReduceMax<double> rmax(-1e30);
+  ReduceSum<std::int64_t> rsum(0);
+  forall(omp_parallel_for_exec{1, 0}, IndexSet::range(0, 50000), [=](Index i) {
+    const double v = static_cast<double>((i * 2654435761LL) % 1000003);
+    rmin.min(v);
+    rmax.max(v);
+    rsum.add(1);
+  });
+  EXPECT_EQ(rsum.get(), 50000);
+  EXPECT_GE(rmin.get(), 0.0);
+  EXPECT_LT(rmin.get(), 1e30);
+  EXPECT_LE(rmax.get(), 1000002.0);
+  EXPECT_GT(rmax.get(), 0.0);
+}
+
+TEST(Reducers, ManyReducersConcurrently) {
+  // Several live reducers updated from every member of the same region:
+  // partial slots are per-reducer, so streams must not interfere.
+  ReduceSum<std::int64_t> a(0);
+  ReduceSum<std::int64_t> b(0);
+  ReduceMin<std::int64_t> lo(std::int64_t{1} << 40);
+  forall(omp_parallel_for_exec{4, 0}, IndexSet::range(0, 10000), [=](Index i) {
+    a.add(i);
+    b.add(2 * i);
+    lo.min(i + 7);
+  });
+  EXPECT_EQ(a.get(), 10000LL * 9999 / 2);
+  EXPECT_EQ(b.get(), 10000LL * 9999);
+  EXPECT_EQ(lo.get(), 7);
+}
+
 class EnvPolicyTest : public ::testing::Test {
 protected:
   void TearDown() override {

@@ -96,6 +96,12 @@ struct Snapshot {
   double samples_pushed = 0.0;
   double samples_dropped = 0.0;
   double buffer_occupancy = 0.0;
+  // Fork-join executor counters (apollo_pool_*).
+  double pool_launches = 0.0;
+  double pool_inline = 0.0;
+  double pool_wakeups = 0.0;
+  double pool_spin = 0.0;
+  double pool_park = 0.0;
   std::string build;
 };
 
@@ -168,6 +174,16 @@ bool load_metrics(const std::string& path, Snapshot& snap) {
       snap.samples_dropped = sample->value;
     } else if (sample->name == "apollo_sample_buffer_occupancy") {
       snap.buffer_occupancy = sample->value;
+    } else if (sample->name == "apollo_pool_launches_total") {
+      snap.pool_launches = sample->value;
+    } else if (sample->name == "apollo_pool_inline_total") {
+      snap.pool_inline = sample->value;
+    } else if (sample->name == "apollo_pool_wakeups_total") {
+      snap.pool_wakeups = sample->value;
+    } else if (sample->name == "apollo_pool_spin_completions_total") {
+      snap.pool_spin = sample->value;
+    } else if (sample->name == "apollo_pool_park_completions_total") {
+      snap.pool_park = sample->value;
     } else if (sample->name == "apollo_build_info") {
       auto it = sample->labels.labels.find("version");
       auto sha = sample->labels.labels.find("git_sha");
@@ -226,9 +242,19 @@ void print_snapshot(const Snapshot& snap) {
   std::printf("apollo_top — %s\n", snap.build.empty() ? apollo::build_info_string().c_str()
                                                       : snap.build.c_str());
   std::printf("model gen %.0f | hot swaps %.0f | explores %.0f | samples %.0f pushed / %.0f "
-              "dropped / %.0f buffered\n\n",
+              "dropped / %.0f buffered\n",
               snap.model_generation, snap.hot_swaps, snap.explores, snap.samples_pushed,
               snap.samples_dropped, snap.buffer_occupancy);
+  // Fork-join executor pane: how regions launched and how their waits ended.
+  if (snap.pool_launches > 0.0 || snap.pool_inline > 0.0) {
+    const double waits = snap.pool_spin + snap.pool_park;
+    const double spin_pct = waits > 0.0 ? snap.pool_spin / waits * 100.0 : 0.0;
+    std::printf("pool: %.0f fork-join / %.0f inline | wakeups %.0f | waits %.1f%% spin, "
+                "%.1f%% park\n",
+                snap.pool_launches, snap.pool_inline, snap.pool_wakeups, spin_pct,
+                waits > 0.0 ? 100.0 - spin_pct : 0.0);
+  }
+  std::printf("\n");
   std::printf("%-24s %10s %14s %6s %9s %9s %8s %9s\n", "kernel", "launches", "top-variant",
               "share", "p50-dec", "p95-dec", "pred", "pred/obs");
   for (const auto& [kernel, row] : snap.kernels) {
