@@ -8,6 +8,7 @@
 #include "core/cluster_accountant.hpp"
 #include "core/features.hpp"
 #include "perf/blackboard.hpp"
+#include "service/client.hpp"
 #include "telemetry/audit.hpp"
 #include "telemetry/env.hpp"
 
@@ -96,6 +97,14 @@ Runtime::Runtime() {
     training_.forced_policy = env_policy->policy;
     training_.forced_chunk = env_policy->chunk;
   }
+}
+
+Runtime::~Runtime() {
+  // The service client's thread drains records_ and publishes into the
+  // tuner's registry; stop it while both are still alive.
+  const std::lock_guard<std::mutex> lock(online_mutex_);
+  service_.reset();
+  online_.reset();
 }
 
 Runtime& Runtime::instance() {
@@ -204,6 +213,16 @@ online::OnlineTuner& Runtime::online_locked() {
   if (!online_) {
     online_ = std::make_unique<online::OnlineTuner>(&records_);
     online_ptr_.store(online_.get(), std::memory_order_release);
+    // Fleet mode: when APOLLO_SERVICE_SOCKET names a trainer daemon, a
+    // background client drains the sample buffer to it and applies pushed
+    // model generations through the registry — the same hot-swap path local
+    // retrains use. Everything here is off the dispatch path; a missing or
+    // dying daemon degrades to pure-local adaptation.
+    const auto config = service::ClientConfig::from_env();
+    if (config.enabled()) {
+      service_ = std::make_unique<service::ServiceClient>(&records_, &online_->registry(), config);
+      service_->start();
+    }
   }
   return *online_;
 }
@@ -226,6 +245,7 @@ void Runtime::configure_online(online::OnlineConfig config) {
 void Runtime::reset() {
   {
     const std::lock_guard<std::mutex> lock(online_mutex_);
+    service_.reset();  // stops the fleet client before its registry dies
     online_ptr_.store(nullptr, std::memory_order_release);
     online_.reset();  // joins any in-flight retrain before state is torn down
   }

@@ -1,0 +1,210 @@
+#include "service/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace apollo::service {
+
+namespace {
+
+/// sun_path is a fixed 108-byte array; a longer path cannot be bound.
+bool fill_addr(const std::string& path, sockaddr_un& addr, std::string* error) {
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path too long (" + std::to_string(path.size()) + " bytes, max " +
+               std::to_string(sizeof(addr.sun_path) - 1) + "): " + path;
+    }
+    return false;
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, int backlog, std::string* error) {
+  sockaddr_un addr{};
+  if (!fill_addr(path, addr, error)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());  // a stale socket file from a dead daemon blocks bind
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = std::string("bind ") + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    if (error != nullptr) *error = std::string("listen ") + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (!fill_addr(path, addr, nullptr)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int accept_unix(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int poll_readable(int fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return rc;
+    return 1;  // POLLIN, POLLHUP, or POLLERR: a read will not block
+  }
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+// --- FrameConn ----------------------------------------------------------------
+
+FrameConn& FrameConn::operator=(FrameConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel), std::memory_order_release);
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+void FrameConn::close() noexcept {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+void FrameConn::shutdown_now() noexcept {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void FrameConn::fail(std::string reason) noexcept {
+  error_ = std::move(reason);
+  close();
+}
+
+bool FrameConn::send_all(const char* data, std::size_t size) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return false;
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE here instead of killing the
+    // process with SIGPIPE — the client's whole fallback story depends on it.
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FrameConn::send(FrameType type, std::string_view payload) {
+  if (!valid()) return false;
+  std::string frame;
+  try {
+    frame = encode_frame(type, payload);
+  } catch (const WireError& error) {
+    fail(error.what());
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  if (!valid()) return false;
+  if (!send_all(frame.data(), frame.size())) {
+    fail(std::string("send ") + frame_type_name(type) + ": " + std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+bool FrameConn::recv_exact(char* data, std::size_t size, int timeout_ms) {
+  // The fd is loaded once: only the owning (receiving) thread closes, so it
+  // cannot change under us; shutdown_now() from elsewhere leaves it open.
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return false;
+  std::size_t got = 0;
+  while (got < size) {
+    if (timeout_ms >= 0) {
+      const int rc = poll_readable(fd, timeout_ms);
+      if (rc <= 0) {
+        // Timeout mid-frame is a protocol failure (a frame, once started,
+        // must complete); timeout before the first byte is handled by recv().
+        if (got > 0 || rc < 0) fail("recv: timed out mid-frame");
+        return false;
+      }
+    }
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(std::string("recv: ") + std::strerror(errno));
+      return false;
+    }
+    if (n == 0) {
+      fail(got == 0 ? "peer closed" : "peer closed mid-frame");
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool FrameConn::readable(int timeout_ms) {
+  const int fd = fd_.load(std::memory_order_acquire);
+  return fd >= 0 && poll_readable(fd, timeout_ms) == 1;
+}
+
+std::optional<std::pair<FrameType, std::string>> FrameConn::recv(int timeout_ms) {
+  if (!valid()) return std::nullopt;
+  char header_bytes[kFrameHeaderBytes];
+  if (!recv_exact(header_bytes, sizeof(header_bytes), timeout_ms)) return std::nullopt;
+  FrameHeader header;
+  std::string payload;
+  try {
+    header = decode_frame_header(header_bytes);
+    payload.resize(header.payload_len);
+    // The header arrived, so the payload must follow promptly even when the
+    // caller asked for a non-blocking first byte.
+    const int body_timeout = timeout_ms < 0 ? -1 : std::max(timeout_ms, 1000);
+    if (header.payload_len > 0 && !recv_exact(payload.data(), payload.size(), body_timeout)) {
+      return std::nullopt;
+    }
+    check_payload(header, payload);
+  } catch (const WireError& error) {
+    fail(error.what());
+    return std::nullopt;
+  }
+  return std::make_pair(header.type, std::move(payload));
+}
+
+}  // namespace apollo::service

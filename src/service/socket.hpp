@@ -1,0 +1,98 @@
+#pragma once
+
+// Thin unix-domain-socket transport under the service wire format.
+//
+// FrameConn owns one connected stream fd and speaks whole frames: send is
+// all-or-nothing (partial writes are retried, EINTR is transparent, SIGPIPE
+// is suppressed), receive validates the header and CRC before a payload byte
+// reaches a decoder. Any violation — truncation, a corrupt header, a CRC
+// mismatch, an oversized length — surfaces as a closed connection with a
+// recorded reason, never an exception out of the transport and never a
+// partially-applied frame.
+//
+// Sends on one FrameConn may come from multiple threads (the daemon's trainer
+// pushes models while the serving thread acks batches); a small write mutex
+// keeps frames from interleaving. Receives are single-threaded by contract.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "service/wire.hpp"
+
+namespace apollo::service {
+
+/// Create, bind, and listen on a unix stream socket at `path` (an existing
+/// socket file is unlinked first). Returns the listening fd, or -1 with
+/// `error` describing why.
+[[nodiscard]] int listen_unix(const std::string& path, int backlog, std::string* error);
+
+/// Connect to a unix stream socket. Returns the fd or -1 (quietly: a missing
+/// daemon is an expected condition the client retries).
+[[nodiscard]] int connect_unix(const std::string& path);
+
+/// Accept one pending connection (-1 on error/shutdown).
+[[nodiscard]] int accept_unix(int listen_fd);
+
+/// Poll one fd for readability: 1 readable/EOF, 0 timeout, -1 error.
+[[nodiscard]] int poll_readable(int fd, int timeout_ms);
+
+void close_fd(int fd) noexcept;
+
+class FrameConn {
+public:
+  FrameConn() = default;
+  explicit FrameConn(int fd) : fd_(fd) {}
+  ~FrameConn() { close(); }
+
+  FrameConn(FrameConn&& other) noexcept { *this = std::move(other); }
+  FrameConn& operator=(FrameConn&& other) noexcept;
+  FrameConn(const FrameConn&) = delete;
+  FrameConn& operator=(const FrameConn&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return fd_.load(std::memory_order_acquire) >= 0;
+  }
+  [[nodiscard]] int fd() const noexcept { return fd_.load(std::memory_order_acquire); }
+
+  /// Encode and send one frame. False (and closes) on any I/O failure.
+  bool send(FrameType type, std::string_view payload);
+
+  /// Block until one whole frame arrives (or `timeout_ms` elapses; -1 waits
+  /// forever). nullopt on timeout, EOF, I/O failure, or a protocol violation
+  /// — valid() distinguishes a timeout (still open) from a dead connection,
+  /// and last_error() records the reason the connection died.
+  [[nodiscard]] std::optional<std::pair<FrameType, std::string>> recv(int timeout_ms = -1);
+
+  /// True when a whole frame can likely be read without blocking.
+  [[nodiscard]] bool readable(int timeout_ms = 0);
+
+  void close() noexcept;
+
+  /// Wake any thread blocked in recv()/send() on this connection (they fail
+  /// out with EOF) WITHOUT closing the fd — the owning thread still closes.
+  /// This is the only safe cross-thread teardown: close() from another
+  /// thread does not unblock a read() and races fd reuse.
+  void shutdown_now() noexcept;
+
+  [[nodiscard]] const std::string& last_error() const noexcept { return error_; }
+
+private:
+  bool send_all(const char* data, std::size_t size);
+  bool recv_exact(char* data, std::size_t size, int timeout_ms);
+  void fail(std::string reason) noexcept;
+
+  /// Atomic because shutdown_now() reads it from another thread while the
+  /// owner may be failing the connection (which closes). close() publishes
+  /// -1 with one exchange, so at most one ::close ever runs.
+  std::atomic<int> fd_{-1};
+  std::mutex write_mutex_;
+  std::string error_;
+};
+
+}  // namespace apollo::service
