@@ -38,7 +38,8 @@ void bump_daemon_counter(const char* name, const char* help, const char* labels 
 
 }  // namespace
 
-TrainerDaemon::TrainerDaemon(DaemonConfig config) : config_(std::move(config)) {
+TrainerDaemon::TrainerDaemon(DaemonConfig config)
+    : config_(std::move(config)), fleet_(config_.fleet) {
   if (config_.train_batch == 0) config_.train_batch = 1;
   if (config_.per_kernel_cap == 0) config_.per_kernel_cap = 1;
 }
@@ -85,17 +86,32 @@ void TrainerDaemon::stop() {
   close_fd(listen_fd);
   listen_fd_ = -1;
   ::unlink(config_.socket_path.c_str());
+  // Final export so a short-lived daemon still leaves a coherent fleet file.
+  if (config_.fleet.enabled()) fleet_.export_now(generation(), monotonic_ns());
   running_ = false;
 }
 
 TrainerDaemon::Stats TrainerDaemon::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Stats out = stats_;
-  out.generation = generation_;
-  out.clients_connected = connections_.size();
-  out.per_kernel_samples.clear();
-  for (const auto& [loop_id, shard] : shards_) out.per_kernel_samples[loop_id] = shard.size();
+  Stats out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out = stats_;
+    out.generation = generation_;
+    out.clients_connected = connections_.size();
+    out.per_kernel_samples.clear();
+    for (const auto& [loop_id, shard] : shards_) out.per_kernel_samples[loop_id] = shard.size();
+  }
+  // Fleet counters live behind the fleet's own mutex; taken after mutex_ is
+  // released so the two locks never nest in this direction.
+  out.telemetry_snapshots = fleet_.telemetry_snapshots();
+  out.slo_breaches = fleet_.slo_breaches();
   return out;
+}
+
+std::vector<LineageEntry> TrainerDaemon::lineage(std::uint64_t generation) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = lineage_by_generation_.find(generation);
+  return it == lineage_by_generation_.end() ? std::vector<LineageEntry>{} : it->second;
 }
 
 std::uint64_t TrainerDaemon::generation() const {
@@ -156,6 +172,7 @@ void TrainerDaemon::accept_loop() {
 
 void TrainerDaemon::serve(std::shared_ptr<Connection> connection) {
   FrameConn& conn = connection->conn;
+  std::string drop_cause = "peer closed";
   for (;;) {
     auto frame = conn.recv(-1);
     if (!frame) {
@@ -165,6 +182,7 @@ void TrainerDaemon::serve(std::shared_ptr<Connection> connection) {
       // peers from clean disconnects. A plain EOF ("peer closed") or a reset
       // from a client that died between frames is peer death, not protocol.
       const std::string& reason = conn.last_error();
+      if (!reason.empty()) drop_cause = reason;
       const bool peer_death = reason.empty() || reason == "peer closed" ||
                               reason.find("Connection reset") != std::string::npos;
       if (!peer_death) {
@@ -187,20 +205,26 @@ void TrainerDaemon::serve(std::shared_ptr<Connection> connection) {
           const HelloFrame hello = decode_hello(payload);
           if (hello.protocol != kProtocolVersion) {
             // A client from the future (or past): refuse cleanly rather
-            // than misparse its frames. The ack carries our protocol so the
-            // client can report the skew.
+            // than misparse its frames. HELLO's layout is frozen across
+            // protocol versions precisely so this path is a nack, not a
+            // decode error; the ack leads with our protocol so the client
+            // can report the skew.
             AckFrame nack;
             nack.batch_seq = 0;
             nack.generation = 0;
             nack.samples_accepted = 0;
             conn.send(FrameType::Ack, encode_ack(nack));
+            fleet_.hello_nacked(connection->id, hello.protocol, monotonic_ns());
             throw WireError("protocol skew: client " + std::to_string(hello.protocol) +
                             ", daemon " + std::to_string(kProtocolVersion));
           }
           connection->helloed = true;
+          connection->client_name = hello.client_name;
           AckFrame ack;
           ack.generation = generation();
+          ack.client_id = connection->id;
           conn.send(FrameType::Ack, encode_ack(ack));
+          fleet_.client_connected(connection->id, hello.client_name, monotonic_ns());
           // A late joiner gets the current model immediately instead of
           // waiting for the next train.
           push_generation(*connection);
@@ -209,13 +233,21 @@ void TrainerDaemon::serve(std::shared_ptr<Connection> connection) {
         case FrameType::SampleBatch: {
           if (!connection->helloed) throw WireError("sample batch before hello");
           std::uint64_t seq = 0;
-          const std::int64_t accepted = ingest_batch(payload, &seq);
+          const std::int64_t accepted = ingest_batch(connection->id, payload, &seq);
           AckFrame ack;
           ack.batch_seq = seq;
           ack.generation = generation();
           ack.samples_accepted = static_cast<std::uint64_t>(accepted);
+          ack.client_id = connection->id;
           conn.send(FrameType::Ack, encode_ack(ack));
           train_cv_.notify_one();
+          break;
+        }
+        case FrameType::Telemetry: {
+          if (!connection->helloed) throw WireError("telemetry before hello");
+          const TelemetryFrame telemetry_frame = decode_telemetry(payload);
+          fleet_.telemetry_received(connection->id, telemetry_frame, generation(),
+                                    monotonic_ns());
           break;
         }
         case FrameType::Stats: {
@@ -234,41 +266,57 @@ void TrainerDaemon::serve(std::shared_ptr<Connection> connection) {
                           "Frames rejected as malformed or out of protocol.");
       std::fprintf(stderr, "apollo_served: client %llu dropped: %s\n",
                    static_cast<unsigned long long>(connection->id), error.what());
+      drop_cause = error.what();
       conn.close();
       break;
     }
+  }
+  if (connection->helloed) {
+    fleet_.client_disconnected(connection->id, drop_cause, monotonic_ns());
   }
   const std::lock_guard<std::mutex> lock(mutex_);
   connections_.erase(std::remove(connections_.begin(), connections_.end(), connection),
                      connections_.end());
 }
 
-std::int64_t TrainerDaemon::ingest_batch(std::string_view payload, std::uint64_t* seq) {
+std::int64_t TrainerDaemon::ingest_batch(std::uint64_t client_id, std::string_view payload,
+                                         std::uint64_t* seq) {
+  const bool traced = telemetry::enabled();
+  const std::uint64_t span_start = traced ? telemetry::now_ns() : 0;
   // Decode (the expensive, throwing part) outside the lock.
   SampleBatch batch = decode_sample_batch(payload);
   *seq = batch.seq;
-  const std::lock_guard<std::mutex> lock(mutex_);
   std::int64_t accepted = 0;
-  for (auto& record : batch.records) {
-    const auto it = record.find(features::kLoopId);
-    if (it == record.end() || !it->second.is_string()) continue;  // unkeyable: drop quietly
-    auto& shard = shards_[it->second.as_string()];
-    shard.push_back(std::move(record));
-    ++accepted;
-    ++total_samples_;
-    if (shard.size() > config_.per_kernel_cap) {
-      shard.pop_front();
-      --total_samples_;
+  std::uint64_t daemon_generation = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& record : batch.records) {
+      const auto it = record.find(features::kLoopId);
+      if (it == record.end() || !it->second.is_string()) continue;  // unkeyable: drop quietly
+      auto& shard = shards_[it->second.as_string()];
+      shard.push_back(ShardEntry{std::move(record), client_id, batch.seq});
+      ++accepted;
+      ++total_samples_;
+      if (shard.size() > config_.per_kernel_cap) {
+        shard.pop_front();
+        --total_samples_;
+      }
     }
+    stats_.batches_received += 1;
+    stats_.samples_received += static_cast<std::uint64_t>(accepted);
+    since_last_train_ += static_cast<std::size_t>(accepted);
+    daemon_generation = generation_;
   }
-  stats_.batches_received += 1;
-  stats_.samples_received += static_cast<std::uint64_t>(accepted);
-  since_last_train_ += static_cast<std::size_t>(accepted);
-  if (telemetry::enabled()) {
+  fleet_.batch_received(client_id, batch, static_cast<std::uint64_t>(accepted),
+                        daemon_generation, monotonic_ns());
+  if (traced) {
     auto& registry = telemetry::MetricsRegistry::instance();
     registry.counter("apollo_served_batches_total", "Sample batches ingested.").inc();
     registry.counter("apollo_served_samples_total", "Samples ingested across batches.")
-        .inc(static_cast<double>(accepted));
+        .inc(static_cast<std::uint64_t>(accepted));
+    // Stitches against the client's batch_ship span via (client id, seq).
+    telemetry::emit_span(telemetry::EventKind::BatchIngest, "batch_ingest", span_start,
+                         telemetry::now_ns(), client_id, batch.seq);
   }
   return accepted;
 }
@@ -288,37 +336,66 @@ void TrainerDaemon::push_generation(Connection& connection) {
 
 void TrainerDaemon::trainer_loop() {
   par::lower_current_thread_priority();  // training yields to serving threads
+  const bool fleet_enabled = config_.fleet.enabled();
+  const auto export_interval = std::chrono::milliseconds(
+      config_.fleet.export_ms > 0 ? config_.fleet.export_ms : 500);
   for (;;) {
+    bool ready = false;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      train_cv_.wait(lock, [&] {
+      const auto predicate = [&] {
         return stopping_ ||
                (since_last_train_ >= config_.train_batch &&
                 total_samples_ >= config_.min_train_samples);
-      });
+      };
+      if (fleet_enabled) {
+        // Wake on the export cadence even when no training is due, so the
+        // fleet metrics file and the staleness SLO stay fresh.
+        ready = train_cv_.wait_for(lock, export_interval, predicate);
+      } else {
+        train_cv_.wait(lock, predicate);
+        ready = true;
+      }
       if (stopping_) return;
-      since_last_train_ = 0;
+      if (ready) since_last_train_ = 0;
     }
-    train_once();
+    if (fleet_enabled) fleet_.tick(generation(), monotonic_ns());
+    if (ready) train_once();
   }
 }
 
 void TrainerDaemon::train_once() {
   const auto started = std::chrono::steady_clock::now();
-  // Snapshot the aggregate under the lock, fit outside it.
+  const std::uint64_t span_start = telemetry::enabled() ? telemetry::now_ns() : 0;
+  // Snapshot the aggregate under the lock, fit outside it. Collect the
+  // lineage — which (client, batch seq) pairs the fit will consume — in the
+  // same pass so the push can name its provenance exactly.
   std::vector<perf::SampleRecord> records;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> seqs_by_client;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     records.reserve(total_samples_);
     for (const auto& [loop_id, shard] : shards_) {
-      records.insert(records.end(), shard.begin(), shard.end());
+      for (const auto& entry : shard) {
+        records.push_back(entry.record);
+        seqs_by_client[entry.client_id].push_back(entry.batch_seq);
+      }
     }
   }
   if (records.empty()) return;
+  std::vector<LineageEntry> lineage;
+  lineage.reserve(seqs_by_client.size());
+  for (auto& [client_id, seqs] : seqs_by_client) {
+    std::sort(seqs.begin(), seqs.end());
+    seqs.erase(std::unique(seqs.begin(), seqs.end()), seqs.end());
+    lineage.push_back(LineageEntry{client_id, std::move(seqs)});
+  }
 
   ModelPushFrame push;
   push.trained_on_samples = records.size();
+  push.lineage = lineage;
   bool ok = true;
+  std::string fail_cause;
   try {
     push.policy_text = model_text(Trainer::train(records, TunedParameter::Policy, config_.tree_params));
     if (config_.train_chunk) {
@@ -331,26 +408,33 @@ void TrainerDaemon::train_once() {
     }
   } catch (const std::exception& error) {
     ok = false;
+    fail_cause = error.what();
     const std::lock_guard<std::mutex> lock(mutex_);
     stats_.trains_failed += 1;
     std::fprintf(stderr, "apollo_served: train failed: %s\n", error.what());
   }
 
+  std::uint64_t trained_generation = 0;
+  std::uint64_t pushed = 0;
   if (ok) {
     std::vector<std::shared_ptr<Connection>> targets;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       generation_ += 1;
+      trained_generation = generation_;
       push.generation = generation_;
       push.pushed_ns = monotonic_ns();
       push_payload_ = encode_model_push(push);
       stats_.trains_completed += 1;
+      lineage_by_generation_[generation_] = lineage;
+      while (lineage_by_generation_.size() > kLineageHistory) {
+        lineage_by_generation_.erase(lineage_by_generation_.begin());
+      }
       for (const auto& connection : connections_) {
         if (connection->helloed) targets.push_back(connection);
       }
     }
     generation_cv_.notify_all();
-    std::uint64_t pushed = 0;
     for (const auto& connection : targets) {
       // A dead client just fails its send; its serving thread reaps it.
       if (connection->conn.send(FrameType::ModelPush, push_payload_)) ++pushed;
@@ -363,6 +447,13 @@ void TrainerDaemon::train_once() {
 
   const double duration =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  if (ok) {
+    fleet_.generation_trained(trained_generation, records.size(), duration, lineage,
+                              monotonic_ns());
+    fleet_.push_sent(trained_generation, pushed, monotonic_ns());
+  } else {
+    fleet_.train_failed(fail_cause, monotonic_ns());
+  }
   if (telemetry::enabled()) {
     auto& registry = telemetry::MetricsRegistry::instance();
     registry
@@ -373,6 +464,8 @@ void TrainerDaemon::train_once() {
         .counter("apollo_served_trains_total", "Aggregate trains by outcome.",
                  ok ? "result=\"ok\"" : "result=\"failed\"")
         .inc();
+    telemetry::emit_span(telemetry::EventKind::FleetTrain, "fleet_train", span_start,
+                         telemetry::now_ns(), trained_generation, records.size());
   }
 }
 

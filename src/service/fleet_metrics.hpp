@@ -1,0 +1,155 @@
+#pragma once
+
+// Daemon-side fleet observability: the aggregation + SLO half of the fleet
+// observability plane (the wire-level trace context is in wire.hpp).
+//
+// The trainer daemon feeds this object from its serving and trainer threads:
+// connects, disconnects, nacks, ingested batches, shipped TELEMETRY
+// snapshots, completed trains (with lineage), and pushes. From those it
+// maintains:
+//
+//   - a per-client view: applied model generation, generation lag behind the
+//     daemon, staleness (how long the client has been behind), batches and
+//     samples contributed, and regret attributable to staleness — the regret
+//     a client reported accruing while it was running a stale generation;
+//   - a merged fleet MetricsSnapshot: every client's shipped registry
+//     snapshot combined (counters sum exactly, histograms merge
+//     bucket-for-bucket, gauges are tagged client="...") plus the
+//     apollo_fleet_* series, atomically exported to a metrics file tailed by
+//     apollo_top's fleet pane;
+//   - a JSONL fleet event log (connect/disconnect/nack/train/push/
+//     slo_breach, each with its cause) — the daemon's flight recorder;
+//   - a staleness SLO: when a client stays behind the daemon generation
+//     longer than APOLLO_FLEET_SLO_MS, a breach counter trips (one count per
+//     breach episode, never a kill).
+//
+// All timestamps are caller-provided CLOCK_MONOTONIC nanoseconds so tests
+// can drive the SLO clock deterministically. Thread-safe behind one mutex;
+// every hook is O(state), never O(history).
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/wire.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace apollo::service {
+
+struct FleetConfig {
+  /// Merged fleet metrics export path ("" disables the file).
+  std::string metrics_path;
+  /// JSONL fleet event log path ("" disables the log).
+  std::string events_path;
+  /// Staleness SLO: a client behind the daemon generation for longer than
+  /// this trips the breach counter. 0 disables the check.
+  std::int64_t slo_ms = 0;
+  /// Metrics export cadence (the event log is appended immediately).
+  std::int64_t export_ms = 500;
+
+  /// Read APOLLO_FLEET_METRICS_FILE / APOLLO_FLEET_EVENTS_FILE /
+  /// APOLLO_FLEET_SLO_MS / APOLLO_FLEET_EXPORT_MS through the hardened
+  /// warn-and-default env parsers.
+  [[nodiscard]] static FleetConfig from_env();
+  [[nodiscard]] bool enabled() const noexcept {
+    return !metrics_path.empty() || !events_path.empty() || slo_ms > 0;
+  }
+};
+
+class FleetMetrics {
+public:
+  explicit FleetMetrics(FleetConfig config);
+  ~FleetMetrics();
+
+  FleetMetrics(const FleetMetrics&) = delete;
+  FleetMetrics& operator=(const FleetMetrics&) = delete;
+
+  [[nodiscard]] const FleetConfig& config() const noexcept { return config_; }
+
+  // --- daemon hooks (each logs its event and updates the client view) ---
+  void client_connected(std::uint64_t client_id, const std::string& name, std::uint64_t now_ns);
+  void client_disconnected(std::uint64_t client_id, const std::string& cause,
+                           std::uint64_t now_ns);
+  void hello_nacked(std::uint64_t client_id, std::uint32_t their_protocol, std::uint64_t now_ns);
+  void batch_received(std::uint64_t client_id, const SampleBatch& batch,
+                      std::uint64_t samples_accepted, std::uint64_t daemon_generation,
+                      std::uint64_t now_ns);
+  void telemetry_received(std::uint64_t client_id, const TelemetryFrame& frame,
+                          std::uint64_t daemon_generation, std::uint64_t now_ns);
+  void generation_trained(std::uint64_t generation, std::uint64_t samples, double train_seconds,
+                          const std::vector<LineageEntry>& lineage, std::uint64_t now_ns);
+  void train_failed(const std::string& cause, std::uint64_t now_ns);
+  void push_sent(std::uint64_t generation, std::uint64_t clients, std::uint64_t now_ns);
+
+  /// Periodic housekeeping from the daemon: evaluate the staleness SLO and
+  /// refresh the metrics export on the configured cadence.
+  void tick(std::uint64_t daemon_generation, std::uint64_t now_ns);
+  /// Unconditional export (daemon shutdown; tests).
+  void export_now(std::uint64_t daemon_generation, std::uint64_t now_ns);
+
+  // --- introspection (tests, apollo_served stats, the fleet bench) ---
+  struct ClientView {
+    std::uint64_t client_id = 0;
+    std::string name;
+    bool connected = false;
+    std::uint64_t applied_generation = 0;
+    std::uint64_t generation_lag = 0;   ///< vs the generation passed to tick/export
+    double staleness_seconds = 0.0;     ///< time behind the daemon generation (0 = caught up)
+    double last_push_age_seconds = -1.0;  ///< since the daemon last pushed to it (-1 = never)
+    std::uint64_t batches = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t telemetry_snapshots = 0;
+    std::uint64_t slo_breaches = 0;
+    double regret_stale_seconds = 0.0;
+  };
+  [[nodiscard]] std::vector<ClientView> clients(std::uint64_t daemon_generation,
+                                                std::uint64_t now_ns) const;
+  [[nodiscard]] std::uint64_t slo_breaches() const;
+  [[nodiscard]] std::uint64_t telemetry_snapshots() const;
+  /// The merged fleet snapshot exactly as export writes it.
+  [[nodiscard]] telemetry::MetricsSnapshot merged(std::uint64_t daemon_generation,
+                                                  std::uint64_t now_ns) const;
+
+private:
+  struct ClientState {
+    std::string name;
+    bool connected = false;
+    std::uint64_t applied_generation = 0;
+    std::uint64_t behind_since_ns = 0;  ///< 0 = caught up with the daemon generation
+    bool in_breach = false;             ///< edge-triggers the breach counter
+    std::uint64_t last_push_ns = 0;     ///< 0 = never pushed to
+    std::uint64_t batches = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t telemetry_snapshots = 0;
+    std::uint64_t slo_breaches = 0;
+    double last_regret_total = -1.0;  ///< < 0 = no report yet
+    double regret_stale_seconds = 0.0;
+    telemetry::MetricsSnapshot snapshot;  ///< latest shipment, gauges client-tagged
+  };
+
+  void event_locked(const std::string& json_body);
+  void caught_up_check_locked(ClientState& client, std::uint64_t daemon_generation,
+                              std::uint64_t now_ns);
+  void slo_check_locked(std::uint64_t daemon_generation, std::uint64_t now_ns);
+  void export_locked(std::uint64_t daemon_generation, std::uint64_t now_ns);
+  [[nodiscard]] telemetry::MetricsSnapshot merged_locked(std::uint64_t daemon_generation,
+                                                         std::uint64_t now_ns) const;
+  [[nodiscard]] ClientView view_locked(std::uint64_t client_id, const ClientState& client,
+                                       std::uint64_t daemon_generation,
+                                       std::uint64_t now_ns) const;
+
+  FleetConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, ClientState> clients_;
+  std::uint64_t slo_breaches_total_ = 0;
+  std::uint64_t telemetry_snapshots_total_ = 0;
+  std::uint64_t trains_logged_ = 0;
+  std::uint64_t last_export_ns_ = 0;
+  bool events_open_failed_ = false;
+  std::ofstream events_;
+};
+
+}  // namespace apollo::service

@@ -147,42 +147,190 @@ std::string series_name(const std::string& name, const std::string& labels,
 
 }  // namespace
 
-void MetricsRegistry::write(std::ostream& out) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& [name, family] : families_) {
-    if (!family.help.empty()) out << "# HELP " << name << " " << family.help << "\n";
-    out << "# TYPE " << name << " "
-        << (family.kind == MetricKind::Counter ? "counter"
-            : family.kind == MetricKind::Gauge ? "gauge"
-                                               : "histogram")
-        << "\n";
-    for (const auto& [labels, series] : family.series) {
-      switch (family.kind) {
-        case MetricKind::Counter:
-          out << series_name(name, labels) << " " << series.counter->value() << "\n";
-          break;
-        case MetricKind::Gauge:
-          out << series_name(name, labels) << " " << format_number(series.gauge->value()) << "\n";
-          break;
-        case MetricKind::Histogram: {
-          const Histogram& hist = *series.histogram;
-          std::uint64_t cumulative = 0;
-          for (std::size_t i = 0; i < hist.bounds().size(); ++i) {
-            cumulative += hist.bucket(i);
-            out << series_name(name + "_bucket", labels,
-                               "le=\"" + format_number(hist.bounds()[i]) + "\"")
-                << " " << cumulative << "\n";
-          }
-          out << series_name(name + "_bucket", labels, "le=\"+Inf\"") << " " << hist.count()
-              << "\n";
-          out << series_name(name + "_sum", labels) << " " << format_number(hist.sum()) << "\n";
-          out << series_name(name + "_count", labels) << " " << hist.count() << "\n";
-          break;
+namespace {
+
+bool series_key_less(const SeriesSnapshot& a, const SeriesSnapshot& b) {
+  if (a.name != b.name) return a.name < b.name;
+  return a.labels < b.labels;
+}
+
+void write_atomically(const std::string& path, const std::string& what,
+                      const void* self, void (*render)(const void*, std::ostream&)) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) throw std::runtime_error(what + ": cannot open " + tmp);
+    render(self, out);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error(what + ": cannot rename " + tmp + " to " + path);
+  }
+}
+
+}  // namespace
+
+void MetricsSnapshot::upsert(SeriesSnapshot series_snapshot) {
+  const auto it =
+      std::lower_bound(series.begin(), series.end(), series_snapshot, series_key_less);
+  if (it != series.end() && it->name == series_snapshot.name &&
+      it->labels == series_snapshot.labels) {
+    *it = std::move(series_snapshot);
+  } else {
+    series.insert(it, std::move(series_snapshot));
+  }
+}
+
+const SeriesSnapshot* MetricsSnapshot::find(std::string_view name, std::string_view labels) const {
+  SeriesSnapshot probe;
+  probe.name = std::string(name);
+  probe.labels = std::string(labels);
+  const auto it = std::lower_bound(series.begin(), series.end(), probe, series_key_less);
+  if (it == series.end() || it->name != probe.name || it->labels != probe.labels) return nullptr;
+  return &*it;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& theirs : other.series) {
+    const auto it = std::lower_bound(series.begin(), series.end(), theirs, series_key_less);
+    if (it == series.end() || it->name != theirs.name || it->labels != theirs.labels) {
+      series.insert(it, theirs);
+      continue;
+    }
+    SeriesSnapshot& ours = *it;
+    if (ours.kind != theirs.kind) continue;  // kind clash: keep ours, drop theirs
+    switch (ours.kind) {
+      case MetricKind::Counter:
+        ours.counter_value += theirs.counter_value;
+        break;
+      case MetricKind::Gauge:
+        ours.gauge_value = theirs.gauge_value;  // last write wins
+        break;
+      case MetricKind::Histogram: {
+        ours.hist_count += theirs.hist_count;
+        ours.hist_sum += theirs.hist_sum;
+        if (ours.hist_buckets.size() != ours.hist_bounds.size() + 1) {
+          ours.hist_buckets.assign(ours.hist_bounds.size() + 1, 0);
         }
+        if (theirs.hist_bounds == ours.hist_bounds &&
+            theirs.hist_buckets.size() == ours.hist_buckets.size()) {
+          for (std::size_t i = 0; i < ours.hist_buckets.size(); ++i) {
+            ours.hist_buckets[i] += theirs.hist_buckets[i];
+          }
+        } else {
+          // Re-bucket by upper bound: each foreign bucket lands in the first
+          // of our buckets whose bound covers its bound (overflow otherwise).
+          // Exact when our bounds are a superset of theirs.
+          for (std::size_t i = 0; i < theirs.hist_buckets.size(); ++i) {
+            const std::uint64_t in_bucket = theirs.hist_buckets[i];
+            if (in_bucket == 0) continue;
+            std::size_t target = ours.hist_bounds.size();  // overflow by default
+            if (i < theirs.hist_bounds.size()) {
+              const auto pos = std::lower_bound(ours.hist_bounds.begin(),
+                                                ours.hist_bounds.end(), theirs.hist_bounds[i]);
+              target = static_cast<std::size_t>(pos - ours.hist_bounds.begin());
+            }
+            ours.hist_buckets[target] += in_bucket;
+          }
+        }
+        break;
       }
     }
   }
 }
+
+void MetricsSnapshot::tag(MetricKind kind, std::string_view key, std::string_view value) {
+  bool changed = false;
+  for (auto& s : series) {
+    if (s.kind != kind) continue;
+    std::string label;
+    label.reserve(key.size() + value.size() + 3);
+    label.append(key).append("=\"").append(value).append("\"");
+    s.labels = s.labels.empty() ? std::move(label) : s.labels + "," + label;
+    changed = true;
+  }
+  if (changed) std::sort(series.begin(), series.end(), series_key_less);
+}
+
+void MetricsSnapshot::write(std::ostream& out) const {
+  const std::string* last_name = nullptr;
+  for (const auto& s : series) {
+    if (last_name == nullptr || *last_name != s.name) {
+      if (!s.help.empty()) out << "# HELP " << s.name << " " << s.help << "\n";
+      out << "# TYPE " << s.name << " "
+          << (s.kind == MetricKind::Counter ? "counter"
+              : s.kind == MetricKind::Gauge ? "gauge"
+                                            : "histogram")
+          << "\n";
+      last_name = &s.name;
+    }
+    switch (s.kind) {
+      case MetricKind::Counter:
+        out << series_name(s.name, s.labels) << " " << s.counter_value << "\n";
+        break;
+      case MetricKind::Gauge:
+        out << series_name(s.name, s.labels) << " " << format_number(s.gauge_value) << "\n";
+        break;
+      case MetricKind::Histogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < s.hist_bounds.size(); ++i) {
+          if (i < s.hist_buckets.size()) cumulative += s.hist_buckets[i];
+          out << series_name(s.name + "_bucket", s.labels,
+                             "le=\"" + format_number(s.hist_bounds[i]) + "\"")
+              << " " << cumulative << "\n";
+        }
+        out << series_name(s.name + "_bucket", s.labels, "le=\"+Inf\"") << " " << s.hist_count
+            << "\n";
+        out << series_name(s.name + "_sum", s.labels) << " " << format_number(s.hist_sum) << "\n";
+        out << series_name(s.name + "_count", s.labels) << " " << s.hist_count << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void MetricsSnapshot::write_file(const std::string& path) const {
+  write_atomically(path, "MetricsSnapshot", this, [](const void* self, std::ostream& out) {
+    static_cast<const MetricsSnapshot*>(self)->write(out);
+  });
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, series] : family.series) {
+      SeriesSnapshot s;
+      s.name = name;
+      s.labels = labels;
+      s.help = family.help;
+      s.kind = family.kind;
+      switch (family.kind) {
+        case MetricKind::Counter:
+          s.counter_value = series.counter->value();
+          break;
+        case MetricKind::Gauge:
+          s.gauge_value = series.gauge->value();
+          break;
+        case MetricKind::Histogram: {
+          const Histogram& hist = *series.histogram;
+          s.hist_bounds = hist.bounds();
+          s.hist_buckets.reserve(s.hist_bounds.size() + 1);
+          for (std::size_t i = 0; i <= s.hist_bounds.size(); ++i) {
+            s.hist_buckets.push_back(hist.bucket(i));
+          }
+          s.hist_count = hist.count();
+          s.hist_sum = hist.sum();
+          break;
+        }
+      }
+      // families_/series maps iterate sorted, so out.series stays sorted.
+      out.series.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::write(std::ostream& out) const { snapshot().write(out); }
 
 std::string MetricsRegistry::expose() const {
   std::ostringstream out;

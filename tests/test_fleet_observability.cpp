@@ -1,0 +1,585 @@
+// Tests for the fleet observability plane: exact MetricsSnapshot merging,
+// the APOLLO_FLEET_* / APOLLO_TELEMETRY_SHIP_MS env knobs, deterministic
+// staleness-SLO accounting (caller-provided clocks, edge-triggered breach
+// episodes, regret attribution), and the cross-process correlation story —
+// an in-process daemon + client where every published generation's lineage
+// names the exact batch seqs that trained it and the client measures a
+// finite, monotone sample->swap pipeline latency across hot-swaps.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "online/model_registry.hpp"
+#include "online/sample_buffer.hpp"
+#include "raja/policy.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/fleet_metrics.hpp"
+#include "service/socket.hpp"
+#include "service/wire.hpp"
+#include "telemetry/metrics.hpp"
+
+using namespace apollo::service;
+namespace telemetry = apollo::telemetry;
+using apollo::online::ModelRegistry;
+using apollo::online::Sample;
+using apollo::online::SampleBuffer;
+using telemetry::MetricKind;
+using telemetry::MetricsRegistry;
+using telemetry::MetricsSnapshot;
+using telemetry::SeriesSnapshot;
+
+namespace {
+
+std::string unique_path(const char* suffix) {
+  static std::atomic<int> counter{0};
+  return "/tmp/apollo_fleet_test." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1)) + "." + suffix;
+}
+
+std::uint64_t monotonic_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr std::uint64_t ms(std::uint64_t v) { return v * 1000000ull; }
+
+SeriesSnapshot counter_series(std::string name, std::uint64_t value, std::string labels = "") {
+  SeriesSnapshot s;
+  s.name = std::move(name);
+  s.labels = std::move(labels);
+  s.kind = MetricKind::Counter;
+  s.counter_value = value;
+  return s;
+}
+
+SeriesSnapshot gauge_series(std::string name, double value, std::string labels = "") {
+  SeriesSnapshot s;
+  s.name = std::move(name);
+  s.labels = std::move(labels);
+  s.kind = MetricKind::Gauge;
+  s.gauge_value = value;
+  return s;
+}
+
+SeriesSnapshot hist_series(std::string name, std::vector<double> bounds,
+                           std::vector<std::uint64_t> buckets, double sum) {
+  SeriesSnapshot s;
+  s.name = std::move(name);
+  s.kind = MetricKind::Histogram;
+  s.hist_bounds = std::move(bounds);
+  s.hist_buckets = std::move(buckets);
+  s.hist_count = std::accumulate(s.hist_buckets.begin(), s.hist_buckets.end(), std::uint64_t{0});
+  s.hist_sum = sum;
+  return s;
+}
+
+bool file_contains(const std::string& path, const std::string& needle) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str().find(needle) != std::string::npos;
+}
+
+bool wait_until(const std::function<bool()>& pred, double timeout_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// Same separable workload as the service tests: sequential wins small
+/// sizes, OpenMP wins large, so the daemon's aggregate fit succeeds.
+Sample make_sample(std::int64_t size, bool omp) {
+  Sample s;
+  s.loop_id = "fleet:test";
+  s.func = "FleetKernel";
+  s.index_type = "range";
+  s.num_indices = size;
+  s.num_segments = 1;
+  s.stride = 1;
+  s.policy = omp ? raja::PolicyType::seq_segit_omp_parallel_for_exec
+                 : raja::PolicyType::seq_segit_seq_exec;
+  s.seconds = omp ? 5e-3 + static_cast<double>(size) * 1e-7
+                  : static_cast<double>(size) * 1e-6;
+  return s;
+}
+
+void push_deck(SampleBuffer& buffer, int repeats) {
+  static const std::int64_t kSizes[] = {2000, 4000, 150000, 250000};
+  for (int r = 0; r < repeats; ++r) {
+    for (const std::int64_t size : kSizes) {
+      buffer.push(make_sample(size, false));
+      buffer.push(make_sample(size, true));
+    }
+  }
+}
+
+TelemetryFrame regret_frame(std::uint64_t applied_generation, double regret) {
+  TelemetryFrame frame;
+  frame.applied_generation = applied_generation;
+  frame.sent_ns = 1;
+  frame.snapshot.upsert(gauge_series("apollo_regret_seconds_total", regret));
+  return frame;
+}
+
+}  // namespace
+
+// --- snapshot merging ---------------------------------------------------------
+
+TEST(FleetMerge, CountersSumExactly) {
+  // 2^53 + 1 is not representable as a double: an exact merge must stay on
+  // the integer path, never round-trip through floating point.
+  const std::uint64_t big = (std::uint64_t{1} << 53) + 1;
+  MetricsSnapshot a, b;
+  a.upsert(counter_series("m_total", big));
+  b.upsert(counter_series("m_total", 2));
+  a.merge(b);
+  ASSERT_NE(a.find("m_total"), nullptr);
+  EXPECT_EQ(a.find("m_total")->counter_value, big + 2);
+}
+
+TEST(FleetMerge, GaugesLastWriteWins) {
+  MetricsSnapshot a, b;
+  a.upsert(gauge_series("g", 1.5));
+  b.upsert(gauge_series("g", -7.25));
+  a.merge(b);
+  EXPECT_EQ(a.find("g")->gauge_value, -7.25);
+}
+
+TEST(FleetMerge, HistogramsMergeBucketForBucket) {
+  MetricsSnapshot a, b;
+  a.upsert(hist_series("h_seconds", {0.1, 1.0}, {3, 2, 1}, 2.5));
+  b.upsert(hist_series("h_seconds", {0.1, 1.0}, {10, 20, 30}, 40.0));
+  a.merge(b);
+  const SeriesSnapshot* merged = a.find("h_seconds");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->hist_buckets, (std::vector<std::uint64_t>{13, 22, 31}));
+  EXPECT_EQ(merged->hist_count, 66u);
+  EXPECT_DOUBLE_EQ(merged->hist_sum, 42.5);
+}
+
+TEST(FleetMerge, MismatchedBoundsRebucketByUpperBound) {
+  // Theirs is finer: {0.1, 0.5, 1.0}. Ours: {0.1, 1.0}. The 0.5-bound
+  // bucket must land in our le-1.0 bucket; overflow stays overflow. Totals
+  // are preserved (count still equals the bucket sum).
+  MetricsSnapshot a, b;
+  a.upsert(hist_series("h_seconds", {0.1, 1.0}, {1, 1, 1}, 1.0));
+  b.upsert(hist_series("h_seconds", {0.1, 0.5, 1.0}, {4, 8, 16, 32}, 10.0));
+  a.merge(b);
+  const SeriesSnapshot* merged = a.find("h_seconds");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->hist_buckets, (std::vector<std::uint64_t>{5, 25, 33}));
+  EXPECT_EQ(merged->hist_count, 63u);
+  const std::uint64_t total = std::accumulate(merged->hist_buckets.begin(),
+                                              merged->hist_buckets.end(), std::uint64_t{0});
+  EXPECT_EQ(total, merged->hist_count);
+}
+
+TEST(FleetMerge, DisjointNamesAndLabelsUnion) {
+  MetricsSnapshot a, b;
+  a.upsert(counter_series("only_a_total", 1));
+  a.upsert(gauge_series("shared", 1.0, "client=\"a\""));
+  b.upsert(counter_series("only_b_total", 2));
+  b.upsert(gauge_series("shared", 2.0, "client=\"b\""));
+  a.merge(b);
+  EXPECT_EQ(a.series.size(), 4u);
+  EXPECT_EQ(a.find("only_a_total")->counter_value, 1u);
+  EXPECT_EQ(a.find("only_b_total")->counter_value, 2u);
+  // Same name, different label bodies: per-client series stay separate.
+  EXPECT_EQ(a.find("shared", "client=\"a\"")->gauge_value, 1.0);
+  EXPECT_EQ(a.find("shared", "client=\"b\"")->gauge_value, 2.0);
+}
+
+TEST(FleetMerge, TagTouchesOnlyTheRequestedKind) {
+  MetricsSnapshot s;
+  s.upsert(gauge_series("unlabeled_gauge", 1.0));
+  s.upsert(gauge_series("labeled_gauge", 2.0, "kernel=\"k\""));
+  s.upsert(counter_series("a_counter_total", 3));
+  s.tag(MetricKind::Gauge, "client", "rank0");
+  EXPECT_NE(s.find("unlabeled_gauge", "client=\"rank0\""), nullptr);
+  EXPECT_NE(s.find("labeled_gauge", "kernel=\"k\",client=\"rank0\""), nullptr);
+  EXPECT_NE(s.find("a_counter_total"), nullptr) << "counters must keep their label body";
+}
+
+TEST(FleetMerge, RegistrySnapshotsMergeExactly) {
+  // Two standalone registries standing in for two client processes.
+  MetricsRegistry r1, r2;
+  r1.counter("proc_total", "help").inc(5);
+  r2.counter("proc_total", "help").inc(7);
+  r1.histogram("lat_seconds", "help", {0.1, 1.0}).observe(0.05);
+  r2.histogram("lat_seconds", "help", {0.1, 1.0}).observe(0.5);
+  MetricsSnapshot merged = r1.snapshot();
+  merged.merge(r2.snapshot());
+  EXPECT_EQ(merged.find("proc_total")->counter_value, 12u);
+  const SeriesSnapshot* hist = merged.find("lat_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->hist_count, 2u);
+  EXPECT_EQ(hist->hist_buckets, (std::vector<std::uint64_t>{1, 1, 0}));
+}
+
+// --- env knobs ----------------------------------------------------------------
+
+TEST(FleetEnv, FromEnvDefaultsDisabled) {
+  ::unsetenv("APOLLO_FLEET_METRICS_FILE");
+  ::unsetenv("APOLLO_FLEET_EVENTS_FILE");
+  ::unsetenv("APOLLO_FLEET_SLO_MS");
+  ::unsetenv("APOLLO_FLEET_EXPORT_MS");
+  const FleetConfig cfg = FleetConfig::from_env();
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_EQ(cfg.slo_ms, 0);
+  EXPECT_EQ(cfg.export_ms, 500);
+}
+
+TEST(FleetEnv, FromEnvParsesValidValues) {
+  ::setenv("APOLLO_FLEET_METRICS_FILE", "/tmp/fleet.prom", 1);
+  ::setenv("APOLLO_FLEET_EVENTS_FILE", "/tmp/fleet.jsonl", 1);
+  ::setenv("APOLLO_FLEET_SLO_MS", "250", 1);
+  ::setenv("APOLLO_FLEET_EXPORT_MS", "100", 1);
+  const FleetConfig cfg = FleetConfig::from_env();
+  EXPECT_TRUE(cfg.enabled());
+  EXPECT_EQ(cfg.metrics_path, "/tmp/fleet.prom");
+  EXPECT_EQ(cfg.events_path, "/tmp/fleet.jsonl");
+  EXPECT_EQ(cfg.slo_ms, 250);
+  EXPECT_EQ(cfg.export_ms, 100);
+  // "0" is a deliberate "no SLO", not garbage: the knob's floor is zero.
+  ::setenv("APOLLO_FLEET_SLO_MS", "0", 1);
+  EXPECT_EQ(FleetConfig::from_env().slo_ms, 0);
+  ::unsetenv("APOLLO_FLEET_METRICS_FILE");
+  ::unsetenv("APOLLO_FLEET_EVENTS_FILE");
+  ::unsetenv("APOLLO_FLEET_SLO_MS");
+  ::unsetenv("APOLLO_FLEET_EXPORT_MS");
+}
+
+TEST(FleetEnv, GarbageSloWarnsAndKeepsDefault) {
+  // A typo'd SLO must not silently become 0 (disabled) or trip constantly.
+  const char* garbage[] = {"", "abc", "100ms", "1e3", "-5", "12 34",
+                           "999999999999999999999999"};
+  for (const char* value : garbage) {
+    ::setenv("APOLLO_FLEET_SLO_MS", value, 1);
+    ::setenv("APOLLO_FLEET_EXPORT_MS", value, 1);
+    const FleetConfig cfg = FleetConfig::from_env();
+    EXPECT_EQ(cfg.slo_ms, 0) << "APOLLO_FLEET_SLO_MS=\"" << value << '"';
+    EXPECT_EQ(cfg.export_ms, 500) << "APOLLO_FLEET_EXPORT_MS=\"" << value << '"';
+  }
+  ::unsetenv("APOLLO_FLEET_SLO_MS");
+  ::unsetenv("APOLLO_FLEET_EXPORT_MS");
+}
+
+TEST(FleetEnv, TelemetryShipMsParsesZeroAndRejectsGarbage) {
+  ::unsetenv("APOLLO_SERVICE_SOCKET");
+  ::unsetenv("APOLLO_TELEMETRY_SHIP_MS");
+  EXPECT_EQ(ClientConfig::from_env().telemetry_ship_ms, 1000);
+  ::setenv("APOLLO_TELEMETRY_SHIP_MS", "250", 1);
+  EXPECT_EQ(ClientConfig::from_env().telemetry_ship_ms, 250);
+  // Zero is the documented "don't ship" setting.
+  ::setenv("APOLLO_TELEMETRY_SHIP_MS", "0", 1);
+  EXPECT_EQ(ClientConfig::from_env().telemetry_ship_ms, 0);
+  const char* garbage[] = {"", "fast", "1s", "-100", "2 50"};
+  for (const char* value : garbage) {
+    ::setenv("APOLLO_TELEMETRY_SHIP_MS", value, 1);
+    EXPECT_EQ(ClientConfig::from_env().telemetry_ship_ms, 1000)
+        << "APOLLO_TELEMETRY_SHIP_MS=\"" << value << '"';
+  }
+  ::unsetenv("APOLLO_TELEMETRY_SHIP_MS");
+}
+
+// --- staleness SLO (deterministic, caller-provided clock) ---------------------
+
+TEST(FleetSlo, BreachIsEdgeTriggeredPerEpisode) {
+  FleetConfig cfg;
+  cfg.slo_ms = 100;
+  FleetMetrics fleet(cfg);
+  const std::uint64_t t0 = ms(1000);
+
+  fleet.client_connected(1, "c0", t0);
+  fleet.generation_trained(1, 8, 0.01, {{1, {1}}}, t0);
+
+  // Inside budget: no breach yet.
+  fleet.tick(1, t0 + ms(50));
+  EXPECT_EQ(fleet.slo_breaches(), 0u);
+
+  // Past budget: exactly one breach, and staying behind does not re-count.
+  fleet.tick(1, t0 + ms(150));
+  EXPECT_EQ(fleet.slo_breaches(), 1u);
+  fleet.tick(1, t0 + ms(500));
+  fleet.tick(1, t0 + ms(1000));
+  EXPECT_EQ(fleet.slo_breaches(), 1u);
+
+  const auto behind = fleet.clients(1, t0 + ms(150));
+  ASSERT_EQ(behind.size(), 1u);
+  EXPECT_EQ(behind[0].generation_lag, 1u);
+  EXPECT_GT(behind[0].staleness_seconds, 0.0);
+  EXPECT_EQ(behind[0].slo_breaches, 1u);
+
+  // The client catches up (a batch stamped with the new origin generation);
+  // a later train opens a fresh episode that breaches independently.
+  SampleBatch caught_up;
+  caught_up.origin_generation = 1;
+  fleet.batch_received(1, caught_up, 0, 1, t0 + ms(1100));
+  fleet.tick(1, t0 + ms(1200));
+  EXPECT_EQ(fleet.slo_breaches(), 1u);
+  EXPECT_EQ(fleet.clients(1, t0 + ms(1200))[0].staleness_seconds, 0.0);
+
+  fleet.generation_trained(2, 8, 0.01, {{1, {2}}}, t0 + ms(1300));
+  fleet.tick(2, t0 + ms(1450));
+  EXPECT_EQ(fleet.slo_breaches(), 2u);
+}
+
+TEST(FleetSlo, DisabledSloNeverTrips) {
+  FleetConfig cfg;
+  cfg.events_path = unique_path("events.jsonl");  // enabled, but slo_ms = 0
+  FleetMetrics fleet(cfg);
+  const std::uint64_t t0 = ms(1000);
+  fleet.client_connected(1, "c0", t0);
+  fleet.generation_trained(1, 8, 0.01, {{1, {1}}}, t0);
+  fleet.tick(1, t0 + ms(60000));
+  EXPECT_EQ(fleet.slo_breaches(), 0u);
+  ::unlink(cfg.events_path.c_str());
+}
+
+TEST(FleetSlo, RegretAttributedOnlyWhileStale) {
+  FleetConfig cfg;
+  cfg.slo_ms = 100;
+  FleetMetrics fleet(cfg);
+  const std::uint64_t t0 = ms(1000);
+  fleet.client_connected(1, "c0", t0);
+
+  // Baseline report while caught up: nothing attributable yet.
+  fleet.telemetry_received(1, regret_frame(0, 1.0), 0, t0);
+  fleet.generation_trained(1, 8, 0.01, {{1, {1}}}, t0 + ms(10));
+
+  // Two reports while behind: their regret deltas are staleness-charged
+  // (the second one also announces the catch-up).
+  fleet.telemetry_received(1, regret_frame(0, 1.5), 1, t0 + ms(20));
+  fleet.telemetry_received(1, regret_frame(1, 2.0), 1, t0 + ms(30));
+
+  // A report while caught up is the client's own regret, not staleness.
+  fleet.telemetry_received(1, regret_frame(1, 2.5), 1, t0 + ms(40));
+
+  const auto views = fleet.clients(1, t0 + ms(50));
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_DOUBLE_EQ(views[0].regret_stale_seconds, 1.0);
+  EXPECT_EQ(fleet.telemetry_snapshots(), 4u);
+}
+
+TEST(FleetSlo, DisconnectClosesTheEpisode) {
+  FleetConfig cfg;
+  cfg.slo_ms = 100;
+  FleetMetrics fleet(cfg);
+  const std::uint64_t t0 = ms(1000);
+  fleet.client_connected(1, "c0", t0);
+  fleet.generation_trained(1, 8, 0.01, {{1, {1}}}, t0);
+  fleet.client_disconnected(1, "gone", t0 + ms(10));
+  fleet.tick(1, t0 + ms(60000));
+  EXPECT_EQ(fleet.slo_breaches(), 0u) << "a departed client cannot breach";
+  EXPECT_FALSE(fleet.clients(1, t0 + ms(60000))[0].connected);
+}
+
+// --- cross-process correlation (in-process daemon + client) -------------------
+
+namespace {
+
+std::string unique_socket() {
+  static std::atomic<int> counter{0};
+  return "/tmp/apollo_fleet_test." + std::to_string(::getpid()) + "." +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+DaemonConfig daemon_cfg(const std::string& socket) {
+  DaemonConfig cfg;
+  cfg.socket_path = socket;
+  cfg.train_batch = 16;
+  cfg.min_train_samples = 16;
+  return cfg;
+}
+
+ClientConfig client_cfg(const std::string& socket, const std::string& name) {
+  ClientConfig cfg;
+  cfg.socket_path = socket;
+  cfg.batch = 8;
+  cfg.retry_ms = 50;
+  cfg.poll_ms = 5;
+  cfg.client_name = name;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(FleetCorrelation, GenerationLineageNamesExactBatchSeqs) {
+  const std::string socket = unique_socket();
+  TrainerDaemon daemon(daemon_cfg(socket));
+  ASSERT_TRUE(daemon.start());
+
+  SampleBuffer buffer(256);
+  ModelRegistry registry;
+  ServiceClient client(&buffer, &registry, client_cfg(socket, "tracer"));
+  client.start();
+  ASSERT_TRUE(client.wait_connected(10.0));
+
+  // Exactly one training quorum: the fit cannot fire until the last batch
+  // lands, so generation 1's lineage must name every batch shipped so far.
+  push_deck(buffer, 2);  // 16 samples
+  ASSERT_TRUE(client.wait_sent(16, 10.0));
+  ASSERT_TRUE(daemon.wait_generation(1, 20.0));
+  ASSERT_TRUE(client.wait_generation(1, 10.0));
+
+  const ServiceClient::Status after_first = client.status();
+  ASSERT_GT(after_first.client_id, 0u);
+  std::vector<std::uint64_t> expected(after_first.batches_sent);
+  std::iota(expected.begin(), expected.end(), 1);  // client seqs start at 1
+
+  const std::vector<LineageEntry> lineage = daemon.lineage(1);
+  ASSERT_EQ(lineage.size(), 1u);
+  EXPECT_EQ(lineage[0].client_id, after_first.client_id);
+  EXPECT_EQ(lineage[0].seqs, expected);
+  EXPECT_TRUE(daemon.lineage(99).empty()) << "unknown generations have no lineage";
+
+  // The lineage echo is what lets the client close the loop: a pipeline
+  // sample exists and its latency is a real, positive duration.
+  ASSERT_TRUE(wait_until([&] { return !client.status().pipeline.empty(); }, 10.0));
+  const auto first_sample = client.status().pipeline.front();
+  EXPECT_EQ(first_sample.generation, 1u);
+  EXPECT_GT(first_sample.latency_seconds, 0.0);
+  EXPECT_LT(first_sample.latency_seconds, 60.0);
+
+  // A second quorum hot-swaps generation 2. Retained shard entries keep
+  // contributing, so the new lineage is exactly every batch shipped to date.
+  push_deck(buffer, 2);
+  ASSERT_TRUE(client.wait_sent(32, 10.0));
+  ASSERT_TRUE(daemon.wait_generation(2, 20.0));
+  ASSERT_TRUE(client.wait_generation(2, 10.0));
+  ASSERT_TRUE(wait_until([&] { return client.status().pipeline.size() >= 2; }, 10.0));
+
+  const ServiceClient::Status after_second = client.status();
+  std::vector<std::uint64_t> expected2(after_second.batches_sent);
+  std::iota(expected2.begin(), expected2.end(), 1);
+  const std::vector<LineageEntry> lineage2 = daemon.lineage(2);
+  ASSERT_EQ(lineage2.size(), 1u);
+  EXPECT_EQ(lineage2[0].seqs, expected2);
+
+  // Across the hot-swap the pipeline record stays finite and monotone:
+  // generations and apply timestamps never run backwards.
+  for (std::size_t i = 0; i < after_second.pipeline.size(); ++i) {
+    const auto& sample = after_second.pipeline[i];
+    EXPECT_GT(sample.latency_seconds, 0.0) << "pipeline sample " << i;
+    EXPECT_LT(sample.latency_seconds, 60.0) << "pipeline sample " << i;
+    if (i > 0) {
+      EXPECT_GE(sample.generation, after_second.pipeline[i - 1].generation);
+      EXPECT_GE(sample.applied_ns, after_second.pipeline[i - 1].applied_ns);
+    }
+  }
+
+  client.stop();
+  daemon.stop();
+}
+
+TEST(FleetCorrelation, TelemetryShipsAndMergesIntoFleetExport) {
+  const std::string socket = unique_socket();
+  DaemonConfig cfg = daemon_cfg(socket);
+  cfg.fleet.metrics_path = unique_path("fleet.prom");
+  cfg.fleet.events_path = unique_path("events.jsonl");
+  cfg.fleet.export_ms = 50;
+  TrainerDaemon daemon(cfg);
+  ASSERT_TRUE(daemon.start());
+
+  // The client ships a standalone registry (its "process-local" metrics).
+  MetricsRegistry client_metrics;
+  client_metrics.counter("obs_test_total", "Test counter.").inc(7);
+  client_metrics.gauge("obs_test_gauge", "Test gauge.").set(2.5);
+
+  SampleBuffer buffer(256);
+  ModelRegistry registry;
+  ClientConfig ccfg = client_cfg(socket, "obs");
+  ccfg.telemetry_ship_ms = 20;
+  ServiceClient client(&buffer, &registry, ccfg);
+  client.set_metrics_source(&client_metrics);
+  client.start();
+  ASSERT_TRUE(client.wait_connected(10.0));
+  ASSERT_TRUE(wait_until([&] { return daemon.fleet().telemetry_snapshots() >= 1; }, 10.0));
+
+  const MetricsSnapshot merged = daemon.fleet().merged(daemon.generation(), monotonic_now_ns());
+  const SeriesSnapshot* shipped = merged.find("obs_test_total");
+  ASSERT_NE(shipped, nullptr) << "client counters must reach the fleet view";
+  EXPECT_EQ(shipped->counter_value, 7u);
+  // Gauges are client-tagged at receipt so per-client values never collide.
+  ASSERT_NE(merged.find("obs_test_gauge", "client=\"obs\""), nullptr);
+  ASSERT_NE(merged.find("apollo_fleet_clients"), nullptr);
+  EXPECT_EQ(merged.find("apollo_fleet_clients")->gauge_value, 1.0);
+  EXPECT_NE(merged.find("apollo_fleet_connected", "client=\"obs\""), nullptr);
+  EXPECT_GE(merged.find("apollo_fleet_telemetry_snapshots_total")->counter_value, 1u);
+
+  // The exported file and the event log materialize on the tick cadence.
+  EXPECT_TRUE(
+      wait_until([&] { return file_contains(cfg.fleet.metrics_path, "apollo_fleet_clients"); },
+                 10.0));
+  EXPECT_TRUE(file_contains(cfg.fleet.events_path, "\"event\":\"connect\""));
+  EXPECT_GE(client.status().telemetry_shipped, 1u);
+
+  client.stop();
+  daemon.stop();
+  EXPECT_TRUE(file_contains(cfg.fleet.events_path, "\"event\":\"disconnect\""));
+  ::unlink(cfg.fleet.metrics_path.c_str());
+  ::unlink(cfg.fleet.events_path.c_str());
+}
+
+TEST(FleetCorrelation, V1HelloGetsCleanNackNotDecodeError) {
+  const std::string socket = unique_socket();
+  DaemonConfig cfg = daemon_cfg(socket);
+  cfg.fleet.events_path = unique_path("events.jsonl");
+  TrainerDaemon daemon(cfg);
+  ASSERT_TRUE(daemon.start());
+
+  // A v1 client's HELLO decodes fine (the layout is frozen); the daemon
+  // answers with a nack naming its own protocol, logs the skew, hangs up.
+  FrameConn conn(connect_unix(socket));
+  ASSERT_TRUE(conn.valid());
+  HelloFrame hello;
+  hello.protocol = 1;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  hello.client_name = "v1-holdout";
+  ASSERT_TRUE(conn.send(FrameType::Hello, encode_hello(hello)));
+
+  const auto nack = conn.recv(5000);
+  ASSERT_TRUE(nack.has_value());
+  ASSERT_EQ(nack->first, FrameType::Ack);
+  const AckFrame ack = decode_ack(nack->second);
+  EXPECT_EQ(ack.protocol, kProtocolVersion);
+  EXPECT_EQ(ack.samples_accepted, 0u);
+  EXPECT_FALSE(conn.recv(5000).has_value());
+  EXPECT_FALSE(conn.valid());
+
+  EXPECT_TRUE(wait_until([&] { return daemon.stats().frames_rejected >= 1; }, 5.0));
+  EXPECT_TRUE(wait_until(
+      [&] { return file_contains(cfg.fleet.events_path, "\"event\":\"nack\""); }, 5.0));
+  EXPECT_TRUE(file_contains(cfg.fleet.events_path, "\"client_protocol\":1"));
+
+  // The daemon survives: a current-protocol client still joins and works.
+  SampleBuffer buffer(64);
+  ModelRegistry registry;
+  ServiceClient client(&buffer, &registry, client_cfg(socket, "current"));
+  client.start();
+  EXPECT_TRUE(client.wait_connected(10.0));
+  client.stop();
+  daemon.stop();
+  ::unlink(cfg.fleet.events_path.c_str());
+}

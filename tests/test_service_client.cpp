@@ -319,7 +319,9 @@ TEST(ServiceDaemon, MalformedPeerDisconnectsWithoutPoisoningOthers) {
   {
     FrameConn conn(connect_unix(socket));
     ASSERT_TRUE(conn.valid());
-    ASSERT_TRUE(conn.send(FrameType::SampleBatch, encode_sample_batch(1, {})));
+    SampleBatch premature;
+    premature.seq = 1;
+    ASSERT_TRUE(conn.send(FrameType::SampleBatch, encode_sample_batch(premature)));
     EXPECT_FALSE(conn.recv(5000).has_value()) << "daemon must hang up, not ack";
   }
   // Peer 2: raw garbage where a frame header belongs.

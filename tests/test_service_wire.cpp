@@ -45,6 +45,47 @@ std::vector<perf::SampleRecord> make_records(int n) {
   return records;
 }
 
+/// A batch with a full v2 trace context stamped on.
+SampleBatch make_batch(std::uint64_t seq, std::vector<perf::SampleRecord> records) {
+  SampleBatch batch;
+  batch.seq = seq;
+  batch.client_id = 6;
+  batch.origin_generation = 3;
+  batch.sent_ns = 111222333444ull;
+  batch.records = std::move(records);
+  return batch;
+}
+
+/// A telemetry frame exercising all three metric kinds.
+TelemetryFrame make_telemetry() {
+  TelemetryFrame frame;
+  frame.applied_generation = 4;
+  frame.sent_ns = 987654321;
+  apollo::telemetry::SeriesSnapshot counter;
+  counter.name = "t_counter_total";
+  counter.help = "A counter.";
+  counter.kind = apollo::telemetry::MetricKind::Counter;
+  counter.counter_value = 42;
+  apollo::telemetry::SeriesSnapshot gauge;
+  gauge.name = "t_gauge";
+  gauge.labels = "client=\"rank0\"";
+  gauge.help = "A gauge.";
+  gauge.kind = apollo::telemetry::MetricKind::Gauge;
+  gauge.gauge_value = -2.5;
+  apollo::telemetry::SeriesSnapshot hist;
+  hist.name = "t_seconds";
+  hist.help = "A histogram.";
+  hist.kind = apollo::telemetry::MetricKind::Histogram;
+  hist.hist_bounds = {0.001, 0.01, 0.1};
+  hist.hist_buckets = {3, 2, 1, 4};
+  hist.hist_count = 10;
+  hist.hist_sum = 1.75;
+  frame.snapshot.upsert(counter);
+  frame.snapshot.upsert(gauge);
+  frame.snapshot.upsert(hist);
+  return frame;
+}
+
 /// Decode `payload` as frame type `type`; used by the truncation sweeps.
 void decode_as(FrameType type, std::string_view payload) {
   switch (type) {
@@ -53,6 +94,7 @@ void decode_as(FrameType type, std::string_view payload) {
     case FrameType::ModelPush: (void)decode_model_push(payload); break;
     case FrameType::Ack: (void)decode_ack(payload); break;
     case FrameType::Stats: (void)decode_stats(payload); break;
+    case FrameType::Telemetry: (void)decode_telemetry(payload); break;
   }
 }
 
@@ -144,7 +186,7 @@ TEST(ServiceWire, ModelPushRoundTripAllCombinations) {
 
 TEST(ServiceWire, SampleBatchRoundTripPreservesValues) {
   const auto records = make_records(20);
-  const SampleBatch out = decode_sample_batch(encode_sample_batch(42, records));
+  const SampleBatch out = decode_sample_batch(encode_sample_batch(make_batch(42, records)));
   EXPECT_EQ(out.seq, 42u);
   ASSERT_EQ(out.records.size(), records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
@@ -152,10 +194,22 @@ TEST(ServiceWire, SampleBatchRoundTripPreservesValues) {
   }
 }
 
+TEST(ServiceWire, SampleBatchTraceContextRoundTrips) {
+  // The v2 trace context (client id, origin generation, send timestamp) is
+  // what lets the daemon attribute generations and clients measure true
+  // sample-to-swap latency — it must survive the wire bit-exactly.
+  const SampleBatch out = decode_sample_batch(encode_sample_batch(make_batch(7, make_records(2))));
+  EXPECT_EQ(out.seq, 7u);
+  EXPECT_EQ(out.client_id, 6u);
+  EXPECT_EQ(out.origin_generation, 3u);
+  EXPECT_EQ(out.sent_ns, 111222333444ull);
+}
+
 TEST(ServiceWire, SampleBatchEmptyAndEmptyRecords) {
-  const SampleBatch none = decode_sample_batch(encode_sample_batch(1, {}));
+  const SampleBatch none = decode_sample_batch(encode_sample_batch(make_batch(1, {})));
   EXPECT_TRUE(none.records.empty());
-  const SampleBatch blank = decode_sample_batch(encode_sample_batch(2, {perf::SampleRecord{}}));
+  const SampleBatch blank =
+      decode_sample_batch(encode_sample_batch(make_batch(2, {perf::SampleRecord{}})));
   ASSERT_EQ(blank.records.size(), 1u);
   EXPECT_TRUE(blank.records[0].empty());
 }
@@ -171,7 +225,89 @@ TEST(ServiceWire, DictionaryCodingBeatsNaiveText) {
       if (value.is_string()) naive += value.as_string().size();
     }
   }
-  EXPECT_LT(encode_sample_batch(0, records).size(), naive / 2);
+  EXPECT_LT(encode_sample_batch(make_batch(0, records)).size(), naive / 2);
+}
+
+TEST(ServiceWire, ModelPushLineageRoundTrips) {
+  // Lineage is the daemon's claim about which client batches trained a
+  // generation; clients key pipeline-latency off it, so order and content
+  // must be exact.
+  ModelPushFrame push;
+  push.generation = 9;
+  push.trained_on_samples = 256;
+  push.pushed_ns = 555;
+  push.lineage = {{2, {1, 3, 5}}, {4, {2}}, {7, {}}};
+  push.policy_text = std::string("p");
+  const ModelPushFrame out = decode_model_push(encode_model_push(push));
+  EXPECT_EQ(out.lineage, push.lineage);
+
+  ModelPushFrame bare;
+  bare.generation = 1;
+  EXPECT_TRUE(decode_model_push(encode_model_push(bare)).lineage.empty());
+}
+
+TEST(ServiceWire, AckClientIdRoundTrips) {
+  AckFrame ack;
+  ack.batch_seq = 3;
+  ack.client_id = 17;
+  EXPECT_EQ(decode_ack(encode_ack(ack)).client_id, 17u);
+}
+
+TEST(ServiceWire, TelemetryRoundTrip) {
+  const TelemetryFrame frame = make_telemetry();
+  const TelemetryFrame out = decode_telemetry(encode_telemetry(frame));
+  EXPECT_EQ(out.applied_generation, 4u);
+  EXPECT_EQ(out.sent_ns, 987654321u);
+  ASSERT_EQ(out.snapshot.series.size(), frame.snapshot.series.size());
+  for (std::size_t i = 0; i < frame.snapshot.series.size(); ++i) {
+    const auto& a = frame.snapshot.series[i];
+    const auto& b = out.snapshot.series[i];
+    EXPECT_EQ(b.name, a.name);
+    EXPECT_EQ(b.labels, a.labels);
+    EXPECT_EQ(b.help, a.help);
+    EXPECT_EQ(b.kind, a.kind);
+    EXPECT_EQ(b.counter_value, a.counter_value);
+    EXPECT_EQ(b.gauge_value, a.gauge_value);
+    EXPECT_EQ(b.hist_bounds, a.hist_bounds);
+    EXPECT_EQ(b.hist_buckets, a.hist_buckets);
+    EXPECT_EQ(b.hist_count, a.hist_count);
+    EXPECT_EQ(b.hist_sum, a.hist_sum);
+  }
+}
+
+TEST(ServiceWire, TelemetryEmptySnapshotRoundTrips) {
+  TelemetryFrame frame;
+  frame.applied_generation = 1;
+  frame.sent_ns = 2;
+  const TelemetryFrame out = decode_telemetry(encode_telemetry(frame));
+  EXPECT_TRUE(out.snapshot.series.empty());
+}
+
+TEST(ServiceWire, TelemetryUnknownSeriesKindRefused) {
+  WireWriter w;
+  w.varint(0);       // applied_generation
+  w.u64(0);          // sent_ns
+  w.varint(1);       // string table: 1 entry
+  w.string("name");  //   [0]
+  w.varint(1);       // 1 series
+  w.varint(0);       // name index
+  w.varint(0);       // labels index
+  w.varint(0);       // help index
+  w.u8(9);           // kind 9 does not exist
+  EXPECT_THROW((void)decode_telemetry(w.buffer()), WireError);
+}
+
+TEST(ServiceWire, V1HelloDecodesCleanly) {
+  // The HELLO layout is frozen across protocol versions so a skewed peer
+  // can be recognised and nacked instead of dying as a decode error.
+  HelloFrame old;
+  old.protocol = 1;
+  old.pid = 99;
+  old.client_name = "legacy";
+  const HelloFrame out = decode_hello(encode_hello(old));
+  EXPECT_EQ(out.protocol, 1u);
+  EXPECT_EQ(out.pid, 99u);
+  EXPECT_EQ(out.client_name, "legacy");
 }
 
 // --- framing ------------------------------------------------------------------
@@ -204,7 +340,7 @@ TEST(ServiceWire, OversizedPayloadRefusedAtBothEnds) {
 }
 
 TEST(ServiceWire, UnknownFrameTypeRefused) {
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{6}, std::uint8_t{255}}) {
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{7}, std::uint8_t{255}}) {
     char header_bytes[kFrameHeaderBytes] = {};
     header_bytes[0] = static_cast<char>(type);
     EXPECT_THROW((void)decode_frame_header(header_bytes), WireError) << "type=" << int(type);
@@ -233,13 +369,20 @@ TEST(ServiceWire, CrcCatchesSingleByteFlips) {
 TEST(ServiceWire, EveryStrictPrefixOfEveryFrameThrows) {
   // Decoders consume the payload exactly: any truncation point must throw,
   // whether it lands mid-primitive, mid-string, or before a promised record.
+  ModelPushFrame push;
+  push.generation = 3;
+  push.trained_on_samples = 100;
+  push.pushed_ns = 42;
+  push.lineage = {{1, {4, 9}}, {2, {5}}};
+  push.policy_text = std::string("policy");
+  push.chunk_text = std::string("chunk");
   const std::vector<std::pair<FrameType, std::string>> frames = {
       {FrameType::Hello, encode_hello({kProtocolVersion, 77, "client"})},
-      {FrameType::Ack, encode_ack({kProtocolVersion, 5, 2, 33})},
+      {FrameType::Ack, encode_ack({kProtocolVersion, 5, 2, 33, 8})},
       {FrameType::Stats, encode_stats({1, 2, 3, 4, 5, 6, 7, {{"k", 9}}})},
-      {FrameType::ModelPush,
-       encode_model_push({3, 100, 42, std::string("policy"), std::string("chunk"), std::nullopt})},
-      {FrameType::SampleBatch, encode_sample_batch(9, make_records(4))},
+      {FrameType::ModelPush, encode_model_push(push)},
+      {FrameType::SampleBatch, encode_sample_batch(make_batch(9, make_records(4)))},
+      {FrameType::Telemetry, encode_telemetry(make_telemetry())},
   };
   for (const auto& [type, payload] : frames) {
     for (std::size_t cut = 0; cut < payload.size(); ++cut) {
@@ -276,6 +419,9 @@ TEST(ServiceWire, StringLengthBeyondPayloadRefused) {
 TEST(ServiceWire, BatchWithDanglingStringIndexRefused) {
   WireWriter w;
   w.varint(1);            // seq
+  w.varint(1);            // client_id
+  w.varint(0);            // origin_generation
+  w.u64(0);               // sent_ns
   w.varint(1);            // string table: 1 entry
   w.string("loop_id");    //   [0]
   w.varint(1);            // 1 record
@@ -289,6 +435,9 @@ TEST(ServiceWire, BatchWithDanglingStringIndexRefused) {
 TEST(ServiceWire, BatchWithUnknownValueTagRefused) {
   WireWriter w;
   w.varint(1);
+  w.varint(1);
+  w.varint(0);
+  w.u64(0);
   w.varint(1);
   w.string("loop_id");
   w.varint(1);
