@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
+#include "perf/quantile.hpp"
 #include "telemetry/build_info.hpp"
 
 namespace {
@@ -142,14 +143,9 @@ struct Row {
   double mean_ns = 0.0;
 };
 
-double percentile(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
-}
+// Percentiles over the sorted per-launch samples come from the shared
+// helper (perf/quantile.hpp).
+using apollo::perf::percentile;
 
 /// The kernel body: one store + add per index, enough that the compiler
 /// cannot elide the loop but launch overhead still dominates at small N.

@@ -1,0 +1,207 @@
+// Hardware-profiling overhead microbenchmark: the cost contract behind
+// telemetry/hwprof. Runs the same tuned apollo::forall hot path as
+// micro_telemetry_overhead with telemetry on, then prices hw profiling
+// against that baseline:
+//
+//   hw_off      APOLLO_HW_STRIDE=0 — must be indistinguishable from the
+//               baseline (the off state is one relaxed load + branch);
+//   hw_sw_64    software provider at the default stride (64) — the gated
+//               configuration: <5% overhead by default (--max-overhead
+//               loosens the gate for noisy CI runners);
+//   hw_sw_1     software provider, every launch (informational: the worst
+//               case a user can configure);
+//   hw_perf_64  perf provider at stride 64, skipped where
+//               perf_event_paranoid blocks the PMU (gated like hw_sw_64).
+//
+// Hand-rolled (not google-benchmark) because the verdict is a ratio between
+// configurations, written to BENCH_hwprof.json with a pass flag.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/trainer.hpp"
+#include "raja/forall.hpp"
+#include "telemetry/build_info.hpp"
+#include "telemetry/hwprof.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace hwprof = apollo::telemetry::hwprof;
+
+namespace {
+
+constexpr std::int64_t kN = 4096;
+
+const apollo::KernelHandle& micro_kernel() {
+  static const apollo::KernelHandle k{"micro:hwprof", "MicroHwprof",
+                                      apollo::instr::MixBuilder{}.fp(2).load(2).store(1).build(),
+                                      24};
+  return k;
+}
+
+apollo::TunerModel train_model() {
+  auto& rt = apollo::Runtime::instance();
+  rt.reset();
+  rt.set_execute_selected(false);
+  rt.set_mode(apollo::Mode::Record);
+  apollo::TrainingConfig training;
+  training.chunk_values.clear();
+  rt.set_training_config(training);
+  for (int step = 0; step < 8; ++step) {
+    apollo::forall(micro_kernel(), raja::IndexSet::range(0, kN), [](raja::Index) {});
+  }
+  auto trained = apollo::Trainer::train(rt.records(), apollo::TunedParameter::Policy);
+  rt.reset();
+  return trained;
+}
+
+struct Row {
+  std::string name;
+  std::string provider;
+  double ns_per_launch = 0.0;
+  double ratio = 0.0;  ///< vs the telemetry-on baseline
+  bool gated = false;
+};
+
+/// Best-of-reps mean launch time under the current hwprof configuration.
+double measure_ns_per_launch(int reps, int launches) {
+  const raja::IndexSet iset = raja::IndexSet::range(0, kN);
+  double best = 0.0;
+  for (int warm = 0; warm < launches / 4; ++warm) {
+    apollo::forall(micro_kernel(), iset, [](raja::Index) {});
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < launches; ++i) {
+      apollo::forall(micro_kernel(), iset, [](raja::Index) {});
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = std::chrono::duration<double, std::nano>(t1 - t0).count() /
+                      static_cast<double>(launches);
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_overhead = 1.05;
+  int reps = 9;
+  int launches = 20000;
+  std::string out_path = "BENCH_hwprof.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    auto next = [&]() -> const char* { return a + 1 < argc ? argv[++a] : nullptr; };
+    if (arg == "--version") {
+      std::printf("%s\n", apollo::build_info_string().c_str());
+      return 0;
+    } else if (arg == "--max-overhead") {
+      if (const char* v = next()) max_overhead = std::atof(v);
+    } else if (arg == "--reps") {
+      if (const char* v = next()) reps = std::atoi(v);
+    } else if (arg == "--launches") {
+      if (const char* v = next()) launches = std::atoi(v);
+    } else if (arg == "--out") {
+      if (const char* v = next()) out_path = v;
+    } else if (arg == "--quick") {
+      reps = 5;
+      launches = 5000;
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_hwprof_overhead [--max-overhead R] [--reps N] [--launches N] "
+                   "[--out FILE] [--quick]\n");
+      return 2;
+    }
+  }
+
+  const apollo::TunerModel model = train_model();
+  auto& rt = apollo::Runtime::instance();
+  rt.reset();
+  rt.set_execute_selected(false);
+  rt.set_mode(apollo::Mode::Tune);
+  rt.set_policy_model(model);
+
+  // The baseline every ratio is against: telemetry on (live collector, no
+  // file exports, quality probes off — the micro_telemetry_overhead shape).
+  apollo::telemetry::Config config;
+  config.trace_file.clear();
+  config.decisions_file.clear();
+  config.flush_interval_seconds = 0.0;
+  config.probe_stride = 0;
+  apollo::telemetry::configure(config);
+  apollo::telemetry::set_enabled(true);
+  apollo::telemetry::start_collector();
+
+  const bool perf_ok = hwprof::perf_events_available();
+  std::vector<Row> rows;
+  const auto run = [&](const char* name, std::size_t stride, hwprof::ProviderKind provider,
+                       bool gated) {
+    hwprof::HwConfig hw;
+    hw.stride = stride;
+    hw.provider = provider;
+    hwprof::configure(hw);
+    Row row;
+    row.name = name;
+    row.provider = hwprof::active_provider_name();
+    row.ns_per_launch = measure_ns_per_launch(reps, launches);
+    row.gated = gated;
+    rows.push_back(row);
+  };
+
+  run("baseline", 0, hwprof::ProviderKind::Software, false);
+  run("hw_off", 0, hwprof::ProviderKind::Software, true);
+  run("hw_sw_64", hwprof::kDefaultOnStride, hwprof::ProviderKind::Software, true);
+  run("hw_sw_1", 1, hwprof::ProviderKind::Software, false);
+  if (perf_ok) run("hw_perf_64", hwprof::kDefaultOnStride, hwprof::ProviderKind::Perf, true);
+
+  hwprof::configure(hwprof::HwConfig{});  // back off
+  apollo::telemetry::set_enabled(false);
+  apollo::telemetry::stop_collector();
+
+  const double baseline = rows.front().ns_per_launch;
+  bool pass = true;
+  std::printf("hwprof overhead vs telemetry-on baseline (gate: ratio <= %.2f)\n", max_overhead);
+  std::printf("%-12s %-10s %12s %8s %6s\n", "config", "provider", "ns/launch", "ratio", "gate");
+  for (Row& row : rows) {
+    row.ratio = baseline > 0.0 ? row.ns_per_launch / baseline : 0.0;
+    const bool ok = !row.gated || row.ratio <= max_overhead;
+    if (!ok) pass = false;
+    std::printf("%-12s %-10s %12.1f %8.3f %6s\n", row.name.c_str(), row.provider.c_str(),
+                row.ns_per_launch, row.ratio, row.gated ? (ok ? "pass" : "FAIL") : "-");
+  }
+  if (!perf_ok) {
+    std::printf("hw_perf_64   skipped: perf counters unavailable (perf_event_paranoid)\n");
+  }
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "micro_hwprof_overhead: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"context\": {\"build\": \"" << apollo::build_info_string()
+      << "\", \"reps\": " << reps << ", \"launches\": " << launches
+      << ", \"max_overhead\": " << max_overhead
+      << ", \"perf_available\": " << (perf_ok ? "true" : "false") << "},\n  \"benchmarks\": [\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out << "    {\"name\": \"" << rows[r].name << "\", \"provider\": \"" << rows[r].provider
+        << "\", \"ns_per_launch\": " << rows[r].ns_per_launch << ", \"ratio\": " << rows[r].ratio
+        << ", \"gated\": " << (rows[r].gated ? "true" : "false") << "}"
+        << (r + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  if (!pass) {
+    std::fprintf(stderr, "micro_hwprof_overhead: FAIL — hw profiling exceeded the overhead "
+                         "gate\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "perf/quantile.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace apollo::perf {
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double bucket_quantile(const std::vector<std::pair<double, double>>& buckets, double count,
+                       double q) {
+  if (count <= 0.0 || buckets.empty()) return 0.0;
+  const double target = std::clamp(q, 0.0, 1.0) * count;
+  double previous_cumulative = 0.0;
+  double previous_bound = 0.0;
+  for (const auto& [bound, cumulative] : buckets) {
+    if (cumulative >= target) {
+      const double in_bucket = cumulative - previous_cumulative;
+      if (in_bucket <= 0.0) return bound;
+      const double within = (target - previous_cumulative) / in_bucket;
+      return previous_bound + (bound - previous_bound) * std::clamp(within, 0.0, 1.0);
+    }
+    previous_cumulative = cumulative;
+    previous_bound = bound;
+  }
+  return buckets.back().first;
+}
+
+}  // namespace apollo::perf

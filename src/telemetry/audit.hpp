@@ -52,6 +52,16 @@ struct AuditRecord {
   double seconds = 0.0;             ///< measured (or model-charged) runtime
   /// Feature vector in the policy model's feature order (decisions only).
   std::vector<std::pair<std::string, double>> features;
+  /// Optional hardware-counter annotation (telemetry/hwprof): scaled counter
+  /// deltas for the launch's profiled window. has_hw gates serialization, so
+  /// logs written before this field exist parse unchanged.
+  bool has_hw = false;
+  std::uint64_t hw_instructions = 0;
+  std::uint64_t hw_cycles = 0;
+  std::uint64_t hw_cache_misses = 0;
+  std::uint64_t hw_branch_misses = 0;
+  std::uint64_t hw_stalled_cycles = 0;
+  double hw_scale = 1.0;            ///< multiplexing correction applied to the deltas
 };
 
 /// Serialize one record as a single JSON line (no trailing newline).

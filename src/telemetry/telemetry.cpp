@@ -14,6 +14,7 @@
 #include "telemetry/audit.hpp"
 #include "telemetry/build_info.hpp"
 #include "telemetry/env.hpp"
+#include "telemetry/hwprof.hpp"
 
 namespace apollo::telemetry {
 
@@ -166,6 +167,9 @@ void init_from_env() {
     if (c.env_initialized) return;
     c.env_initialized = true;
   }
+  // Hardware profiling has its own switch (APOLLO_HW_STRIDE) so counter
+  // collection works even when the trace/metrics exports stay off.
+  hwprof::init_from_env();
   const char* env = std::getenv("APOLLO_TELEMETRY");
   const bool on = env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
   if (!on) return;
@@ -295,6 +299,7 @@ void reset_for_testing() {
   MetricsRegistry::instance().zero();
   DecisionLog::instance().clear();
   AuditLog::instance().reset_for_testing();
+  hwprof::reset_for_testing();
 }
 
 }  // namespace apollo::telemetry

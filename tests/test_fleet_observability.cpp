@@ -237,6 +237,47 @@ TEST(FleetMerge, RegistrySnapshotsMergeExactly) {
   EXPECT_EQ(hist->hist_buckets, (std::vector<std::uint64_t>{1, 1, 0}));
 }
 
+TEST(FleetMerge, HwCounterSeriesSumExactlyAcrossTwoClients) {
+  // Hardware-counter series (telemetry/hwprof) ride the same TELEMETRY frame
+  // as every other series: per-kernel×variant counters must sum on the exact
+  // integer path across clients, and the per-client ipc gauges must stay
+  // separate via the client tag.
+  FleetConfig cfg;
+  FleetMetrics fleet(cfg);
+  const std::uint64_t t0 = ms(1000);
+  fleet.client_connected(1, "c0", t0);
+  fleet.client_connected(2, "c1", t0);
+
+  const std::string labels = "kernel=\"hw:k\",variant=\"omp/c128\"";
+  const std::uint64_t big = (std::uint64_t{1} << 53) + 1;  // not double-representable
+  TelemetryFrame f1;
+  f1.sent_ns = 1;
+  f1.snapshot.upsert(counter_series("apollo_hw_instructions_total", big, labels));
+  f1.snapshot.upsert(counter_series("apollo_hw_cycles_total", 987654321987ull, labels));
+  f1.snapshot.upsert(counter_series("apollo_hw_windows_total", 64, labels));
+  f1.snapshot.upsert(gauge_series("apollo_hw_ipc", 1.5, labels));
+  TelemetryFrame f2;
+  f2.sent_ns = 2;
+  f2.snapshot.upsert(counter_series("apollo_hw_instructions_total", 2, labels));
+  f2.snapshot.upsert(counter_series("apollo_hw_cycles_total", 13, labels));
+  f2.snapshot.upsert(counter_series("apollo_hw_windows_total", 1, labels));
+  f2.snapshot.upsert(gauge_series("apollo_hw_ipc", 0.75, labels));
+  fleet.telemetry_received(1, f1, 0, t0 + ms(10));
+  fleet.telemetry_received(2, f2, 0, t0 + ms(20));
+
+  const MetricsSnapshot merged = fleet.merged(0, t0 + ms(30));
+  ASSERT_NE(merged.find("apollo_hw_instructions_total", labels), nullptr);
+  EXPECT_EQ(merged.find("apollo_hw_instructions_total", labels)->counter_value, big + 2);
+  EXPECT_EQ(merged.find("apollo_hw_cycles_total", labels)->counter_value, 987654322000ull);
+  EXPECT_EQ(merged.find("apollo_hw_windows_total", labels)->counter_value, 65u);
+  const SeriesSnapshot* ipc0 = merged.find("apollo_hw_ipc", labels + ",client=\"c0\"");
+  const SeriesSnapshot* ipc1 = merged.find("apollo_hw_ipc", labels + ",client=\"c1\"");
+  ASSERT_NE(ipc0, nullptr);
+  ASSERT_NE(ipc1, nullptr);
+  EXPECT_DOUBLE_EQ(ipc0->gauge_value, 1.5);
+  EXPECT_DOUBLE_EQ(ipc1->gauge_value, 0.75);
+}
+
 // --- env knobs ----------------------------------------------------------------
 
 TEST(FleetEnv, FromEnvDefaultsDisabled) {

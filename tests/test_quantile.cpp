@@ -1,0 +1,83 @@
+// Unit tests for the shared quantile helpers (perf/quantile.hpp). These were
+// hoisted out of micro_forkjoin_latency (percentile over sorted samples) and
+// apollo_top (quantile from cumulative histogram buckets); the edge cases here
+// are the ones each copy used to handle implicitly: empty input, single
+// sample, interpolation between ranks, and overflow-bucket clamping.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "perf/quantile.hpp"
+
+using apollo::perf::bucket_quantile;
+using apollo::perf::percentile;
+
+TEST(Percentile, EmptyVectorYieldsZero) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_EQ(percentile({}, 0.0), 0.0);
+  EXPECT_EQ(percentile({}, 1.0), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryQuantile) {
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.5), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 42.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  // Even count: the median falls exactly between the two middle samples.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  // q=0.25 lands at position 0.75 between v[0] and v[1].
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 1.75);
+}
+
+TEST(Percentile, EndpointsReturnMinAndMax) {
+  const std::vector<double> v{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 30.0);
+}
+
+TEST(Percentile, OutOfRangeQIsClamped) {
+  const std::vector<double> v{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 30.0);
+}
+
+TEST(BucketQuantile, EmptyOrZeroCountYieldsZero) {
+  EXPECT_EQ(bucket_quantile({}, 0.0, 0.5), 0.0);
+  EXPECT_EQ(bucket_quantile({}, 10.0, 0.5), 0.0);
+  EXPECT_EQ(bucket_quantile({{1.0, 0.0}}, 0.0, 0.5), 0.0);
+}
+
+TEST(BucketQuantile, SingleBucketInterpolatesFromZero) {
+  // All 10 observations fell in le-1.0; the median interpolates to the
+  // midpoint of [0, 1.0].
+  const std::vector<std::pair<double, double>> buckets{{1.0, 10.0}};
+  EXPECT_DOUBLE_EQ(bucket_quantile(buckets, 10.0, 0.5), 0.5);
+}
+
+TEST(BucketQuantile, InterpolatesWithinContainingBucket) {
+  // Cumulative: 4 in le-1, 8 by le-2 (so 4 inside (1,2]). q=0.75 targets
+  // rank 6, which is halfway through the (1,2] bucket.
+  const std::vector<std::pair<double, double>> buckets{{1.0, 4.0}, {2.0, 8.0}};
+  EXPECT_DOUBLE_EQ(bucket_quantile(buckets, 8.0, 0.75), 1.5);
+}
+
+TEST(BucketQuantile, OverflowClampsToLastFiniteBound) {
+  // count exceeds the last cumulative bucket: observations past every bound
+  // clamp to the highest finite bound rather than extrapolating.
+  const std::vector<std::pair<double, double>> buckets{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_DOUBLE_EQ(bucket_quantile(buckets, 10.0, 0.99), 2.0);
+}
+
+TEST(BucketQuantile, TargetOnBucketBoundaryReturnsTheBound) {
+  // The target rank lands exactly on a bucket's cumulative count: the
+  // quantile is that bucket's upper bound, and an empty follow-on bucket
+  // (same cumulative count) never divides by zero.
+  const std::vector<std::pair<double, double>> buckets{{1.0, 4.0}, {2.0, 4.0}, {3.0, 8.0}};
+  EXPECT_DOUBLE_EQ(bucket_quantile(buckets, 8.0, 0.5), 1.0);
+}

@@ -86,6 +86,36 @@ TelemetryFrame make_telemetry() {
   return frame;
 }
 
+/// A telemetry frame carrying hwprof series: labeled per-kernel×variant
+/// counters (exact u64 values, including one beyond 2^53 where a double
+/// round-trip would corrupt) plus a derived gauge.
+TelemetryFrame make_hw_telemetry() {
+  TelemetryFrame frame;
+  frame.applied_generation = 7;
+  frame.sent_ns = 1234500000;
+  const auto hw_counter = [](const char* name, std::uint64_t value) {
+    apollo::telemetry::SeriesSnapshot series;
+    series.name = name;
+    series.labels = "kernel=\"stream \\\"triad\\\"\",variant=\"omp/c128\"";
+    series.help = "hw counter";
+    series.kind = apollo::telemetry::MetricKind::Counter;
+    series.counter_value = value;
+    return series;
+  };
+  frame.snapshot.upsert(hw_counter("apollo_hw_windows_total", 64));
+  frame.snapshot.upsert(hw_counter("apollo_hw_instructions_total", (1ull << 53) + 1));
+  frame.snapshot.upsert(hw_counter("apollo_hw_cycles_total", 987654321987ull));
+  frame.snapshot.upsert(hw_counter("apollo_hw_cache_misses_total", 4242));
+  apollo::telemetry::SeriesSnapshot ipc;
+  ipc.name = "apollo_hw_ipc";
+  ipc.labels = "kernel=\"stream \\\"triad\\\"\",variant=\"omp/c128\"";
+  ipc.help = "hw gauge";
+  ipc.kind = apollo::telemetry::MetricKind::Gauge;
+  ipc.gauge_value = 1.75;
+  frame.snapshot.upsert(ipc);
+  return frame;
+}
+
 /// Decode `payload` as frame type `type`; used by the truncation sweeps.
 void decode_as(FrameType type, std::string_view payload) {
   switch (type) {
@@ -275,6 +305,45 @@ TEST(ServiceWire, TelemetryRoundTrip) {
   }
 }
 
+TEST(ServiceWire, HwSeriesTelemetryRoundTripsExactly) {
+  // The hw series ride the generic dictionary coding: counters must survive
+  // as exact u64s (no double round-trip) with their kernel×variant labels.
+  const TelemetryFrame frame = make_hw_telemetry();
+  const TelemetryFrame out = decode_telemetry(encode_telemetry(frame));
+  ASSERT_EQ(out.snapshot.series.size(), frame.snapshot.series.size());
+  const char* labels = "kernel=\"stream \\\"triad\\\"\",variant=\"omp/c128\"";
+  const auto* instructions = out.snapshot.find("apollo_hw_instructions_total", labels);
+  ASSERT_NE(instructions, nullptr);
+  EXPECT_EQ(instructions->counter_value, (1ull << 53) + 1);
+  const auto* cycles = out.snapshot.find("apollo_hw_cycles_total", labels);
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_EQ(cycles->counter_value, 987654321987ull);
+  const auto* windows = out.snapshot.find("apollo_hw_windows_total", labels);
+  ASSERT_NE(windows, nullptr);
+  EXPECT_EQ(windows->counter_value, 64u);
+  const auto* ipc = out.snapshot.find("apollo_hw_ipc", labels);
+  ASSERT_NE(ipc, nullptr);
+  EXPECT_EQ(ipc->kind, apollo::telemetry::MetricKind::Gauge);
+  EXPECT_DOUBLE_EQ(ipc->gauge_value, 1.75);
+}
+
+TEST(ServiceWire, CrcCatchesHwTelemetryByteFlips) {
+  // Single-byte corruption anywhere in an hw-series telemetry payload must
+  // be rejected by the frame CRC before the decoder ever sees it.
+  const std::string payload = encode_telemetry(make_hw_telemetry());
+  const std::string frame = encode_frame(FrameType::Telemetry, payload);
+  char header_bytes[kFrameHeaderBytes];
+  std::memcpy(header_bytes, frame.data(), kFrameHeaderBytes);
+  const FrameHeader header = decode_frame_header(header_bytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    for (const std::uint8_t bit : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      std::string corrupt = payload;
+      corrupt[i] = static_cast<char>(static_cast<std::uint8_t>(corrupt[i]) ^ bit);
+      EXPECT_THROW(check_payload(header, corrupt), WireError) << "byte " << i;
+    }
+  }
+}
+
 TEST(ServiceWire, TelemetryEmptySnapshotRoundTrips) {
   TelemetryFrame frame;
   frame.applied_generation = 1;
@@ -383,6 +452,7 @@ TEST(ServiceWire, EveryStrictPrefixOfEveryFrameThrows) {
       {FrameType::ModelPush, encode_model_push(push)},
       {FrameType::SampleBatch, encode_sample_batch(make_batch(9, make_records(4)))},
       {FrameType::Telemetry, encode_telemetry(make_telemetry())},
+      {FrameType::Telemetry, encode_telemetry(make_hw_telemetry())},
   };
   for (const auto& [type, payload] : frames) {
     for (std::size_t cut = 0; cut < payload.size(); ++cut) {

@@ -189,8 +189,8 @@ TEST_F(ToolsTest, AdaptAuditReplayPipeline) {
 
   const auto adapt = run_command(
       "APOLLO_TELEMETRY=1 APOLLO_AUDIT_FILE=" + audit_base + " APOLLO_METRICS_FILE=" + metrics +
-      " APOLLO_PROBE_STRIDE=16 " + tool("apollo_adapt") + " --model-dir " + model_dir +
-      " --save-offline " + offline);
+      " APOLLO_PROBE_STRIDE=16 APOLLO_HW_STRIDE=1 APOLLO_HW_PROVIDER=software " +
+      tool("apollo_adapt") + " --model-dir " + model_dir + " --save-offline " + offline);
   ASSERT_EQ(adapt.status, 0) << adapt.output;
   EXPECT_NE(adapt.output.find("model quality"), std::string::npos) << adapt.output;
   ASSERT_TRUE(fs::exists(offline));
@@ -230,6 +230,22 @@ TEST_F(ToolsTest, AdaptAuditReplayPipeline) {
   const auto mismatch = run_command(tool("apollo_replay") + " " + segment + " --model " +
                                     offline + " --expect-match 1");
   EXPECT_NE(mismatch.status, 0) << mismatch.output;
+
+  // The run profiled every launch through the software counter provider
+  // (APOLLO_HW_STRIDE=1 above): apollo_prof turns the same two exports into
+  // the per-kernel×variant counter profile, text and JSON.
+  EXPECT_NE(prom_text.find("apollo_hw_windows_total"), std::string::npos) << prom_text;
+  const auto prof =
+      run_command(tool("apollo_prof") + " --metrics " + metrics + " --audit " + segment);
+  ASSERT_EQ(prof.status, 0) << prof.output;
+  EXPECT_NE(prof.output.find("provider: software"), std::string::npos) << prof.output;
+  EXPECT_NE(prof.output.find("annotated"), std::string::npos) << prof.output;
+  const auto prof_json = run_command(tool("apollo_prof") + " --metrics " + metrics +
+                                     " --audit " + segment + " --json --top 3");
+  ASSERT_EQ(prof_json.status, 0) << prof_json.output;
+  EXPECT_NE(prof_json.output.find("\"provider\":\"software\""), std::string::npos);
+  EXPECT_NE(prof_json.output.find("\"rows\":["), std::string::npos);
+  EXPECT_NE(prof_json.output.find("\"annotated_decisions\":"), std::string::npos);
 }
 
 #ifdef APOLLO_EXAMPLES_DIR

@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "perf/quantile.hpp"
 #include "telemetry/audit.hpp"  // read_complete_lines: tolerate live writers
 #include "telemetry/build_info.hpp"
 
@@ -121,6 +122,18 @@ struct Snapshot {
   double served_samples = 0.0;
   double served_rejected = 0.0;
   double served_trains = 0.0;
+  // Hardware-counter profiling (apollo_hw_*), keyed (kernel, variant).
+  struct HwRow {
+    double windows = 0.0;
+    double cycles = 0.0;
+    double ipc = 0.0;
+    double cache_miss_rate = 0.0;
+    double branch_miss_rate = 0.0;
+    double stall_fraction = 0.0;
+    double cycles_per_element = 0.0;
+  };
+  std::map<std::pair<std::string, std::string>, HwRow> hw;
+  std::string hw_provider;
   std::string build;
 };
 
@@ -146,26 +159,9 @@ struct FleetSnapshot {
   std::map<std::string, FleetRow> rows;
 };
 
-/// Quantile from cumulative `le` buckets, interpolated like the exporter's
-/// Histogram (clamped to the last finite bound for the overflow bucket).
-double bucket_quantile(const std::vector<std::pair<double, double>>& buckets, double count,
-                       double q) {
-  if (count <= 0.0 || buckets.empty()) return 0.0;
-  const double target = q * count;
-  double previous_cumulative = 0.0;
-  double previous_bound = 0.0;
-  for (const auto& [bound, cumulative] : buckets) {
-    if (cumulative >= target) {
-      const double in_bucket = cumulative - previous_cumulative;
-      if (in_bucket <= 0.0) return bound;
-      const double within = (target - previous_cumulative) / in_bucket;
-      return previous_bound + (bound - previous_bound) * std::clamp(within, 0.0, 1.0);
-    }
-    previous_cumulative = cumulative;
-    previous_bound = bound;
-  }
-  return buckets.back().first;
-}
+// Quantiles from cumulative `le` buckets come from the shared helper
+// (perf/quantile.hpp), interpolated like the exporter's Histogram.
+using apollo::perf::bucket_quantile;
 
 bool load_metrics(const std::string& path, Snapshot& snap) {
   std::ifstream in(path);
@@ -251,6 +247,27 @@ bool load_metrics(const std::string& path, Snapshot& snap) {
       snap.served_rejected = sample->value;
     } else if (sample->name == "apollo_served_trains_total") {
       snap.served_trains += sample->value;  // summed across result labels
+    } else if (sample->name.rfind("apollo_hw_", 0) == 0) {
+      if (sample->name == "apollo_hw_provider_info") {
+        snap.hw_provider = label("provider");
+      } else {
+        Snapshot::HwRow& hw = snap.hw[{label("kernel"), label("variant")}];
+        if (sample->name == "apollo_hw_windows_total") {
+          hw.windows = sample->value;
+        } else if (sample->name == "apollo_hw_cycles_total") {
+          hw.cycles = sample->value;
+        } else if (sample->name == "apollo_hw_ipc") {
+          hw.ipc = sample->value;
+        } else if (sample->name == "apollo_hw_cache_miss_rate") {
+          hw.cache_miss_rate = sample->value;
+        } else if (sample->name == "apollo_hw_branch_miss_rate") {
+          hw.branch_miss_rate = sample->value;
+        } else if (sample->name == "apollo_hw_stall_fraction") {
+          hw.stall_fraction = sample->value;
+        } else if (sample->name == "apollo_hw_cycles_per_element") {
+          hw.cycles_per_element = sample->value;
+        }
+      }
     } else if (sample->name == "apollo_build_info") {
       auto it = sample->labels.labels.find("version");
       auto sha = sample->labels.labels.find("git_sha");
@@ -439,6 +456,20 @@ void print_snapshot(const Snapshot& snap, double service_batches_per_s) {
       if (row.accuracy < 0.0) continue;
       std::printf("%-24s %8.1f%% %10.3fms\n", kernel.c_str(), row.accuracy * 100.0,
                   row.regret_seconds * 1e3);
+    }
+  }
+
+  // Hardware-counter pane: only when a run profiled with APOLLO_HW_STRIDE>0.
+  if (!snap.hw.empty()) {
+    std::printf("\nhw counters — provider %s\n",
+                snap.hw_provider.empty() ? "?" : snap.hw_provider.c_str());
+    std::printf("%-24s %-14s %8s %5s %9s %9s %7s %9s\n", "kernel", "variant", "windows", "ipc",
+                "cmiss/ki", "bmiss/ki", "stall", "cyc/elem");
+    for (const auto& [key, hw] : snap.hw) {
+      if (hw.windows <= 0.0) continue;
+      std::printf("%-24s %-14s %8.0f %5.2f %9.3f %9.3f %6.1f%% %9.1f\n", key.first.c_str(),
+                  key.second.c_str(), hw.windows, hw.ipc, hw.cache_miss_rate * 1e3,
+                  hw.branch_miss_rate * 1e3, hw.stall_fraction * 100.0, hw.cycles_per_element);
     }
   }
 }
