@@ -108,6 +108,25 @@ void ConcurrentDispatchTune(benchmark::State& state) {
 }
 BENCHMARK(ConcurrentDispatchTune)->ThreadRange(1, 8)->UseRealTime();
 
+void ConcurrentDispatchTunePointer(benchmark::State& state) {
+  // Pre-refactor tuned dispatch: pointer-walk evaluation on every launch,
+  // inline cache off. The CI overhead gate compares the tuned path above
+  // against this baseline at 1 and 8 threads.
+  if (state.thread_index() == 0) {
+    const auto& model = concurrent_model();
+    auto& rt = apollo::Runtime::instance();
+    rt.reset();
+    rt.set_execute_selected(false);
+    rt.set_mode(apollo::Mode::Tune);
+    rt.set_policy_model(model);
+    rt.set_inline_cache_enabled(false);
+    rt.set_flat_eval_enabled(false);
+  }
+  dispatch_loop(state);
+  if (state.thread_index() == 0) apollo::Runtime::instance().reset();
+}
+BENCHMARK(ConcurrentDispatchTunePointer)->ThreadRange(1, 8)->UseRealTime();
+
 void ConcurrentDispatchAdapt(benchmark::State& state) {
   if (state.thread_index() == 0) {
     const auto& model = concurrent_model();

@@ -64,6 +64,13 @@ void KernelContext::reset() {
   telemetry_ = TelemetryHandles{};
   quality_.clear();
   probe_rotor_.store(0, std::memory_order_relaxed);
+  for (auto& entry : cache_) {
+    entry.version.store(0, std::memory_order_relaxed);
+    entry.key.store(0, std::memory_order_relaxed);
+    entry.packed.store(0, std::memory_order_relaxed);
+  }
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace apollo

@@ -20,6 +20,7 @@
 // static KernelHandles never dangle.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -91,6 +92,66 @@ public:
     return probe_rotor_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // --- per-site inline cache (lock-free seqlock entries) --------------------
+  // A tiny direct-mapped cache (kInlineCacheEntries slots, selected by low
+  // key bits) remembering recent tuned decisions at this call site, keyed by
+  // a hash that folds in the launch's feature signature, the published model
+  // epoch, and the blackboard generation — so a hot-swap or an application
+  // attribute change invalidates it for free (the key simply never matches
+  // again). Iteration-stable kernels thus pay one load and one compare per
+  // launch instead of a model evaluation; the few extra slots keep grouped
+  // launches (forall_grouped: several plan-group signatures per time step)
+  // from thrashing a single entry.
+  //
+  // Each entry is a seqlock: `version` is even when stable; writers CAS it
+  // even→odd, store key/packed, then publish even+2. Readers that observe an
+  // odd or changed version treat the entry as a miss. Every field is an
+  // atomic, so concurrent lookup/store/hot-swap is race-free (TSan-clean) —
+  // a torn pair can never be returned as a hit.
+
+  static constexpr std::size_t kInlineCacheEntries = 4;
+
+  /// Look up the cached decision for `key` (never 0). On a hit, `packed_out`
+  /// receives the stored decision word. Counts the hit/miss either way.
+  [[nodiscard]] bool inline_cache_lookup(std::uint64_t key, std::uint64_t& packed_out) noexcept {
+    InlineCacheEntry& entry = cache_[key % kInlineCacheEntries];
+    const std::uint32_t v0 = entry.version.load(std::memory_order_acquire);
+    if ((v0 & 1u) == 0u && entry.key.load(std::memory_order_relaxed) == key) {
+      const std::uint64_t packed = entry.packed.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (entry.version.load(std::memory_order_relaxed) == v0) {
+        packed_out = packed;
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Publish a decision for `key`. Lossy under contention by design: if
+  /// another writer holds the entry, the store is skipped — the next launch
+  /// re-evaluates, which is always correct.
+  void inline_cache_store(std::uint64_t key, std::uint64_t packed) noexcept {
+    InlineCacheEntry& entry = cache_[key % kInlineCacheEntries];
+    std::uint32_t v = entry.version.load(std::memory_order_relaxed);
+    if ((v & 1u) != 0u) return;
+    if (!entry.version.compare_exchange_strong(v, v + 1, std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+      return;
+    }
+    entry.key.store(key, std::memory_order_relaxed);
+    entry.packed.store(packed, std::memory_order_relaxed);
+    entry.version.store(v + 2, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::int64_t inline_cache_hits() const noexcept {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t inline_cache_misses() const noexcept {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+
   /// Reset every counter in place (stats, quality, rotor) and drop the
   /// telemetry handle cache so it re-resolves after a telemetry reconfigure.
   /// The context itself — and any pointer cached on a KernelHandle — stays
@@ -109,6 +170,15 @@ private:
   TelemetryHandles telemetry_;    ///< mutex_
   telemetry::QualityAccountant quality_;  ///< mutex_
   std::atomic<std::uint64_t> probe_rotor_{0};
+
+  struct InlineCacheEntry {
+    std::atomic<std::uint32_t> version{0};  ///< seqlock; even = stable
+    std::atomic<std::uint64_t> key{0};      ///< 0 = empty (keys are never 0)
+    std::atomic<std::uint64_t> packed{0};
+  };
+  InlineCacheEntry cache_[kInlineCacheEntries];
+  std::atomic<std::int64_t> cache_hits_{0};
+  std::atomic<std::int64_t> cache_misses_{0};
 };
 
 }  // namespace apollo

@@ -48,11 +48,15 @@ CompiledModel CompiledModel::compile(TunerModel model) {
     compiled.features_.push_back(std::move(feature));
   }
   compiled.model_ = std::move(model);
+  // Publish-time flat compilation. When the tree's shape exceeds the packed
+  // layout this yields !ok() and every evaluation stays on the pointer walk —
+  // the fallback is lossless, never approximate.
+  compiled.flat_ = ml::FlatTree::compile(compiled.model_.tree());
   return compiled;
 }
 
-int CompiledModel::predict(const KernelHandle& kernel, const raja::IndexSet& iset,
-                           std::vector<double>& scratch) const {
+void CompiledModel::resolve_features(const KernelHandle& kernel, const raja::IndexSet& iset,
+                                     std::vector<double>& scratch) const {
   using Source = CompiledFeature::Source;
   scratch.resize(features_.size());
   auto& board = perf::Blackboard::instance();
@@ -82,7 +86,12 @@ int CompiledModel::predict(const KernelHandle& kernel, const raja::IndexSet& ise
     }
     scratch[f] = value;
   }
-  return model_.tree().predict(scratch.data());
+}
+
+int CompiledModel::predict(const KernelHandle& kernel, const raja::IndexSet& iset,
+                           std::vector<double>& scratch, bool use_flat) const {
+  resolve_features(kernel, iset, scratch);
+  return predict_encoded(scratch.data(), use_flat);
 }
 
 }  // namespace apollo

@@ -66,6 +66,40 @@ std::shared_ptr<const CompiledModel> compile_checked(TunerModel model, TunedPara
   return std::make_shared<const CompiledModel>(CompiledModel::compile(std::move(model)));
 }
 
+/// Finalizing mix for the inline-cache key (splitmix64): spreads the epoch
+/// and generation bits so the entry index (low key bits) changes when either
+/// does.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Fields a cached decision must carry to reproduce apply_models' output.
+/// Packed into one 64-bit word: policy 8 | selection 16 | threads 12 |
+/// chunk 28. pack returns false when a field exceeds its lane — that launch
+/// simply is not cached.
+bool pack_decision(const ModelParams& params, std::uint64_t& packed) noexcept {
+  const auto policy = static_cast<std::uint64_t>(params.policy);
+  const auto selection = static_cast<std::int64_t>(params.selection);
+  const auto threads = static_cast<std::uint64_t>(params.threads);
+  const auto chunk = params.chunk_size;
+  if (selection < 0 || selection > 0xFFFF) return false;
+  if (threads > 0xFFF) return false;
+  if (chunk < 0 || chunk > 0xFFFFFFF) return false;
+  packed = policy | (static_cast<std::uint64_t>(selection) << 8) | (threads << 24) |
+           (static_cast<std::uint64_t>(chunk) << 36);
+  return true;
+}
+
+void unpack_decision(std::uint64_t packed, ModelParams& params) noexcept {
+  params.policy = static_cast<raja::PolicyType>(packed & 0xFF);
+  params.selection = static_cast<int>((packed >> 8) & 0xFFFF);
+  params.threads = static_cast<unsigned>((packed >> 24) & 0xFFF);
+  params.chunk_size = static_cast<std::int64_t>((packed >> 36) & 0xFFFFFFF);
+}
+
 }  // namespace
 
 const char* mode_name(Mode mode) noexcept {
@@ -93,6 +127,12 @@ Runtime::Runtime() {
   const std::size_t capacity =
       telemetry::env_size("APOLLO_SAMPLE_CAPACITY", online::kDefaultSampleCapacity);
   if (capacity != online::kDefaultSampleCapacity) records_.set_capacity(capacity);
+  // Decision-path knobs, through the hardened parser (garbage warns and
+  // keeps the default): 0 disables, any other integer enables.
+  env_inline_cache_default_ = telemetry::env_int64("APOLLO_INLINE_CACHE", 1, 0) != 0;
+  env_flat_eval_default_ = telemetry::env_int64("APOLLO_FLAT_EVAL", 1, 0) != 0;
+  inline_cache_enabled_.store(env_inline_cache_default_, std::memory_order_relaxed);
+  flat_eval_enabled_.store(env_flat_eval_default_, std::memory_order_relaxed);
   // The paper's training protocol: re-run the same binary once per parameter
   // value, selected through the RAJA_POLICY / RAJA_CHUNK_SIZE environment
   // variables (SIII-A). An explicit policy disables sweep recording.
@@ -262,6 +302,8 @@ void Runtime::reset() {
   default_override_.reset();
   execute_selected_ = true;
   accountant_ = nullptr;
+  inline_cache_enabled_.store(env_inline_cache_default_, std::memory_order_relaxed);
+  flat_eval_enabled_.store(env_flat_eval_default_, std::memory_order_relaxed);
   clear_models();
   {
     // Reset in place: contexts (and the pointers KernelHandles cache) stay
@@ -385,33 +427,84 @@ double Runtime::measure_seconds(const sim::CostQuery& query) {
 void Runtime::apply_models(const ModelSnapshot* snapshot, ModelParams& params,
                            const KernelHandle& kernel, const raja::IndexSet& iset) {
   if (snapshot == nullptr) return;
+  const bool use_flat = flat_eval_enabled_.load(std::memory_order_relaxed);
   if (snapshot->policy) {
-    const int label = snapshot->policy->predict(kernel, iset, t_features);
+    const int label = snapshot->policy->predict(kernel, iset, t_features, use_flat);
     params.selection = label;
     params.policy = raja::policy_from_name(snapshot->policy->model().label_name(label));
   }
   if (snapshot->chunk && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
-    const int label = snapshot->chunk->predict(kernel, iset, t_features);
+    const int label = snapshot->chunk->predict(kernel, iset, t_features, use_flat);
     params.chunk_size = std::stoll(snapshot->chunk->model().label_name(label));
   }
   if (snapshot->threads && params.policy == raja::PolicyType::seq_segit_omp_parallel_for_exec) {
-    const int label = snapshot->threads->predict(kernel, iset, t_features);
+    const int label = snapshot->threads->predict(kernel, iset, t_features, use_flat);
     params.threads = static_cast<unsigned>(std::stoul(snapshot->threads->model().label_name(label)));
   }
 }
 
-void Runtime::tuned_decision(const ModelSnapshot* snapshot, ModelParams& params,
-                             const KernelHandle& kernel, const raja::IndexSet& iset, bool telem) {
+void Runtime::tuned_decision(KernelContext& context, const ModelSnapshot* snapshot,
+                             ModelParams& params, const KernelHandle& kernel,
+                             const raja::IndexSet& iset, bool telem) {
   // With telemetry on, begin() just stamped the launch start; reuse it as
   // the decision start rather than paying a second clock read.
   const std::uint64_t decide_start = telem ? t_pending.start_ns : telemetry::now_ns();
+
+  // Per-site inline cache: a decision is a pure function of the launch's
+  // feature signature, the published snapshot (epoch), and the blackboard
+  // state (generation), so a key over those three reuses the last decision
+  // with one load and one compare. Hot-swaps and attribute writes invalidate
+  // for free — they bump the epoch/generation, so the key simply changes.
+  // Only policy-model decisions are cached: without one, params.policy stays
+  // the caller's default, which the key does not cover.
+  std::uint64_t key = 0;
+  const bool cacheable = snapshot != nullptr && snapshot->policy &&
+                         inline_cache_enabled_.load(std::memory_order_relaxed);
+  if (cacheable) {
+    key = iset.feature_signature() ^ mix64(t_models.epoch) ^
+          mix64(perf::Blackboard::instance().generation() * 0x9e3779b97f4a7c15ULL + 1);
+    if (key == 0) key = 1;
+    std::uint64_t packed = 0;
+    if (context.inline_cache_lookup(key, packed)) {
+      unpack_decision(packed, params);
+      const std::uint64_t decide_end = telemetry::now_ns();
+      decision_latency_.observe(static_cast<double>(decide_end - decide_start) * 1e-9);
+      if (telem) {
+        t_pending.decide_dur_ns = decide_end - decide_start;
+        static telemetry::Counter& hits = telemetry::MetricsRegistry::instance().counter(
+            "apollo_inline_cache_hits_total",
+            "Tuned launches that reused the call site's cached decision.");
+        hits.inc();
+        maybe_capture_decision(*snapshot, params, kernel, iset);
+      }
+      return;
+    }
+  }
+
   apply_models(snapshot, params, kernel, iset);
+  if (cacheable && !params.explored) {
+    std::uint64_t packed = 0;
+    if (pack_decision(params, packed)) context.inline_cache_store(key, packed);
+  }
   const std::uint64_t decide_end = telemetry::now_ns();
   // Always on, atomic bucket increments: feeds the p50/p95/p99
   // decision-latency report in stats_report.
   decision_latency_.observe(static_cast<double>(decide_end - decide_start) * 1e-9);
   if (telem) {
     t_pending.decide_dur_ns = decide_end - decide_start;
+    if (cacheable) {
+      static telemetry::Counter& misses = telemetry::MetricsRegistry::instance().counter(
+          "apollo_inline_cache_misses_total",
+          "Tuned launches that evaluated the model (no cached decision matched).");
+      misses.inc();
+    }
+    if (snapshot != nullptr && snapshot->policy && snapshot->policy->has_flat() &&
+        flat_eval_enabled_.load(std::memory_order_relaxed)) {
+      static telemetry::Counter& flat_evals = telemetry::MetricsRegistry::instance().counter(
+          "apollo_flat_eval_total",
+          "Model evaluations served by the compiled branchless flat table.");
+      flat_evals.inc();
+    }
     if (snapshot != nullptr) maybe_capture_decision(*snapshot, params, kernel, iset);
   }
 }
@@ -428,7 +521,8 @@ void Runtime::maybe_capture_decision(const ModelSnapshot& snapshot, const ModelP
   // holds exactly the vector the tree saw. Introspection and the audit log
   // share the one extra evaluation.
   const TunerModel& policy = snapshot.policy->model();
-  const int label = snapshot.policy->predict(kernel, iset, t_features);
+  const int label = snapshot.policy->predict(kernel, iset, t_features,
+                                             flat_eval_enabled_.load(std::memory_order_relaxed));
   const auto& names = policy.tree().feature_names();
   if (audit_due) {
     t_pending.audit_armed = true;
@@ -547,8 +641,6 @@ const std::shared_ptr<const ModelSnapshot>& Runtime::refresh_adapt_models() {
 
 ModelParams Runtime::begin(KernelContext& context, const KernelHandle& kernel,
                            const raja::IndexSet& iset) {
-  (void)context;  // resolved by the caller so end() reuses it; begin() itself
-                  // only reads immutable kernel identity and the snapshot
   const bool telem = telemetry::enabled();
   if (telem) {
     t_pending.start_ns = telemetry::now_ns();
@@ -574,10 +666,10 @@ ModelParams Runtime::begin(KernelContext& context, const KernelHandle& kernel,
       }
       break;
     case Mode::Tune:
-      tuned_decision(current_models().get(), params, kernel, iset, telem);
+      tuned_decision(context, current_models().get(), params, kernel, iset, telem);
       break;
     case Mode::Adapt: {
-      tuned_decision(refresh_adapt_models().get(), params, kernel, iset, telem);
+      tuned_decision(context, refresh_adapt_models().get(), params, kernel, iset, telem);
       const auto bucket = online::feature_bucket(iset.getLength(), iset.getNumSegments());
       std::optional<online::Variant> explored;
       {

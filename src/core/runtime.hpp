@@ -138,6 +138,28 @@ public:
     return execute_selected_ || timing_ == TimingSource::Wallclock;
   }
 
+  /// Per-site inline decision cache (APOLLO_INLINE_CACHE, default on): tuned
+  /// launches whose feature signature, model epoch, and blackboard generation
+  /// all match the kernel's last decision reuse it — one load and one compare
+  /// instead of a model evaluation. Purely a speed knob: a hit returns
+  /// exactly the parameters a fresh evaluation would.
+  void set_inline_cache_enabled(bool enabled) noexcept {
+    inline_cache_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool inline_cache_enabled() const noexcept {
+    return inline_cache_enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Branchless flat-table model evaluation (APOLLO_FLAT_EVAL, default on).
+  /// Off forces the pointer tree walk; predictions are bit-for-bit identical
+  /// either way (tools/apollo_replay --expect-match proves it on live logs).
+  void set_flat_eval_enabled(bool enabled) noexcept {
+    flat_eval_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool flat_eval_enabled() const noexcept {
+    return flat_eval_enabled_.load(std::memory_order_relaxed);
+  }
+
   // --- models --------------------------------------------------------------
   // Each setter compiles the model and publishes a fresh immutable
   // ModelSnapshot by atomic swap; in-flight launches keep reading the
@@ -289,10 +311,11 @@ private:
   /// The online tuner, created on first use. Requires online_mutex_.
   [[nodiscard]] online::OnlineTuner& online_locked();
 
-  /// Shared Tune/Adapt decision: evaluate whichever models `snapshot` holds,
-  /// time the evaluation into the decision-latency histogram, and (telemetry
-  /// on) arm the decide span + sampled introspection.
-  void tuned_decision(const ModelSnapshot* snapshot, ModelParams& params,
+  /// Shared Tune/Adapt decision: consult the kernel's inline cache, evaluate
+  /// whichever models `snapshot` holds on a miss, time the evaluation into
+  /// the decision-latency histogram, and (telemetry on) arm the decide span
+  /// + sampled introspection.
+  void tuned_decision(KernelContext& context, const ModelSnapshot* snapshot, ModelParams& params,
                       const KernelHandle& kernel, const raja::IndexSet& iset, bool telem);
   void apply_models(const ModelSnapshot* snapshot, ModelParams& params,
                     const KernelHandle& kernel, const raja::IndexSet& iset);
@@ -324,6 +347,14 @@ private:
   std::optional<raja::PolicyType> default_override_;
   bool execute_selected_ = true;
   ClusterAccountant* accountant_ = nullptr;
+  /// Decision-path knobs (atomic so tests may toggle them mid-run; the
+  /// dispatch path reads each once per launch, relaxed). Defaults come from
+  /// APOLLO_INLINE_CACHE / APOLLO_FLAT_EVAL via hardened env parsing and are
+  /// restored by reset().
+  std::atomic<bool> inline_cache_enabled_{true};
+  std::atomic<bool> flat_eval_enabled_{true};
+  bool env_inline_cache_default_ = true;
+  bool env_flat_eval_default_ = true;
 
   // --- model snapshot (RCU: epoch + mutex-guarded publish) ------------------
   mutable std::mutex models_mutex_;
@@ -357,14 +388,14 @@ private:
   std::unique_ptr<service::ServiceClient> service_;  ///< online_mutex_ (creation)
 };
 
-/// The application-facing execution method: decide, run, account. The
-/// kernel's context is resolved once (atomic handle cache) and passed through
-/// both hooks.
+namespace detail {
+
+/// Execute one decided launch through the static-policy trampoline dispatch.
+/// Shared by forall and forall_grouped so a batched group decision threads
+/// its cached parameters through exactly the per-launch execution path.
 template <typename Body>
-void forall(const KernelHandle& kernel, const raja::IndexSet& iset, Body&& body) {
-  auto& runtime = Runtime::instance();
-  KernelContext& context = runtime.context_for(kernel);
-  const ModelParams params = runtime.begin(context, kernel, iset);
+void execute_decided(Runtime& runtime, const ModelParams& params, const raja::IndexSet& iset,
+                     Body& body) {
   if (runtime.execute_selected()) {
     raja::apollo::policySwitcher(params.policy, params.chunk_size, [&](auto exec) {
       if constexpr (std::is_same_v<decltype(exec), raja::omp_parallel_for_exec>) {
@@ -375,6 +406,19 @@ void forall(const KernelHandle& kernel, const raja::IndexSet& iset, Body&& body)
   } else {
     raja::forall(raja::seq_exec{}, iset, body);
   }
+}
+
+}  // namespace detail
+
+/// The application-facing execution method: decide, run, account. The
+/// kernel's context is resolved once (atomic handle cache) and passed through
+/// both hooks.
+template <typename Body>
+void forall(const KernelHandle& kernel, const raja::IndexSet& iset, Body&& body) {
+  auto& runtime = Runtime::instance();
+  KernelContext& context = runtime.context_for(kernel);
+  const ModelParams params = runtime.begin(context, kernel, iset);
+  detail::execute_decided(runtime, params, iset, body);
   runtime.end(context, kernel, iset, params);
 }
 
@@ -382,6 +426,32 @@ void forall(const KernelHandle& kernel, const raja::IndexSet& iset, Body&& body)
 template <typename Body>
 void forall(const KernelHandle& kernel, raja::Index n, Body&& body) {
   forall(kernel, raja::IndexSet::range(0, n), std::forward<Body>(body));
+}
+
+/// Batched-decision execution over a heterogeneous IndexSet: adjacent
+/// segments sharing a feature plan (IndexSet::plan_groups) get ONE tuning
+/// decision for the whole group instead of one per segment — each group is
+/// an O(1) slice sharing the parent's storage, decided and accounted through
+/// the ordinary begin/end hooks (so the per-site inline cache, stats shards,
+/// and telemetry all see it as a normal launch). Segment order is preserved:
+/// groups run in sequence, and every index runs exactly once, in the same
+/// order forall would visit it. A homogeneous set (one group) degenerates to
+/// plain forall with zero extra cost.
+template <typename Body>
+void forall_grouped(const KernelHandle& kernel, const raja::IndexSet& iset, Body&& body) {
+  auto& runtime = Runtime::instance();
+  const auto groups = iset.plan_groups();
+  if (groups.size() <= 1) {
+    forall(kernel, iset, std::forward<Body>(body));
+    return;
+  }
+  KernelContext& context = runtime.context_for(kernel);
+  for (const auto& group : groups) {
+    const raja::IndexSet part = iset.slice(group.first, group.count);
+    const ModelParams params = runtime.begin(context, kernel, part);
+    detail::execute_decided(runtime, params, part, body);
+    runtime.end(context, kernel, part, params);
+  }
 }
 
 }  // namespace apollo

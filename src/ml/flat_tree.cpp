@@ -1,0 +1,119 @@
+#include "ml/flat_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace apollo::ml {
+
+namespace {
+
+/// Subtree node counts, computed iteratively so pathological depths cannot
+/// overflow the call stack. Children are validated by DecisionTree::load to
+/// point strictly forward, so a reverse sweep sees children before parents.
+std::vector<std::uint32_t> subtree_counts(const std::vector<DecisionTree::Node>& nodes) {
+  std::vector<std::uint32_t> counts(nodes.size(), 1);
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    const auto& node = nodes[i];
+    if (node.feature < 0) continue;
+    counts[i] += counts[static_cast<std::size_t>(node.left)];
+    counts[i] += counts[static_cast<std::size_t>(node.right)];
+  }
+  return counts;
+}
+
+}  // namespace
+
+FlatTree FlatTree::compile(const DecisionTree& tree, const std::vector<std::size_t>& feature_map) {
+  FlatTree flat;
+  const auto& src = tree.nodes();
+  if (src.empty()) return flat;
+
+  const auto counts = subtree_counts(src);
+  flat.nodes_.reserve(src.size());
+
+  // Preorder emit with the left child placed immediately after its parent:
+  // left_delta is always 1 and right_delta is 1 + |left subtree|, so both
+  // children of a shallow node share the parent's cache line.
+  struct Frame {
+    std::uint32_t src;
+    int depth;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, 0});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const auto& node = src[frame.src];
+    flat.depth_ = std::max(flat.depth_, frame.depth);
+
+    Node packed;
+    packed.threshold = node.threshold;
+    if (node.feature < 0) {
+      if (node.label < 0 || node.label > 0xFFFE) return FlatTree{};
+      packed.feature = kLeafFeature;
+      packed.label = static_cast<std::uint16_t>(node.label);
+    } else {
+      std::size_t feature = static_cast<std::size_t>(node.feature);
+      if (!feature_map.empty()) {
+        if (feature >= feature_map.size()) return FlatTree{};
+        feature = feature_map[feature];
+      }
+      const std::uint32_t right_delta = 1 + counts[static_cast<std::size_t>(node.left)];
+      if (feature >= kLeafFeature || right_delta > std::numeric_limits<std::uint16_t>::max()) {
+        return FlatTree{};  // shape exceeds the packed layout: caller keeps the pointer walk
+      }
+      packed.feature = static_cast<std::uint16_t>(feature);
+      packed.left_delta = 1;
+      packed.right_delta = static_cast<std::uint16_t>(right_delta);
+      stack.push_back({static_cast<std::uint32_t>(node.right), frame.depth + 1});
+      stack.push_back({static_cast<std::uint32_t>(node.left), frame.depth + 1});
+    }
+    flat.nodes_.push_back(packed);
+  }
+  return flat;
+}
+
+FlatForest FlatForest::compile(const RandomForest& forest) {
+  FlatForest flat;
+  const auto& trees = forest.trees();
+  const auto& maps = forest.feature_maps();
+  if (trees.empty() || maps.size() != trees.size()) return flat;
+
+  std::vector<FlatTree> compiled;
+  compiled.reserve(trees.size());
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    FlatTree member = FlatTree::compile(trees[t], maps[t]);
+    if (!member.ok()) return flat;  // all-or-nothing: keep the forest on the pointer walk
+    compiled.push_back(std::move(member));
+  }
+  flat.trees_ = std::move(compiled);
+  flat.num_classes_ = forest.num_classes();
+  return flat;
+}
+
+int FlatForest::predict(const double* features) const {
+  if (trees_.empty()) return 0;
+  // Mirrors RandomForest::predict exactly: fixed vote width, out-of-range
+  // labels dropped, ties broken toward the lower class index.
+  std::vector<int> votes(std::max<std::size_t>(num_classes_, 1), 0);
+  for (const auto& tree : trees_) {
+    const int label = tree.predict(features);
+    if (static_cast<std::size_t>(label) < votes.size()) votes[static_cast<std::size_t>(label)]++;
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+std::size_t FlatForest::bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& tree : trees_) total += tree.bytes();
+  return total;
+}
+
+std::size_t FlatForest::node_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& tree : trees_) total += tree.node_count();
+  return total;
+}
+
+}  // namespace apollo::ml

@@ -1,0 +1,143 @@
+#pragma once
+
+// Compiled, branchless decision-tree tables. A trained DecisionTree stores
+// pointer-style nodes (int children, doubles, per-node metadata) that are
+// convenient to build, prune, and persist — but evaluating one at every
+// kernel launch walks 56-byte nodes scattered over the heap-ordered array.
+// FlatTree is the publish-time compilation of that tree (the Fig. 4
+// transform done in memory, no compiler in the loop): nodes are re-laid out
+// in preorder into a contiguous cache-line-aligned array of 16-byte entries
+// (threshold, u16 feature index, u16 forward child deltas, leaf label
+// inline), and the evaluation loop selects the next node with a conditional
+// move instead of a branch.
+//
+// Bit-for-bit prediction parity with DecisionTree::predict is a hard
+// invariant: compile() preserves the exact `value <= threshold` split
+// semantics (including the NaN-goes-right behaviour of the pointer walk),
+// and trees whose shape cannot be expressed in the flat layout (feature,
+// label, or forward delta overflowing u16) compile to an empty table so
+// callers fall back to the pointer walk instead of evaluating a lossy
+// approximation. tests/test_ml_flat_tree.cpp fuzzes the invariant and
+// tools/apollo_replay re-proves it over recorded production decisions.
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+
+namespace apollo::ml {
+
+/// Minimal aligned allocator so the node array starts on a cache-line
+/// boundary (4 nodes per 64-byte line).
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) noexcept { return false; }
+};
+
+class FlatTree {
+public:
+  /// One packed node: 16 bytes, four per cache line. Internal nodes carry
+  /// the split (feature, threshold) and the forward deltas to both children;
+  /// leaves carry the class label inline with `feature == kLeafFeature`.
+  struct Node {
+    double threshold = 0.0;
+    std::uint16_t feature = 0;
+    std::uint16_t left_delta = 0;
+    std::uint16_t right_delta = 0;
+    std::uint16_t label = 0;
+  };
+  static_assert(sizeof(Node) == 16, "FlatTree::Node must stay cache-line packable");
+
+  static constexpr std::uint16_t kLeafFeature = 0xFFFF;
+  static constexpr std::size_t kCacheLineBytes = 64;
+
+  FlatTree() = default;
+
+  /// Compile a pointer tree into the flat form. `feature_map`, when
+  /// non-empty, remaps the tree's local feature indices to caller-wide ones
+  /// (how forest member trees trained on feature subsets evaluate over the
+  /// shared feature vector). Returns an empty (!ok()) table when the tree
+  /// does not fit the packed layout; never a lossy one.
+  [[nodiscard]] static FlatTree compile(const DecisionTree& tree,
+                                        const std::vector<std::size_t>& feature_map = {});
+
+  /// True when the tree compiled; !ok() tables must not be evaluated
+  /// (callers keep the pointer walk).
+  [[nodiscard]] bool ok() const noexcept { return !nodes_.empty(); }
+
+  /// Predicted class for a dense feature vector. Identical, bit for bit, to
+  /// the source DecisionTree::predict on every input.
+  [[nodiscard]] int predict(const double* features) const noexcept {
+    const Node* nodes = nodes_.data();
+    std::uint32_t index = 0;
+    std::uint16_t feature = nodes[0].feature;
+    while (feature != kLeafFeature) {
+      const Node& node = nodes[index];
+      // Exactly the pointer walk's `value <= threshold ? left : right` —
+      // written so NaN (\"missing\") takes the right child there and here —
+      // with the select compiled to a conditional move, not a branch.
+      const bool left = features[feature] <= node.threshold;
+      index += left ? node.left_delta : node.right_delta;
+      feature = nodes[index].feature;
+    }
+    return nodes[index].label;
+  }
+
+  // --- layout introspection (apollo_inspect, tests) -------------------------
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t bytes() const noexcept { return nodes_.size() * sizeof(Node); }
+  [[nodiscard]] std::size_t cache_lines() const noexcept {
+    return (bytes() + kCacheLineBytes - 1) / kCacheLineBytes;
+  }
+  [[nodiscard]] const Node& node(std::size_t i) const noexcept { return nodes_[i]; }
+
+private:
+  std::vector<Node, AlignedAllocator<Node, kCacheLineBytes>> nodes_;
+  int depth_ = 0;
+};
+
+/// Flat compilation of a RandomForest: every member tree compiled with its
+/// feature map baked into the node feature indices, so all trees evaluate
+/// over the same caller-wide feature vector with no per-tree gather buffer.
+/// Majority vote reproduces RandomForest::predict exactly (ties break toward
+/// the lower class index). ok() is all-or-nothing: one unpackable member
+/// tree keeps the whole forest on the pointer walk.
+class FlatForest {
+public:
+  FlatForest() = default;
+
+  [[nodiscard]] static FlatForest compile(const RandomForest& forest);
+
+  [[nodiscard]] bool ok() const noexcept { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+  [[nodiscard]] const FlatTree& tree(std::size_t t) const noexcept { return trees_[t]; }
+  [[nodiscard]] std::size_t bytes() const noexcept;
+  [[nodiscard]] std::size_t node_count() const noexcept;
+
+  [[nodiscard]] int predict(const double* features) const;
+
+private:
+  std::vector<FlatTree> trees_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace apollo::ml

@@ -9,10 +9,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "core/runtime.hpp"
+#include "core/tuner_model.hpp"
+#include "ml/decision_tree.hpp"
 #include "core/trainer.hpp"
 #include "perf/blackboard.hpp"
 #include "telemetry/telemetry.hpp"
@@ -217,4 +220,78 @@ TEST_F(ConcurrentDispatchTest, TelemetryOnTunedDispatchStaysExact) {
   const std::size_t stride = apollo::telemetry::config().probe_stride;
   ASSERT_GT(stride, 0u);
   EXPECT_LE(rt.probe_count(), static_cast<std::uint64_t>(kTotal) / stride + 1);
+}
+
+TEST_F(ConcurrentDispatchTest, InlineCacheNeverServesStaleDecisionAcrossHotSwap) {
+  // Two single-leaf models with opposite answers are hot-swapped continuously
+  // while all threads dispatch through the per-site inline cache. The cache
+  // key folds in the model epoch, so a cached decision from one model must
+  // never be served under the other; once the swapping stops, the very next
+  // launch must answer for the finally-published model.
+  auto make_leaf = [](const char* label) {
+    std::stringstream io;
+    io << "apollo-tree 1\nfeatures 1 num_indices\nlabels 1 " << label
+       << "\nnodes 1\n-1 0 -1 -1 0 1 0\n";
+    return TunerModel(TunedParameter::Policy, ml::DecisionTree::load(io), {});
+  };
+  const TunerModel seq_model = make_leaf("seq");
+  const TunerModel omp_model = make_leaf("omp");
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(seq_model);
+  ASSERT_TRUE(rt.inline_cache_enabled());
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    bool seq = false;
+    while (!stop.load(std::memory_order_acquire)) {
+      rt.set_policy_model(seq ? seq_model : omp_model);
+      seq = !seq;
+      std::this_thread::yield();
+    }
+  });
+  run_stress();
+  stop.store(true, std::memory_order_release);
+  swapper.join();
+  expect_exact_counts(rt.stats());
+  rt.set_policy_model(omp_model);
+  const raja::IndexSet iset = raja::IndexSet::range(0, 512);
+  for (int k = 0; k < kKernels; ++k) {
+    EXPECT_EQ(rt.begin(kernel_at(k), iset).policy,
+              raja::PolicyType::seq_segit_omp_parallel_for_exec)
+        << kernel_at(k).loop_id();
+  }
+  rt.set_policy_model(seq_model);
+  for (int k = 0; k < kKernels; ++k) {
+    EXPECT_EQ(rt.begin(kernel_at(k), iset).policy, raja::PolicyType::seq_segit_seq_exec)
+        << kernel_at(k).loop_id();
+  }
+}
+
+TEST_F(ConcurrentDispatchTest, GroupedDispatchCountsStayExactAcrossThreads) {
+  // forall_grouped slices a heterogeneous IndexSet into plan groups and makes
+  // one decision per group; the accounting contract is the same exactness as
+  // plain forall, with one invocation charged per group launch.
+  raja::IndexSet iset;
+  iset.push_back(raja::RangeSegment{0, 256});
+  iset.push_back(raja::RangeSegment{256, 512});
+  iset.push_back(raja::StridedSegment{0, 128, 2});
+  const auto groups = iset.plan_groups();
+  ASSERT_EQ(groups.size(), 2u);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  std::atomic<std::int64_t> visited{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (std::int64_t i = 0; i < kLaunchesPerThread; ++i) {
+        forall_grouped(kernel_at(0), iset, [&](raja::Index) {
+          visited.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const auto stats = Runtime::instance().stats();
+  EXPECT_EQ(stats.per_kernel.at("stress:k0").invocations,
+            kThreads * kLaunchesPerThread * static_cast<std::int64_t>(groups.size()));
+  EXPECT_EQ(visited.load(), kThreads * kLaunchesPerThread * iset.getLength());
 }

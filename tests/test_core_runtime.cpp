@@ -389,3 +389,215 @@ TEST_F(RuntimeTest, StatsReturnsConsistentPointInTimeCopy) {
   EXPECT_EQ(before.invocations, 1);
   EXPECT_EQ(rt.stats().invocations, 2);
 }
+
+// --- inline decision cache, flat evaluation, grouped dispatch ----------------
+
+#include <cstdlib>
+#include <sstream>
+
+#include "ml/decision_tree.hpp"
+#include "telemetry/env.hpp"
+
+namespace {
+
+/// A constant policy model: a single-leaf tree always answering `label`.
+/// Deterministic by construction, so cache-correctness tests can tell a
+/// stale cached decision from a fresh evaluation.
+TunerModel leaf_policy_model(const std::string& label) {
+  std::stringstream io;
+  io << "apollo-tree 1\n"
+     << "features 1 num_indices\n"
+     << "labels 1 " << label << "\n"
+     << "nodes 1\n"
+     << "-1 0 -1 -1 0 1 0\n";
+  return TunerModel(TunedParameter::Policy, ml::DecisionTree::load(io), {});
+}
+
+}  // namespace
+
+TEST_F(RuntimeTest, InlineCacheReusesStableDecisions) {
+  auto& rt = Runtime::instance();
+  ASSERT_TRUE(rt.inline_cache_enabled());
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(leaf_policy_model("seq"));
+  auto& context = rt.context_for_id(small_kernel().loop_id());
+  const raja::IndexSet iset = raja::IndexSet::range(0, 100);
+  EXPECT_EQ(rt.begin(small_kernel(), iset).policy, raja::PolicyType::seq_segit_seq_exec);
+  EXPECT_EQ(context.inline_cache_hits(), 0);
+  EXPECT_EQ(context.inline_cache_misses(), 1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rt.begin(small_kernel(), iset).policy, raja::PolicyType::seq_segit_seq_exec);
+  }
+  EXPECT_EQ(context.inline_cache_hits(), 5);
+  EXPECT_EQ(context.inline_cache_misses(), 1);
+  // A different launch shape is a different key: no stale reuse.
+  EXPECT_EQ(rt.begin(small_kernel(), raja::IndexSet::range(0, 7)).policy,
+            raja::PolicyType::seq_segit_seq_exec);
+  EXPECT_EQ(context.inline_cache_misses(), 2);
+}
+
+TEST_F(RuntimeTest, InlineCacheHotSwapInvalidatesViaEpoch) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(leaf_policy_model("seq"));
+  const raja::IndexSet iset = raja::IndexSet::range(0, 100);
+  EXPECT_EQ(rt.begin(small_kernel(), iset).policy, raja::PolicyType::seq_segit_seq_exec);
+  EXPECT_EQ(rt.begin(small_kernel(), iset).policy, raja::PolicyType::seq_segit_seq_exec);
+  // Hot-swap to a model with the OPPOSITE answer. The cached "seq" decision
+  // must never be served again: the epoch is part of the key.
+  rt.set_policy_model(leaf_policy_model("omp"));
+  EXPECT_EQ(rt.begin(small_kernel(), iset).policy,
+            raja::PolicyType::seq_segit_omp_parallel_for_exec);
+  EXPECT_EQ(rt.begin(small_kernel(), iset).policy,
+            raja::PolicyType::seq_segit_omp_parallel_for_exec);
+}
+
+TEST_F(RuntimeTest, InlineCacheBlackboardWriteInvalidates) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(leaf_policy_model("seq"));
+  auto& context = rt.context_for_id(small_kernel().loop_id());
+  const raja::IndexSet iset = raja::IndexSet::range(0, 100);
+  (void)rt.begin(small_kernel(), iset);
+  (void)rt.begin(small_kernel(), iset);
+  EXPECT_EQ(context.inline_cache_hits(), 1);
+  // Any application-attribute write bumps the blackboard generation, which
+  // is folded into the key: models reading App features can never see a
+  // stale decision.
+  perf::Blackboard::instance().set("cycle", perf::Value(std::int64_t{42}));
+  (void)rt.begin(small_kernel(), iset);
+  EXPECT_EQ(context.inline_cache_hits(), 1);
+  EXPECT_EQ(context.inline_cache_misses(), 2);
+}
+
+TEST_F(RuntimeTest, InlineCacheKnobDisablesLookups) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(leaf_policy_model("seq"));
+  rt.set_inline_cache_enabled(false);
+  auto& context = rt.context_for_id(small_kernel().loop_id());
+  const raja::IndexSet iset = raja::IndexSet::range(0, 100);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(rt.begin(small_kernel(), iset).policy, raja::PolicyType::seq_segit_seq_exec);
+  }
+  EXPECT_EQ(context.inline_cache_hits(), 0);
+  EXPECT_EQ(context.inline_cache_misses(), 0);
+}
+
+TEST_F(RuntimeTest, FlatAndPointerEvaluationDecideIdentically) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  for (int rep = 0; rep < 3; ++rep) {
+    forall(small_kernel(), 50, [](raja::Index) {});
+    forall(small_kernel(), 200000, [](raja::Index) {});
+  }
+  const TunerModel model = Trainer::train(rt.records(), TunedParameter::Policy);
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(model);
+  rt.set_inline_cache_enabled(false);  // force a fresh evaluation per launch
+  const std::int64_t sizes[] = {1, 50, 4096, 100000, 200000, 1 << 20};
+  std::vector<raja::PolicyType> flat_decisions, pointer_decisions;
+  for (const std::int64_t n : sizes) {
+    flat_decisions.push_back(rt.begin(small_kernel(), raja::IndexSet::range(0, n)).policy);
+  }
+  rt.set_flat_eval_enabled(false);
+  for (const std::int64_t n : sizes) {
+    pointer_decisions.push_back(rt.begin(small_kernel(), raja::IndexSet::range(0, n)).policy);
+  }
+  EXPECT_EQ(flat_decisions, pointer_decisions);
+}
+
+TEST_F(RuntimeTest, GroupedForallVisitsEveryIndexOnceInOrder) {
+  raja::IndexSet iset;
+  iset.push_back(raja::RangeSegment{0, 40});
+  iset.push_back(raja::RangeSegment{40, 80});
+  iset.push_back(raja::StridedSegment{100, 140, 2});
+  iset.push_back(raja::ListSegment{{500, 501, 503}});
+  ASSERT_EQ(iset.plan_groups().size(), 3u);
+
+  std::vector<raja::Index> plain, grouped;
+  forall(small_kernel(), iset, [&](raja::Index i) { plain.push_back(i); });
+  Runtime::instance().reset_stats();
+  forall_grouped(small_kernel(), iset, [&](raja::Index i) { grouped.push_back(i); });
+  EXPECT_EQ(grouped, plain);
+  // One launch (decision + accounting) per plan group, not per segment.
+  EXPECT_EQ(Runtime::instance().stats().per_kernel.at(small_kernel().loop_id()).invocations, 3);
+}
+
+TEST_F(RuntimeTest, GroupedForallBatchesOneDecisionPerGroup) {
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(leaf_policy_model("seq"));
+  auto& context = rt.context_for_id(small_kernel().loop_id());
+  raja::IndexSet iset;
+  for (int s = 0; s < 6; ++s) {
+    iset.push_back(raja::RangeSegment{s * 100, (s + 1) * 100});  // one group
+  }
+  iset.push_back(raja::StridedSegment{0, 64, 4});  // second group
+  ASSERT_EQ(iset.plan_groups().size(), 2u);
+
+  std::vector<raja::Index> seen;
+  forall_grouped(small_kernel(), iset, [&](raja::Index i) { seen.push_back(i); });
+  // 7 segments collapsed to 2 decisions (both cold: misses).
+  EXPECT_EQ(context.inline_cache_misses(), 2);
+  EXPECT_EQ(static_cast<raja::Index>(seen.size()), iset.getLength());
+  // A second identical time step hits the per-site cache for every group.
+  forall_grouped(small_kernel(), iset, [&](raja::Index) {});
+  EXPECT_EQ(context.inline_cache_misses(), 2);
+  EXPECT_EQ(context.inline_cache_hits(), 2);
+  // Homogeneous sets degenerate to plain forall: one decision, zero slices.
+  rt.reset_stats();
+  forall_grouped(small_kernel(), raja::IndexSet::range(0, 100), [](raja::Index) {});
+  EXPECT_EQ(rt.stats().per_kernel.at(small_kernel().loop_id()).invocations, 1);
+}
+
+TEST_F(RuntimeTest, GroupedForallMatchesPlainDecisionsUnderModel) {
+  // Determinism cross-check: per-group decisions must equal what per-segment
+  // launches of the same slices would decide — grouping batches the
+  // decision, it does not change it.
+  auto& rt = Runtime::instance();
+  rt.set_mode(Mode::Record);
+  for (int rep = 0; rep < 3; ++rep) {
+    forall(small_kernel(), 50, [](raja::Index) {});
+    forall(small_kernel(), 200000, [](raja::Index) {});
+  }
+  const TunerModel model = Trainer::train(rt.records(), TunedParameter::Policy);
+  rt.set_mode(Mode::Tune);
+  rt.set_policy_model(model);
+
+  raja::IndexSet iset;
+  iset.push_back(raja::RangeSegment{0, 30});       // small -> seq region
+  iset.push_back(raja::RangeSegment{30, 60});
+  iset.push_back(raja::RangeSegment{0, 200000});   // large -> omp region
+  const auto groups = iset.plan_groups();
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& group : groups) {
+    const raja::IndexSet part = iset.slice(group.first, group.count);
+    const ModelParams grouped = rt.begin(small_kernel(), part);
+    rt.set_inline_cache_enabled(false);  // fresh evaluation for the reference
+    const ModelParams fresh = rt.begin(small_kernel(), part);
+    rt.set_inline_cache_enabled(true);
+    EXPECT_EQ(grouped.policy, fresh.policy);
+    EXPECT_EQ(grouped.chunk_size, fresh.chunk_size);
+    EXPECT_EQ(grouped.threads, fresh.threads);
+  }
+}
+
+TEST(RuntimeEnvKnobs, GarbageValuesWarnAndKeepDefaults) {
+  // APOLLO_INLINE_CACHE / APOLLO_FLAT_EVAL route through the hardened env
+  // parser the Runtime constructor uses: garbage warns and keeps the
+  // documented default (on), it never silently disables the fast path.
+  const char* garbage[] = {"", "abc", "64k", "1e6", "-3", "12 34", "0x1", "true"};
+  for (const char* value : garbage) {
+    setenv("APOLLO_INLINE_CACHE", value, 1);
+    setenv("APOLLO_FLAT_EVAL", value, 1);
+    EXPECT_EQ(apollo::telemetry::env_int64("APOLLO_INLINE_CACHE", 1, 0), 1) << value;
+    EXPECT_EQ(apollo::telemetry::env_int64("APOLLO_FLAT_EVAL", 1, 0), 1) << value;
+  }
+  setenv("APOLLO_INLINE_CACHE", "0", 1);
+  EXPECT_EQ(apollo::telemetry::env_int64("APOLLO_INLINE_CACHE", 1, 0), 0);
+  setenv("APOLLO_FLAT_EVAL", "1", 1);
+  EXPECT_EQ(apollo::telemetry::env_int64("APOLLO_FLAT_EVAL", 1, 0), 1);
+  unsetenv("APOLLO_INLINE_CACHE");
+  unsetenv("APOLLO_FLAT_EVAL");
+}

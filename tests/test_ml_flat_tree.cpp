@@ -1,0 +1,273 @@
+// FlatTree / FlatForest: compiled branchless model tables. The load-bearing
+// property is bit-for-bit prediction parity with the pointer walk on every
+// input — including NaN, infinities, and exact-threshold values — plus the
+// all-or-nothing fallback: a tree that does not fit the packed layout
+// compiles to !ok() rather than to a lossy table.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+#include "ml/flat_tree.hpp"
+#include "ml/random_forest.hpp"
+
+using apollo::ml::Dataset;
+using apollo::ml::DecisionTree;
+using apollo::ml::FlatForest;
+using apollo::ml::FlatTree;
+using apollo::ml::ForestParams;
+using apollo::ml::RandomForest;
+using apollo::ml::TreeParams;
+
+namespace {
+
+TreeParams loose() {
+  TreeParams p;
+  p.min_samples_leaf = 1;
+  p.min_samples_split = 2;
+  return p;
+}
+
+/// Random multi-class dataset: `features` columns, `classes` labels, with a
+/// feature-dependent label rule plus noise so fitted trees grow real depth.
+Dataset random_dataset(std::mt19937_64& rng, std::size_t features, int classes,
+                       std::size_t rows) {
+  std::vector<std::string> feature_names;
+  for (std::size_t f = 0; f < features; ++f) feature_names.push_back("f" + std::to_string(f));
+  std::vector<std::string> label_names;
+  for (int c = 0; c < classes; ++c) label_names.push_back("c" + std::to_string(c));
+  Dataset d(feature_names, label_names);
+  std::uniform_real_distribution<double> value(-10.0, 10.0);
+  std::uniform_int_distribution<int> noise(0, 9);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> row(features);
+    double sum = 0.0;
+    for (auto& v : row) {
+      v = value(rng);
+      sum += v;
+    }
+    int label = static_cast<int>(std::fabs(sum)) % classes;
+    if (noise(rng) == 0) label = (label + 1) % classes;  // 10% label noise
+    d.add_row(row, label);
+  }
+  return d;
+}
+
+/// Feature vectors that stress the walk: random values, exact node
+/// thresholds (the `<=` boundary), +/-inf, and NaN (which the pointer walk
+/// sends right — parity must preserve that).
+std::vector<std::vector<double>> probe_vectors(std::mt19937_64& rng, const DecisionTree& tree,
+                                               std::size_t features, std::size_t count) {
+  std::vector<std::vector<double>> probes;
+  std::uniform_real_distribution<double> value(-12.0, 12.0);
+  std::uniform_int_distribution<std::size_t> pick_node(0, tree.node_count() - 1);
+  std::uniform_int_distribution<std::size_t> pick_feature(0, features - 1);
+  std::uniform_int_distribution<int> special(0, 9);
+  for (std::size_t p = 0; p < count; ++p) {
+    std::vector<double> v(features);
+    for (auto& x : v) x = value(rng);
+    switch (special(rng)) {
+      case 0: v[pick_feature(rng)] = std::numeric_limits<double>::quiet_NaN(); break;
+      case 1: v[pick_feature(rng)] = std::numeric_limits<double>::infinity(); break;
+      case 2: v[pick_feature(rng)] = -std::numeric_limits<double>::infinity(); break;
+      case 3: {
+        // Land exactly on a split threshold to exercise the <= boundary.
+        const auto& node = tree.nodes()[pick_node(rng)];
+        if (node.feature >= 0) v[static_cast<std::size_t>(node.feature)] = node.threshold;
+        break;
+      }
+      default: break;
+    }
+    probes.push_back(std::move(v));
+  }
+  return probes;
+}
+
+}  // namespace
+
+TEST(FlatTree, NodeLayoutIsPackedAndAligned) {
+  static_assert(sizeof(FlatTree::Node) == 16);
+  Dataset d({"x"}, {"lo", "hi"});
+  for (int i = 0; i < 40; ++i) d.add_row({static_cast<double>(i)}, i > 10 ? 1 : 0);
+  const DecisionTree tree = DecisionTree::fit(d, loose());
+  const FlatTree flat = FlatTree::compile(tree);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat.node_count(), tree.node_count());
+  EXPECT_EQ(flat.depth(), tree.depth());
+  EXPECT_EQ(flat.bytes(), tree.node_count() * sizeof(FlatTree::Node));
+  EXPECT_EQ(flat.cache_lines(), (flat.bytes() + 63) / 64);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&flat.node(0)) % 64, 0u);
+  // Preorder re-layout: every internal node's left child is adjacent.
+  for (std::size_t n = 0; n < flat.node_count(); ++n) {
+    if (flat.node(n).feature != FlatTree::kLeafFeature) {
+      EXPECT_EQ(flat.node(n).left_delta, 1u);
+      EXPECT_GT(flat.node(n).right_delta, 1u);
+    }
+  }
+}
+
+TEST(FlatTree, EmptyTreeDoesNotCompile) {
+  const DecisionTree tree;
+  const FlatTree flat = FlatTree::compile(tree);
+  EXPECT_FALSE(flat.ok());
+}
+
+TEST(FlatTree, SingleLeafCompilesToOneNode) {
+  Dataset d({"x"}, {"only", "other"});
+  for (int i = 0; i < 10; ++i) d.add_row({static_cast<double>(i)}, 1);
+  const DecisionTree tree = DecisionTree::fit(d);
+  const FlatTree flat = FlatTree::compile(tree);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat.node_count(), 1u);
+  EXPECT_EQ(flat.depth(), 0);
+  const double x = 3.0;
+  EXPECT_EQ(flat.predict(&x), 1);
+}
+
+TEST(FlatTree, ParityFuzzRandomTreesRandomVectors) {
+  std::mt19937_64 rng(0xf1a77ee5ULL);
+  std::uniform_int_distribution<std::size_t> feature_count(2, 6);
+  std::uniform_int_distribution<int> class_count(2, 4);
+  for (int round = 0; round < 25; ++round) {
+    const std::size_t features = feature_count(rng);
+    const int classes = class_count(rng);
+    const Dataset d = random_dataset(rng, features, classes, 250);
+    const DecisionTree tree = DecisionTree::fit(d, loose());
+    ASSERT_FALSE(tree.empty());
+    const FlatTree flat = FlatTree::compile(tree);
+    ASSERT_TRUE(flat.ok());
+    std::vector<int> path;
+    for (const auto& v : probe_vectors(rng, tree, features, 200)) {
+      const int pointer_label = tree.predict(v.data());
+      path.clear();
+      const int path_label = tree.predict_path(v.data(), path);
+      const int flat_label = flat.predict(v.data());
+      ASSERT_EQ(flat_label, pointer_label)
+          << "round " << round << ": flat diverged from pointer walk";
+      ASSERT_EQ(flat_label, path_label) << "round " << round << ": predict_path disagrees";
+    }
+  }
+}
+
+TEST(FlatTree, ParitySurvivesPruneAndSaveLoad) {
+  std::mt19937_64 rng(0x5eedULL);
+  const Dataset d = random_dataset(rng, 4, 3, 300);
+  const DecisionTree tree = DecisionTree::fit(d, loose());
+  const DecisionTree pruned = tree.prune_to_depth(2);
+  std::stringstream io;
+  tree.save(io);
+  const DecisionTree reloaded = DecisionTree::load(io);
+  for (const DecisionTree* t : {&tree, &pruned, &reloaded}) {
+    const FlatTree flat = FlatTree::compile(*t);
+    ASSERT_TRUE(flat.ok());
+    for (const auto& v : probe_vectors(rng, *t, 4, 150)) {
+      ASSERT_EQ(flat.predict(v.data()), t->predict(v.data()));
+    }
+  }
+}
+
+TEST(FlatTree, NonPreorderLoadedTreeCompilesWithParity) {
+  // The loader accepts any forward-pointing layout, not just the builder's
+  // preorder; compile() must re-lay it out rather than assume adjacency.
+  // Root's children are swapped in storage: left=2, right=1.
+  std::stringstream io;
+  io << "apollo-tree 1\n"
+     << "features 1 x\n"
+     << "labels 2 lo hi\n"
+     << "nodes 3\n"
+     << "0 5 2 1 0 10 0.5\n"
+     << "-1 0 -1 -1 1 4 0\n"
+     << "-1 0 -1 -1 0 6 0\n";
+  const DecisionTree tree = DecisionTree::load(io);
+  const FlatTree flat = FlatTree::compile(tree);
+  ASSERT_TRUE(flat.ok());
+  for (double x : {-1.0, 4.9, 5.0, 5.1, 100.0, std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_EQ(flat.predict(&x), tree.predict(&x)) << "x=" << x;
+  }
+}
+
+TEST(FlatTree, OversizedSubtreeFallsBackToPointerWalk) {
+  // A left spine deep enough that the root's right-child delta exceeds
+  // u16: compile() must refuse (return !ok()), never truncate.
+  constexpr int kDepth = 40000;  // left subtree of root: 2*kDepth-1 > 65535
+  std::stringstream io;
+  io << "apollo-tree 1\n"
+     << "features 1 x\n"
+     << "labels 2 lo hi\n"
+     << "nodes " << (2 * kDepth + 1) << '\n';
+  for (int i = 0; i < kDepth; ++i) {
+    const int left = i + 1 < kDepth ? i + 1 : kDepth;
+    io << "0 " << (0.5 - i) << ' ' << left << ' ' << (kDepth + 1 + i) << " 0 1 0.1\n";
+  }
+  io << "-1 0 -1 -1 0 1 0\n";  // terminal left leaf (index kDepth)
+  for (int i = 0; i < kDepth; ++i) io << "-1 0 -1 -1 1 1 0\n";
+  const DecisionTree tree = DecisionTree::load(io);
+  ASSERT_EQ(tree.node_count(), static_cast<std::size_t>(2 * kDepth + 1));
+  const FlatTree flat = FlatTree::compile(tree);
+  EXPECT_FALSE(flat.ok());
+  // The pointer walk still serves predictions.
+  const double x = 100.0;
+  EXPECT_EQ(tree.predict(&x), 1);
+}
+
+TEST(FlatForest, ParityWithRandomForest) {
+  std::mt19937_64 rng(0xf03e57ULL);
+  const std::size_t features = 5;
+  const Dataset d = random_dataset(rng, features, 3, 300);
+  ForestParams params;
+  params.num_trees = 7;
+  params.tree = loose();
+  params.feature_fraction = 0.6;
+  const RandomForest forest = RandomForest::fit(d, params);
+  const FlatForest flat = FlatForest::compile(forest);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat.tree_count(), forest.tree_count());
+  EXPECT_GT(flat.bytes(), 0u);
+  EXPECT_GT(flat.node_count(), 0u);
+  std::uniform_real_distribution<double> value(-12.0, 12.0);
+  for (int p = 0; p < 500; ++p) {
+    std::vector<double> v(features);
+    for (auto& x : v) x = value(rng);
+    if (p % 10 == 0) v[static_cast<std::size_t>(p / 10) % features] =
+        std::numeric_limits<double>::quiet_NaN();
+    ASSERT_EQ(flat.predict(v.data()), forest.predict(v.data())) << "probe " << p;
+  }
+}
+
+TEST(FlatForest, FeatureMapsAreBakedIntoNodeIndices) {
+  // Every flat node's feature index must address the dataset-wide vector:
+  // member trees trained on subsets carry remapped indices, so no per-tree
+  // gather buffer exists at evaluation time.
+  std::mt19937_64 rng(0xbadcafeULL);
+  const Dataset d = random_dataset(rng, 6, 2, 200);
+  ForestParams params;
+  params.num_trees = 5;
+  params.tree = loose();
+  params.feature_fraction = 0.5;
+  const RandomForest forest = RandomForest::fit(d, params);
+  const FlatForest flat = FlatForest::compile(forest);
+  ASSERT_TRUE(flat.ok());
+  for (std::size_t t = 0; t < flat.tree_count(); ++t) {
+    const auto& map = forest.feature_maps()[t];
+    for (std::size_t n = 0; n < flat.tree(t).node_count(); ++n) {
+      const auto& node = flat.tree(t).node(n);
+      if (node.feature == FlatTree::kLeafFeature) continue;
+      EXPECT_LT(node.feature, 6u);
+      bool in_map = false;
+      for (std::size_t f : map) in_map |= (f == node.feature);
+      EXPECT_TRUE(in_map) << "tree " << t << " node " << n << " uses unmapped feature";
+    }
+  }
+}
+
+TEST(FlatForest, EmptyForestDoesNotCompile) {
+  const RandomForest forest;
+  const FlatForest flat = FlatForest::compile(forest);
+  EXPECT_FALSE(flat.ok());
+}

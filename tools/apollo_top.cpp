@@ -101,6 +101,10 @@ struct Snapshot {
   double samples_pushed = 0.0;
   double samples_dropped = 0.0;
   double buffer_occupancy = 0.0;
+  // Decision-path counters (apollo_inline_cache_*, apollo_flat_eval_total).
+  double inline_hits = 0.0;
+  double inline_misses = 0.0;
+  double flat_evals = 0.0;
   // Fork-join executor counters (apollo_pool_*).
   double pool_launches = 0.0;
   double pool_inline = 0.0;
@@ -211,6 +215,12 @@ bool load_metrics(const std::string& path, Snapshot& snap) {
       snap.samples_dropped = sample->value;
     } else if (sample->name == "apollo_sample_buffer_occupancy") {
       snap.buffer_occupancy = sample->value;
+    } else if (sample->name == "apollo_inline_cache_hits_total") {
+      snap.inline_hits = sample->value;
+    } else if (sample->name == "apollo_inline_cache_misses_total") {
+      snap.inline_misses = sample->value;
+    } else if (sample->name == "apollo_flat_eval_total") {
+      snap.flat_evals = sample->value;
     } else if (sample->name == "apollo_pool_launches_total") {
       snap.pool_launches = sample->value;
     } else if (sample->name == "apollo_pool_inline_total") {
@@ -388,6 +398,16 @@ void print_snapshot(const Snapshot& snap, double service_batches_per_s) {
               "dropped / %.0f buffered\n",
               snap.model_generation, snap.hot_swaps, snap.explores, snap.samples_pushed,
               snap.samples_dropped, snap.buffer_occupancy);
+  // Decision-path pane: how tuned launches were resolved — served from the
+  // per-site inline cache, or evaluated (compiled flat table vs pointer walk).
+  if (snap.inline_hits > 0.0 || snap.inline_misses > 0.0 || snap.flat_evals > 0.0) {
+    const double lookups = snap.inline_hits + snap.inline_misses;
+    const double hit_pct = lookups > 0.0 ? snap.inline_hits / lookups * 100.0 : 0.0;
+    const double pointer_evals = std::max(0.0, snap.inline_misses - snap.flat_evals);
+    std::printf("dispatch: inline cache %.0f hits / %.0f misses (%.1f%% hit) | evals %.0f "
+                "flat, %.0f pointer\n",
+                snap.inline_hits, snap.inline_misses, hit_pct, snap.flat_evals, pointer_evals);
+  }
   // Fork-join executor pane: how regions launched and how their waits ended.
   if (snap.pool_launches > 0.0 || snap.pool_inline > 0.0) {
     const double waits = snap.pool_spin + snap.pool_park;
