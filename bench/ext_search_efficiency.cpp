@@ -1,0 +1,416 @@
+// ext_search_efficiency: budgeted two-stage search vs the exhaustive sweep
+// on an enlarged (policy x chunk x team) variant space (extension).
+//
+// The paper's training protocol measures every variant of every kernel
+// launch. That is affordable for the paper's (policy x chunk) space, but the
+// cross product with explicit team sizes is an order of magnitude larger and
+// exhaustive coverage stops scaling. The two-stage engine (src/ml/search/)
+// ranks the space with the analytic machine model, seeds a diverse top-K
+// population, and refines it evolutionarily against measured samples under a
+// hard budget.
+//
+// Phase 1 (label quality): the ARES Sedov and Jet decks run in Record mode
+// over the enlarged space, once exhaustively (the oracle) and once with
+// APOLLO_SEARCH=twostage semantics. Per launch group the policy label a
+// trainer would derive from the searched subset is scored against the
+// oracle's label; the searched-vs-skipped counters give the measured
+// fraction. Acceptance: >= 95% label agreement while measuring <= 10% of the
+// configuration space.
+//
+// Phase 2 (adapt convergence): the workload-shift scenario from
+// ext_online_adapt runs twice on the enlarged space — baseline adaptation
+// (no search augmentation) and adaptation with the Retrainer's budgeted
+// two-stage augmentation. The augmented pass must still recover to within
+// 10% of the oracle with zero failed retrains and without blowing up the
+// pass wall time, while covering the enlarged space at the budgeted
+// fraction per retrain.
+//
+// Emits BENCH_search.json (--out) with the series + pass verdict for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "core/features.hpp"
+#include "core/runtime.hpp"
+#include "core/search_options.hpp"
+#include "core/trainer.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace apollo;
+
+namespace {
+
+// --- enlarged variant space --------------------------------------------------
+
+const std::vector<unsigned>& team_values() {
+  static const std::vector<unsigned> teams{2, 4, 8, 16, 32, 48, 64, 96};
+  return teams;
+}
+
+TrainingConfig enlarged_training_config() {
+  TrainingConfig config;  // default chunk_values: 11 entries
+  config.thread_values = team_values();
+  return config;
+}
+
+std::size_t enlarged_space_size() {
+  const TrainingConfig config = enlarged_training_config();
+  // make_variant_space lanes: policy {seq, omp} x chunk {default + values}
+  // x team {default + values}.
+  return 2 * (1 + config.chunk_values.size()) * (1 + config.thread_values.size());
+}
+
+SearchOptions twostage_options() {
+  SearchOptions options;
+  options.mode = SearchMode::TwoStage;
+  options.budget = 20;  // 20/216 = 9.3% of the enlarged space
+  options.seed_k = 8;
+  options.generations = 4;
+  return options;
+}
+
+// --- phase 1: label quality on the ARES decks --------------------------------
+
+/// Trainer-rule policy label per launch group: among rows at the default
+/// chunk with no explicit team, the policy with the lowest mean runtime.
+struct GroupStats {
+  double seq_sum = 0.0;
+  std::size_t seq_count = 0;
+  double omp_sum = 0.0;
+  std::size_t omp_count = 0;
+
+  [[nodiscard]] bool complete() const { return seq_count > 0 && omp_count > 0; }
+  [[nodiscard]] std::string label() const {
+    return seq_sum / static_cast<double>(seq_count) <=
+                   omp_sum / static_cast<double>(omp_count)
+               ? "seq"
+               : "omp";
+  }
+};
+
+std::map<std::string, GroupStats> group_labels(const std::vector<perf::SampleRecord>& records) {
+  std::map<std::string, GroupStats> groups;
+  for (const auto& record : records) {
+    const auto policy = record.find(features::kParamPolicy);
+    const auto chunk = record.find(features::kParamChunk);
+    const auto runtime = record.find(features::kMeasureRuntime);
+    if (policy == record.end() || runtime == record.end()) continue;
+    if (chunk != record.end() && chunk->second.as_int() != 0) continue;
+    if (record.find(features::kParamThreads) != record.end()) continue;  // explicit team
+    const auto loop = record.find(features::kLoopId);
+    const auto indices = record.find(features::kNumIndices);
+    if (loop == record.end() || indices == record.end()) continue;
+    const std::string key =
+        loop->second.as_string() + "|" + std::to_string(indices->second.as_int());
+    GroupStats& stats = groups[key];
+    if (policy->second.as_string() == "seq") {
+      stats.seq_sum += runtime->second.as_real();
+      stats.seq_count += 1;
+    } else {
+      stats.omp_sum += runtime->second.as_real();
+      stats.omp_count += 1;
+    }
+  }
+  return groups;
+}
+
+std::vector<perf::SampleRecord> record_deck(apps::Application& app, const std::string& deck,
+                                            int size, const SearchOptions& options) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  rt.set_execute_selected(false);
+  rt.set_mode(Mode::Record);
+  rt.set_training_config(enlarged_training_config());
+  rt.set_search_options(options);
+  app.run(apps::RunConfig{deck, size, /*steps=*/4});
+  std::vector<perf::SampleRecord> records = rt.records();
+  rt.reset();
+  return records;
+}
+
+struct DeckResult {
+  std::string deck;
+  std::size_t groups = 0;          ///< launch groups with both oracle anchors
+  std::size_t agreed = 0;          ///< groups where the searched label matches
+  std::size_t oracle_records = 0;  ///< rows the exhaustive sweep produced
+  std::size_t search_records = 0;  ///< rows the budgeted search produced
+  std::uint64_t measured = 0;      ///< searched pass: configurations measured
+  std::uint64_t skipped = 0;       ///< searched pass: configurations skipped
+
+  [[nodiscard]] double accuracy() const {
+    return groups > 0 ? static_cast<double>(agreed) / static_cast<double>(groups) : 0.0;
+  }
+};
+
+DeckResult score_deck(apps::Application& app, const std::string& deck, int size) {
+  DeckResult result;
+  result.deck = deck;
+  SearchOptions exhaustive;  // defaults
+  const auto oracle_records = record_deck(app, deck, size, exhaustive);
+
+  // Counter deltas around the searched pass only, so the exhaustive oracle's
+  // own measured count does not dilute the fraction.
+  telemetry::set_enabled(true);
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const auto measured0 = registry.counter("apollo_search_measured_total", "").value();
+  const auto skipped0 = registry.counter("apollo_search_skipped_total", "").value();
+  const auto search_records = record_deck(app, deck, size, twostage_options());
+  result.measured = registry.counter("apollo_search_measured_total", "").value() - measured0;
+  result.skipped = registry.counter("apollo_search_skipped_total", "").value() - skipped0;
+  telemetry::set_enabled(false);
+
+  result.oracle_records = oracle_records.size();
+  result.search_records = search_records.size();
+
+  const auto oracle = group_labels(oracle_records);
+  const auto searched = group_labels(search_records);
+  for (const auto& [key, stats] : oracle) {
+    if (!stats.complete()) continue;
+    const auto hit = searched.find(key);
+    // The search anchors {seq, omp at defaults} guarantee the searched
+    // subset can label every group the oracle can.
+    if (hit == searched.end() || !hit->second.complete()) continue;
+    result.groups += 1;
+    if (stats.label() == hit->second.label()) result.agreed += 1;
+  }
+  return result;
+}
+
+// --- phase 2: adapt-mode convergence on the enlarged space --------------------
+
+const KernelHandle& stream_kernel() {
+  static const KernelHandle k{"search:stream", "StreamKernel",
+                              instr::MixBuilder{}.fp(2).load(2).store(1).build(), 24};
+  return k;
+}
+
+constexpr std::size_t kPreLaunches = 150;
+constexpr std::size_t kPostLaunches = 450;
+
+std::int64_t size_at(std::size_t launch) {
+  static const std::int64_t small[] = {2000, 4000, 8000};
+  static const std::int64_t large[] = {150000, 250000};
+  return launch < kPreLaunches ? small[launch % 3] : large[launch % 2];
+}
+
+double oracle_cost(std::int64_t size) {
+  const auto& rt = Runtime::instance();
+  sim::CostQuery query;
+  query.num_indices = size;
+  query.num_segments = 1;
+  query.mix = stream_kernel().mix();
+  query.bytes_per_iteration = stream_kernel().bytes_per_iteration();
+  query.threads = rt.machine().config().cores;
+  query.kernel_seed = std::hash<std::string>{}(stream_kernel().loop_id());
+  query.policy = sim::PolicyKind::Sequential;
+  const double seq = rt.machine().cost_seconds(query);
+  query.policy = sim::PolicyKind::OpenMP;
+  return std::min(seq, rt.machine().cost_seconds(query));
+}
+
+TunerModel train_offline_model() {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  rt.set_execute_selected(false);
+  rt.set_mode(Mode::Record);
+  TrainingConfig training;
+  training.chunk_values.clear();
+  rt.set_training_config(training);
+  for (std::int64_t size : {1000, 2000, 4000, 8000, 12000}) {
+    for (int step = 0; step < 8; ++step) {
+      apollo::forall(stream_kernel(), raja::IndexSet::range(0, size), [](raja::Index) {});
+    }
+  }
+  TunerModel model = Trainer::train(rt.records(), TunedParameter::Policy);
+  rt.reset();
+  return model;
+}
+
+struct AdaptResult {
+  std::size_t swap_launch = 0;
+  double steady_ratio = 0.0;
+  double wall_seconds = 0.0;
+  online::OnlineTuner::Status status{};
+};
+
+AdaptResult run_adapt_pass(const TunerModel& offline_model, const SearchOptions& options) {
+  auto& rt = Runtime::instance();
+  rt.reset();
+  rt.set_execute_selected(false);
+  rt.set_mode(Mode::Adapt);
+  rt.set_training_config(enlarged_training_config());
+  rt.set_search_options(options);
+
+  online::OnlineConfig config;
+  config.sample_stride = 4;
+  config.min_retrain_samples = 32;
+  config.post_drift_samples = 16;
+  config.drift.window = 32;
+  config.drift.min_samples = 8;
+  config.drift.cooldown = 48;
+  config.explorer.epsilon = 0.05;
+  config.explorer.boosted_epsilon = 0.40;
+  rt.configure_online(config);
+  rt.set_policy_model(offline_model);
+
+  AdaptResult result;
+  std::vector<double> cost;
+  cost.reserve(kPreLaunches + kPostLaunches);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (std::size_t launch = 0; launch < kPreLaunches + kPostLaunches; ++launch) {
+    const double before = rt.stats().total_seconds;
+    apollo::forall(stream_kernel(), raja::IndexSet::range(0, size_at(launch)), [](raja::Index) {});
+    cost.push_back(rt.stats().total_seconds - before);
+    if (rt.online().status().retrain_in_flight) rt.online().wait_retrain_idle();
+    if (result.swap_launch == 0 && rt.online().status().model_version > 0) {
+      result.swap_launch = launch + 1;
+    }
+  }
+  rt.online().wait_retrain_idle();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  result.status = rt.online().status();
+
+  const std::size_t total = kPreLaunches + kPostLaunches;
+  const std::size_t tail_begin = std::max(result.swap_launch + 30, total - 200);
+  double oracle_sum = 0.0;
+  double cost_sum = 0.0;
+  for (std::size_t launch = tail_begin; launch < total; ++launch) {
+    oracle_sum += oracle_cost(size_at(launch));
+    cost_sum += cost[launch];
+  }
+  result.steady_ratio = oracle_sum > 0.0 ? cost_sum / oracle_sum : 0.0;
+  rt.reset();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_search.json";
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--out" && a + 1 < argc) {
+      out_path = argv[++a];
+    } else {
+      std::fprintf(stderr, "usage: ext_search_efficiency [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  bench::print_heading("Two-stage search efficiency on the enlarged variant space",
+                       "extension of SIII.B (training data collection cost)");
+  const std::size_t space = enlarged_space_size();
+  const SearchOptions budgeted = twostage_options();
+  std::printf("variant space: policy x chunk x team = %zu points; search budget %zu "
+              "(%.1f%% of space)\n\n",
+              space, budgeted.budget,
+              100.0 * static_cast<double>(budgeted.budget) / static_cast<double>(space));
+
+  // --- phase 1: label quality ------------------------------------------------
+  const auto ares = apps::make_ares();
+  std::vector<DeckResult> decks;
+  std::uint64_t measured_total = 0;
+  std::uint64_t skipped_total = 0;
+  for (const std::string deck : {"sedov", "jet"}) {
+    decks.push_back(score_deck(*ares, deck, 64));
+    const DeckResult& r = decks.back();
+    measured_total += r.measured;
+    skipped_total += r.skipped;
+    std::printf("ares/%-7s %4zu groups: label agreement %zu/%zu (%.1f%%), "
+                "records %zu searched vs %zu exhaustive\n",
+                r.deck.c_str(), r.groups, r.agreed, r.groups, r.accuracy() * 100.0,
+                r.search_records, r.oracle_records);
+  }
+
+  const double measured_fraction =
+      measured_total + skipped_total > 0
+          ? static_cast<double>(measured_total) /
+                static_cast<double>(measured_total + skipped_total)
+          : 1.0;
+
+  std::size_t total_groups = 0;
+  std::size_t total_agreed = 0;
+  for (const auto& deck : decks) {
+    total_groups += deck.groups;
+    total_agreed += deck.agreed;
+  }
+  const double accuracy =
+      total_groups > 0 ? static_cast<double>(total_agreed) / static_cast<double>(total_groups)
+                       : 0.0;
+  std::printf("\noverall: label accuracy %.1f%% across %zu groups, measured fraction %.1f%% "
+              "of the %zu-point space\n",
+              accuracy * 100.0, total_groups, measured_fraction * 100.0, space);
+
+  // --- phase 2: adapt convergence --------------------------------------------
+  std::printf("\nadapt-mode recovery after a workload shift (enlarged space):\n");
+  const TunerModel offline_model = train_offline_model();
+  SearchOptions exhaustive;
+  const AdaptResult baseline = run_adapt_pass(offline_model, exhaustive);
+  const AdaptResult augmented = run_adapt_pass(offline_model, budgeted);
+  std::printf("  baseline (no augmentation): swap at launch %zu, steady %.2fx oracle, "
+              "%llu retrains (%llu failed), %.2f s wall\n",
+              baseline.swap_launch, baseline.steady_ratio,
+              static_cast<unsigned long long>(baseline.status.retrains_completed),
+              static_cast<unsigned long long>(baseline.status.retrains_failed),
+              baseline.wall_seconds);
+  std::printf("  two-stage augmentation:     swap at launch %zu, steady %.2fx oracle, "
+              "%llu retrains (%llu failed), %.2f s wall\n",
+              augmented.swap_launch, augmented.steady_ratio,
+              static_cast<unsigned long long>(augmented.status.retrains_completed),
+              static_cast<unsigned long long>(augmented.status.retrains_failed),
+              augmented.wall_seconds);
+
+  // --- verdict ----------------------------------------------------------------
+  const bool pass_accuracy = accuracy >= 0.95 && total_groups > 0;
+  const bool pass_fraction = measured_fraction <= 0.10;
+  const bool pass_adapt = augmented.swap_launch > 0 && augmented.steady_ratio <= 1.10 &&
+                          augmented.status.retrains_failed == 0 &&
+                          augmented.wall_seconds <= std::max(baseline.wall_seconds * 1.5, 1.0);
+  const bool pass = pass_accuracy && pass_fraction && pass_adapt;
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"space_size\": " << space << ",\n"
+      << "  \"budget\": " << budgeted.budget << ",\n"
+      << "  \"decks\": [\n";
+  for (std::size_t d = 0; d < decks.size(); ++d) {
+    out << "    {\"deck\": \"" << decks[d].deck << "\", \"groups\": " << decks[d].groups
+        << ", \"agreed\": " << decks[d].agreed << ", \"label_accuracy\": " << decks[d].accuracy()
+        << ", \"searched_records\": " << decks[d].search_records
+        << ", \"oracle_records\": " << decks[d].oracle_records << "}"
+        << (d + 1 < decks.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"label_accuracy\": " << accuracy << ",\n"
+      << "  \"measured_fraction\": " << measured_fraction << ",\n"
+      << "  \"adapt_baseline\": {\"swap_launch\": " << baseline.swap_launch
+      << ", \"steady_ratio\": " << baseline.steady_ratio
+      << ", \"retrains\": " << baseline.status.retrains_completed
+      << ", \"retrains_failed\": " << baseline.status.retrains_failed
+      << ", \"wall_seconds\": " << baseline.wall_seconds << "},\n"
+      << "  \"adapt_twostage\": {\"swap_launch\": " << augmented.swap_launch
+      << ", \"steady_ratio\": " << augmented.steady_ratio
+      << ", \"retrains\": " << augmented.status.retrains_completed
+      << ", \"retrains_failed\": " << augmented.status.retrains_failed
+      << ", \"wall_seconds\": " << augmented.wall_seconds << "},\n"
+      << "  \"pass_accuracy\": " << (pass_accuracy ? "true" : "false") << ",\n"
+      << "  \"pass_fraction\": " << (pass_fraction ? "true" : "false") << ",\n"
+      << "  \"pass_adapt\": " << (pass_adapt ? "true" : "false") << ",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << "\n"
+      << "}\n";
+  out.close();
+
+  std::printf("\n%s: label accuracy %.1f%% (>= 95%%), measured fraction %.1f%% (<= 10%%), "
+              "augmented adapt %s\n",
+              pass ? "PASS" : "FAIL", accuracy * 100.0, measured_fraction * 100.0,
+              pass_adapt ? "recovered" : "did NOT recover");
+  std::printf("wrote %s\n", out_path.c_str());
+  return pass ? 0 : 1;
+}

@@ -34,6 +34,11 @@ inline constexpr const char* kParamPolicy = "param:policy";
 inline constexpr const char* kParamChunk = "param:chunk_size";
 inline constexpr const char* kParamThreads = "param:threads";
 inline constexpr const char* kMeasureRuntime = "measure:runtime";
+/// Kernel bytes-per-iteration, carried as sample metadata (not a model
+/// feature) so an offline consumer — the Retrainer's search augmentation,
+/// apollo_train --search — can rebuild the launch's machine-model CostQuery
+/// without the live KernelHandle.
+inline constexpr const char* kMeasureBytesPerIter = "measure:bytes_per_iter";
 
 /// True for record keys that describe the sample rather than the launch.
 [[nodiscard]] inline bool is_meta_key(const std::string& key) {

@@ -1,0 +1,27 @@
+#include "core/search_options.hpp"
+
+#include "telemetry/env.hpp"
+
+namespace apollo {
+
+const char* search_mode_name(SearchMode mode) noexcept {
+  switch (mode) {
+    case SearchMode::Exhaustive: return "exhaustive";
+    case SearchMode::TwoStage: return "twostage";
+  }
+  return "?";
+}
+
+SearchOptions search_options_from_env() {
+  SearchOptions options;
+  const std::string mode =
+      telemetry::env_choice("APOLLO_SEARCH", "exhaustive", {"exhaustive", "twostage"});
+  options.mode = mode == "twostage" ? SearchMode::TwoStage : SearchMode::Exhaustive;
+  // Budget 0 means "use the fraction"; min_value 0 keeps that spelling legal.
+  options.budget = telemetry::env_size("APOLLO_SEARCH_BUDGET", options.budget, 0);
+  options.seed_k = telemetry::env_size("APOLLO_SEARCH_SEED_K", options.seed_k, 1);
+  options.generations = telemetry::env_size("APOLLO_SEARCH_GENERATIONS", options.generations, 0);
+  return options;
+}
+
+}  // namespace apollo

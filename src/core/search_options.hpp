@@ -1,0 +1,42 @@
+#pragma once
+
+// Process-wide tuning-search configuration (the APOLLO_SEARCH knob family).
+//
+// Selects how training runs cover the variant space:
+//
+//   exhaustive  — measure every variant per launch (the paper's protocol;
+//                 the default, bit-for-bit the pre-search behaviour);
+//   twostage    — model-seeded + evolutionary search (src/ml/search/):
+//                 measure a budgeted fraction, skip the rest.
+//
+// Parsed once through the hardened telemetry::env_* layer (garbage values
+// warn on stderr and keep the documented default) and applied at all three
+// training entry points: the Record-mode sweep in Runtime::end, the online
+// Retrainer's per-duty-cycle augmentation, and tools/apollo_train.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace apollo {
+
+enum class SearchMode : std::uint8_t { Exhaustive, TwoStage };
+
+[[nodiscard]] const char* search_mode_name(SearchMode mode) noexcept;
+
+struct SearchOptions {
+  SearchMode mode = SearchMode::Exhaustive;
+  /// Distinct configurations measured per launch group (APOLLO_SEARCH_BUDGET;
+  /// 0 = budget_fraction x space size, the 10%-of-space measurement target).
+  std::size_t budget = 0;
+  double budget_fraction = 0.10;
+  /// Stage-1 model-ranked seed population (APOLLO_SEARCH_SEED_K).
+  std::size_t seed_k = 8;
+  /// Stage-2 evolutionary generations (APOLLO_SEARCH_GENERATIONS).
+  std::size_t generations = 4;
+};
+
+/// Read APOLLO_SEARCH / APOLLO_SEARCH_BUDGET / APOLLO_SEARCH_SEED_K /
+/// APOLLO_SEARCH_GENERATIONS. Every knob warns-and-defaults on garbage.
+[[nodiscard]] SearchOptions search_options_from_env();
+
+}  // namespace apollo

@@ -1,0 +1,97 @@
+#include "core/search_support.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "core/features.hpp"
+#include "instr/mix.hpp"
+
+namespace apollo {
+
+ml::search::Space make_variant_space(const std::vector<std::int64_t>& chunk_values,
+                                     const std::vector<unsigned>& thread_values) {
+  std::vector<ml::search::Lane> lanes;
+  lanes.push_back({"policy", {0, 1}});  // 0 = seq, 1 = omp
+  ml::search::Lane chunk_lane{"chunk", {0}};
+  for (const std::int64_t chunk : chunk_values) chunk_lane.values.push_back(chunk);
+  lanes.push_back(std::move(chunk_lane));
+  ml::search::Lane team_lane{"team", {0}};
+  for (const unsigned team : thread_values) {
+    team_lane.values.push_back(static_cast<std::int64_t>(team));
+  }
+  lanes.push_back(std::move(team_lane));
+  return ml::search::Space(std::move(lanes));
+}
+
+SearchVariant variant_at(const ml::search::Space& space, const ml::search::Point& point) {
+  if (space.value(point, 0) == 0) return {};  // sequential ignores chunk/team
+  SearchVariant variant;
+  variant.policy = raja::PolicyType::seq_segit_omp_parallel_for_exec;
+  variant.chunk = space.value(point, 1);
+  variant.team = static_cast<unsigned>(space.value(point, 2));
+  return variant;
+}
+
+std::uint64_t canonical_variant_key(const ml::search::Space& space,
+                                    const ml::search::Point& point) {
+  if (space.value(point, 0) == 0) return 0;
+  return static_cast<std::uint64_t>(space.encode(point)) + 1;
+}
+
+ml::search::SearchConfig search_engine_config(const SearchOptions& options, std::uint64_t seed,
+                                              std::size_t samples_per_config) {
+  ml::search::SearchConfig config;
+  config.budget = options.budget;
+  config.budget_fraction = options.budget_fraction;
+  config.seed_k = options.seed_k;
+  config.generations = options.generations;
+  config.samples_per_config = samples_per_config;
+  config.seed = seed;
+  return config;
+}
+
+sim::CostQuery query_from_record(const perf::SampleRecord& record) {
+  sim::CostQuery query;
+  const auto num = [&](const char* key, std::int64_t fallback) -> std::int64_t {
+    const auto it = record.find(key);
+    return it != record.end() ? it->second.as_int() : fallback;
+  };
+  query.num_indices = num(features::kNumIndices, 0);
+  query.num_segments = std::max<std::int64_t>(num(features::kNumSegments, 1), 1);
+  for (std::size_t m = 0; m < instr::kMnemonicCount; ++m) {
+    const auto mnemonic = static_cast<instr::Mnemonic>(m);
+    query.mix.set(mnemonic, num(instr::mnemonic_name(mnemonic), 0));
+  }
+  query.bytes_per_iteration = num(features::kMeasureBytesPerIter, 0);
+  const auto loop = record.find(features::kLoopId);
+  if (loop != record.end() && loop->second.is_string()) {
+    query.kernel_seed = std::hash<std::string>{}(loop->second.as_string());
+  }
+  const auto problem = record.find(features::kProblemName);
+  if (problem != record.end() && problem->second.is_string()) {
+    query.context_seed = std::hash<std::string>{}(problem->second.as_string());
+  }
+  const auto step = record.find(features::kTimestep);
+  if (step != record.end()) query.epoch = step->second.as_number();
+  return query;
+}
+
+std::string search_group_key(const perf::SampleRecord& record) {
+  std::string key;
+  const auto append = [&](const char* name) {
+    const auto it = record.find(name);
+    if (it != record.end()) {
+      key += it->second.is_string() ? it->second.as_string()
+                                    : std::to_string(it->second.as_int());
+    }
+    key += '|';
+  };
+  append(features::kLoopId);
+  append(features::kNumIndices);
+  append(features::kNumSegments);
+  append(features::kProblemName);
+  return key;
+}
+
+}  // namespace apollo

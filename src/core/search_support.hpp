@@ -1,0 +1,59 @@
+#pragma once
+
+// Shared glue between the generic two-stage search engine (ml/search) and
+// Apollo's concrete (policy x chunk x team) tuning space. Used by every
+// search entry point: the Record-mode sweep and the Retrainer augmentation
+// inside the runtime, and apollo_train --search offline.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/search_options.hpp"
+#include "ml/search/space.hpp"
+#include "ml/search/two_stage.hpp"
+#include "perf/record.hpp"
+#include "raja/policy.hpp"
+#include "sim/machine.hpp"
+
+namespace apollo {
+
+/// A decoded point of the (policy x chunk x team) training space.
+struct SearchVariant {
+  raja::PolicyType policy = raja::PolicyType::seq_segit_seq_exec;
+  std::int64_t chunk = 0;
+  unsigned team = 0;
+};
+
+/// The space the exhaustive sweep covers, as typed search lanes. Index 0 of
+/// the chunk/team lanes is the "default" (0) sentinel, so the anchor
+/// variants the trainer's labelling rules require live inside the space.
+[[nodiscard]] ml::search::Space make_variant_space(const std::vector<std::int64_t>& chunk_values,
+                                                   const std::vector<unsigned>& thread_values);
+
+/// Decode a search point into a concrete variant (sequential points ignore
+/// the chunk/team lanes).
+[[nodiscard]] SearchVariant variant_at(const ml::search::Space& space,
+                                       const ml::search::Point& point);
+
+/// Dedupe key: every sequential point is the same configuration, so the
+/// search can never spend budget re-measuring seq under a different chunk.
+[[nodiscard]] std::uint64_t canonical_variant_key(const ml::search::Space& space,
+                                                  const ml::search::Point& point);
+
+/// Lower the user-facing SearchOptions into the engine's SearchConfig.
+[[nodiscard]] ml::search::SearchConfig search_engine_config(const SearchOptions& options,
+                                                            std::uint64_t seed,
+                                                            std::size_t samples_per_config);
+
+/// Rebuild the machine-model query for a recorded launch from its attribute
+/// map (the inverse of Runtime::make_query, for consumers that no longer
+/// hold the live KernelHandle — the Retrainer's background augmentation and
+/// apollo_train --search).
+[[nodiscard]] sim::CostQuery query_from_record(const perf::SampleRecord& record);
+
+/// Launch-group identity for search over recorded samples: records that
+/// share a kernel, an index-set shape, and a problem deck share one search.
+[[nodiscard]] std::string search_group_key(const perf::SampleRecord& record);
+
+}  // namespace apollo

@@ -1,0 +1,94 @@
+#pragma once
+
+// Typed-lane variant spaces for tuning search.
+//
+// A tuning space is a cross product of independent "lanes", one per tuned
+// parameter dimension (policy, chunk size, team size, ...). Each lane holds
+// the ordered list of admissible values for that dimension; a configuration
+// (Point) is one value index per lane. Search operators work in index space —
+// mutation steps move to neighbouring values, so a lane whose values grow
+// geometrically (1, 2, 4, ..., 1024) is explored on its natural scale — and
+// only the runtime integration layer maps indices back to typed parameter
+// values. The representation is deliberately generic: when ROADMAP item 1
+// adds backend/tiling dimensions they become additional lanes, not new code.
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace apollo::ml::search {
+
+/// One tuned dimension: a name (for reports) and its admissible values.
+struct Lane {
+  std::string name;
+  std::vector<std::int64_t> values;
+};
+
+/// A configuration: one value index per lane (index into Lane::values).
+using Point = std::vector<std::size_t>;
+
+/// A cross product of lanes with flat-index enumeration. Immutable after
+/// construction; cheap to copy around search stages.
+class Space {
+public:
+  explicit Space(std::vector<Lane> lanes) : lanes_(std::move(lanes)) {
+    if (lanes_.empty()) throw std::invalid_argument("search::Space: no lanes");
+    size_ = 1;
+    for (const auto& lane : lanes_) {
+      if (lane.values.empty()) {
+        throw std::invalid_argument("search::Space: empty lane " + lane.name);
+      }
+      size_ *= lane.values.size();
+    }
+  }
+
+  [[nodiscard]] std::size_t lane_count() const noexcept { return lanes_.size(); }
+  [[nodiscard]] const Lane& lane(std::size_t index) const { return lanes_.at(index); }
+  [[nodiscard]] const std::vector<Lane>& lanes() const noexcept { return lanes_; }
+
+  /// Total number of configurations (product of lane sizes).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// The typed value a point selects in one lane.
+  [[nodiscard]] std::int64_t value(const Point& point, std::size_t lane_index) const {
+    return lanes_.at(lane_index).values.at(point.at(lane_index));
+  }
+
+  /// Decode a flat enumeration index into a point (row-major, lane 0 slowest).
+  [[nodiscard]] Point decode(std::size_t flat) const {
+    Point point(lanes_.size());
+    for (std::size_t l = lanes_.size(); l-- > 0;) {
+      const std::size_t extent = lanes_[l].values.size();
+      point[l] = flat % extent;
+      flat /= extent;
+    }
+    return point;
+  }
+
+  /// Inverse of decode; also the default canonical dedupe key.
+  [[nodiscard]] std::size_t encode(const Point& point) const {
+    std::size_t flat = 0;
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      flat = flat * lanes_[l].values.size() + point.at(l);
+    }
+    return flat;
+  }
+
+  /// L1 distance in index space; the diversity metric for seed selection.
+  [[nodiscard]] static std::size_t distance(const Point& a, const Point& b) {
+    std::size_t total = 0;
+    for (std::size_t l = 0; l < a.size() && l < b.size(); ++l) {
+      total += a[l] > b[l] ? a[l] - b[l] : b[l] - a[l];
+    }
+    return total;
+  }
+
+private:
+  std::vector<Lane> lanes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace apollo::ml::search

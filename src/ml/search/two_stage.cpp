@@ -1,0 +1,242 @@
+#include "ml/search/two_stage.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace apollo::ml::search {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// Candidate pool ranked by the cheap model before diversification: wide
+/// enough that diversification has real choices, narrow enough that seeds
+/// stay inside the model's plausible region.
+constexpr std::size_t kSeedPoolFactor = 4;
+
+}  // namespace
+
+std::size_t TwoStageSearch::effective_budget(std::size_t space_size,
+                                             std::size_t anchor_count) const {
+  std::size_t budget = config_.budget;
+  if (budget == 0) {
+    const double fraction = std::clamp(config_.budget_fraction, 0.0, 1.0);
+    budget = static_cast<std::size_t>(std::ceil(fraction * static_cast<double>(space_size)));
+  }
+  // The trainer's labelling rules need the anchors plus at least one
+  // alternative; a budget below that would produce unusable data.
+  budget = std::max(budget, anchor_count + 2);
+  return std::min(budget, space_size);
+}
+
+Point TwoStageSearch::crossover(const Point& a, const Point& b, Rng& rng) {
+  Point child(a.size());
+  for (std::size_t l = 0; l < a.size(); ++l) {
+    child[l] = (rng.next() & 1u) != 0 ? a[l] : (l < b.size() ? b[l] : a[l]);
+  }
+  return child;
+}
+
+std::size_t TwoStageSearch::step_for_generation(std::size_t lane_extent, std::size_t generation) {
+  std::size_t step = lane_extent;
+  for (std::size_t g = 0; g <= generation; ++g) step /= 2;
+  return std::max<std::size_t>(step, 1);
+}
+
+Point TwoStageSearch::mutate(const Space& space, Point point, std::size_t max_step, Rng& rng) {
+  // Mutate one mandatory lane plus each other lane with probability 1/lanes:
+  // expected ~2 lane moves per child, never a silent no-op clone.
+  const std::size_t lanes = space.lane_count();
+  const std::size_t forced = rng.below(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    if (l != forced && rng.below(lanes) != 0) continue;
+    const std::size_t extent = space.lane(l).values.size();
+    if (extent <= 1) continue;
+    const std::size_t step = 1 + rng.below(std::min(max_step, extent - 1));
+    const bool up = (rng.next() & 1u) != 0;
+    if (up) {
+      point[l] = std::min(point[l] + step, extent - 1);
+    } else {
+      point[l] = point[l] >= step ? point[l] - step : 0;
+    }
+  }
+  return point;
+}
+
+std::size_t TwoStageSearch::tournament_select(const std::vector<double>& fitness,
+                                              std::size_t tournament, Rng& rng) {
+  std::size_t best = rng.below(fitness.size());
+  for (std::size_t t = 1; t < std::max<std::size_t>(tournament, 1); ++t) {
+    const std::size_t challenger = rng.below(fitness.size());
+    if (fitness[challenger] < fitness[best]) best = challenger;
+  }
+  return best;
+}
+
+std::vector<Point> TwoStageSearch::diversify(const Space& space, const std::vector<Point>& ranked,
+                                             std::size_t count) {
+  std::vector<Point> picked;
+  if (ranked.empty() || count == 0) return picked;
+  picked.push_back(ranked.front());  // the model's favourite always seeds
+  std::vector<bool> used(ranked.size(), false);
+  used[0] = true;
+  while (picked.size() < count && picked.size() < ranked.size()) {
+    std::size_t best_candidate = kNone;
+    std::size_t best_distance = 0;
+    for (std::size_t c = 0; c < ranked.size(); ++c) {
+      if (used[c]) continue;
+      std::size_t nearest = std::numeric_limits<std::size_t>::max();
+      for (const auto& point : picked) {
+        nearest = std::min(nearest, Space::distance(ranked[c], point));
+      }
+      // Strict > keeps ties on the better-ranked (earlier) candidate.
+      if (best_candidate == kNone || nearest > best_distance) {
+        best_candidate = c;
+        best_distance = nearest;
+      }
+    }
+    if (best_candidate == kNone) break;
+    used[best_candidate] = true;
+    picked.push_back(ranked[best_candidate]);
+  }
+  (void)space;
+  return picked;
+}
+
+Result TwoStageSearch::run(const Space& space, const CheapFn& cheap, const MeasureFn& measure,
+                           const std::vector<Point>& anchors,
+                           const CanonicalFn& canonical) const {
+  Result result;
+  Rng rng(config_.seed);
+  const std::size_t budget = effective_budget(space.size(), anchors.size());
+  const auto key_of = [&](const Point& point) -> std::uint64_t {
+    return canonical ? canonical(point) : static_cast<std::uint64_t>(space.encode(point));
+  };
+
+  // Measured configurations, deduped on the canonical key. Returns the index
+  // into result.measurements, or kNone when the budget is exhausted.
+  std::unordered_map<std::uint64_t, std::size_t> seen;
+  double best_mean = std::numeric_limits<double>::infinity();
+  const auto measure_config = [&](const Point& point) -> std::size_t {
+    const auto found = seen.find(key_of(point));
+    if (found != seen.end()) {
+      ++result.stats.cache_hits;
+      return found->second;
+    }
+    if (result.stats.measured >= budget) {
+      result.stats.budget_exhausted = true;
+      return kNone;
+    }
+    ++result.stats.measured;
+    Measurement m;
+    m.point = point;
+    double sum = 0.0;
+    const std::size_t samples = std::max<std::size_t>(config_.samples_per_config, 1);
+    for (std::size_t s = 0; s < samples; ++s) {
+      sum += measure(point);
+      m.samples = s + 1;
+      // Dominance early-abort: once the partial mean is already hopeless
+      // against the best full mean, further samples cannot make this
+      // configuration the winner — stop paying for them.
+      const double partial = sum / static_cast<double>(m.samples);
+      if (m.samples < samples && std::isfinite(best_mean) &&
+          partial > config_.abort_margin * best_mean) {
+        m.aborted = true;
+        ++result.stats.aborted;
+        break;
+      }
+    }
+    m.seconds = sum / static_cast<double>(m.samples);
+    if (!m.aborted && m.seconds < best_mean) best_mean = m.seconds;
+    const std::size_t index = result.measurements.size();
+    seen.emplace(key_of(point), index);
+    result.measurements.push_back(std::move(m));
+    return index;
+  };
+
+  // Anchors first: the trainer's labelling rules depend on them existing.
+  for (const auto& anchor : anchors) (void)measure_config(anchor);
+
+  // --- stage 1: model-seeded ------------------------------------------------
+  // Rank the whole space with the free deterministic objective, then measure
+  // a diversified top-K. The full enumeration is intentional: the cheap
+  // objective is an analytic formula, so even the enlarged spaces this layer
+  // exists for (10^3..10^5 points) rank in microseconds.
+  std::vector<std::size_t> order(space.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> model_cost(space.size());
+  for (std::size_t i = 0; i < space.size(); ++i) model_cost[i] = cheap(space.decode(i));
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return model_cost[a] < model_cost[b]; });
+
+  const std::size_t seed_k = std::max<std::size_t>(config_.seed_k, 1);
+  std::vector<Point> pool;
+  pool.reserve(std::min(space.size(), seed_k * kSeedPoolFactor));
+  for (std::size_t i = 0; i < order.size() && pool.size() < seed_k * kSeedPoolFactor; ++i) {
+    pool.push_back(space.decode(order[i]));
+  }
+  const std::vector<Point> seeds = diversify(space, pool, seed_k);
+  std::vector<std::size_t> population;
+  for (const auto& seed : seeds) {
+    const std::size_t index = measure_config(seed);
+    if (index == kNone) break;
+    population.push_back(index);
+    ++result.stats.seeded;
+  }
+  // Anchors compete as population members too — they are real measurements.
+  for (std::size_t i = 0; i < anchors.size() && i < result.measurements.size(); ++i) {
+    if (std::find(population.begin(), population.end(), i) == population.end()) {
+      population.push_back(i);
+    }
+  }
+
+  // --- stage 2: evolutionary refinement ------------------------------------
+  const std::size_t pop_size = config_.population > 0 ? config_.population : seed_k;
+  for (std::size_t gen = 0; gen < config_.generations && !result.stats.budget_exhausted; ++gen) {
+    if (population.size() < 2) break;
+    std::vector<double> fitness(population.size());
+    for (std::size_t p = 0; p < population.size(); ++p) {
+      fitness[p] = result.measurements[population[p]].seconds;
+    }
+    std::vector<std::size_t> offspring;
+    for (std::size_t child = 0; child < pop_size; ++child) {
+      const Point& parent_a =
+          result.measurements[population[tournament_select(fitness, config_.tournament, rng)]]
+              .point;
+      const Point& parent_b =
+          result.measurements[population[tournament_select(fitness, config_.tournament, rng)]]
+              .point;
+      Point candidate = crossover(parent_a, parent_b, rng);
+      // Per-lane step schedule: generation g may move an index by up to
+      // extent/2^(g+1), so early generations explore and late ones refine.
+      std::size_t max_step = 1;
+      for (std::size_t l = 0; l < space.lane_count(); ++l) {
+        max_step = std::max(max_step, step_for_generation(space.lane(l).values.size(), gen));
+      }
+      candidate = mutate(space, std::move(candidate), max_step, rng);
+      const std::size_t index = measure_config(candidate);
+      if (index == kNone) break;  // budget exhausted mid-generation
+      offspring.push_back(index);
+    }
+    // Elitist survival: parents and offspring compete for pop_size slots.
+    population.insert(population.end(), offspring.begin(), offspring.end());
+    std::sort(population.begin(), population.end());
+    population.erase(std::unique(population.begin(), population.end()), population.end());
+    std::stable_sort(population.begin(), population.end(), [&](std::size_t a, std::size_t b) {
+      return result.measurements[a].seconds < result.measurements[b].seconds;
+    });
+    if (population.size() > pop_size) population.resize(pop_size);
+  }
+
+  for (const auto& m : result.measurements) {
+    if (m.seconds < result.best_seconds) {
+      result.best_seconds = m.seconds;
+      result.best = m.point;
+    }
+  }
+  result.stats.skipped = space.size() - std::min(result.stats.measured, space.size());
+  return result;
+}
+
+}  // namespace apollo::ml::search

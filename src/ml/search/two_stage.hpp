@@ -1,0 +1,149 @@
+#pragma once
+
+// Two-stage tuning search: model-seeded + evolutionary refinement.
+//
+// Stage 1 ranks the whole variant space with a *cheap* deterministic
+// objective — the analytic machine model in src/sim/ — and selects a small,
+// diverse seed population (the MP-optimizer pattern from Odyssey/AutoSA:
+// an approximate model prunes the space before anything is measured).
+// Stage 2 refines the seeds with an evolutionary loop over *measured*
+// fitness: tournament selection, uniform crossover over the typed parameter
+// lanes, mutation with a per-dimension step schedule that halves each
+// generation, and early abort of configurations already dominated at partial
+// sample count. The measurement budget is a hard cap on the number of
+// distinct configurations measured; exhausting it mid-generation stops the
+// search cleanly with everything measured so far.
+//
+// The engine is deliberately decoupled from the Runtime: callers supply the
+// cheap objective, the measurement function, and an optional canonical key
+// (so equivalent configurations — e.g. sequential execution, where chunk and
+// team size are meaningless — dedupe to one measurement). See docs/search.md.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "ml/search/space.hpp"
+
+namespace apollo::ml::search {
+
+/// Deterministic splitmix64 stream: every random choice in the search comes
+/// from here, so a fixed seed reproduces the full trajectory (the unit tests
+/// rely on this, and so does apollo_replay when auditing searched labels).
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) noexcept : state(seed ^ 0x9e3779b97f4a7c15ULL) {}
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::size_t below(std::size_t n) noexcept { return n > 0 ? next() % n : 0; }
+};
+
+struct SearchConfig {
+  /// Hard cap on distinct configurations measured (0 = derive from
+  /// budget_fraction x space size). Anchors always fit: the effective budget
+  /// is at least anchors + 2 so a search can never starve the trainer of the
+  /// baseline variants it needs.
+  std::size_t budget = 0;
+  double budget_fraction = 0.10;
+  /// Stage-1 seed population drawn from the model ranking (diversified).
+  std::size_t seed_k = 8;
+  /// Stage-2 evolutionary generations (0 = model-seeded stage only).
+  std::size_t generations = 4;
+  /// Offspring per generation (0 = seed_k).
+  std::size_t population = 0;
+  /// Tournament size for parent selection.
+  std::size_t tournament = 2;
+  /// Measured samples averaged per configuration; > 1 enables the dominance
+  /// early-abort at partial sample count.
+  std::size_t samples_per_config = 1;
+  /// Abort a configuration whose partial mean already exceeds this multiple
+  /// of the best full mean seen so far.
+  double abort_margin = 1.5;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// One measured configuration (mean of the samples actually taken).
+struct Measurement {
+  Point point;
+  double seconds = 0.0;
+  std::size_t samples = 0;
+  bool aborted = false;  ///< dominance early-abort fired before all samples
+};
+
+struct SearchStats {
+  std::size_t measured = 0;  ///< distinct configurations measured
+  std::size_t skipped = 0;   ///< space size - measured (never touched)
+  std::size_t seeded = 0;    ///< stage-1 seeds (incl. anchors)
+  std::size_t aborted = 0;   ///< configurations cut short by dominance
+  std::size_t cache_hits = 0;  ///< offspring deduped onto prior measurements
+  bool budget_exhausted = false;
+};
+
+struct Result {
+  std::vector<Measurement> measurements;  ///< everything measured, in order
+  Point best;
+  double best_seconds = std::numeric_limits<double>::infinity();
+  SearchStats stats;
+};
+
+/// Deterministic model estimate for a configuration (stage 1; free).
+using CheapFn = std::function<double(const Point&)>;
+/// One measured sample for a configuration (stage 2; costs budget).
+using MeasureFn = std::function<double(const Point&)>;
+/// Canonical dedupe key: equivalent configurations map to the same key.
+using CanonicalFn = std::function<std::uint64_t(const Point&)>;
+
+class TwoStageSearch {
+public:
+  explicit TwoStageSearch(SearchConfig config) : config_(config) {}
+
+  [[nodiscard]] const SearchConfig& config() const noexcept { return config_; }
+
+  /// Run both stages. `anchors` are always measured first (the runtime pins
+  /// the baseline variants its trainer labelling rules require).
+  [[nodiscard]] Result run(const Space& space, const CheapFn& cheap, const MeasureFn& measure,
+                           const std::vector<Point>& anchors = {},
+                           const CanonicalFn& canonical = nullptr) const;
+
+  /// The effective configuration budget for a space of `space_size` points.
+  [[nodiscard]] std::size_t effective_budget(std::size_t space_size,
+                                             std::size_t anchor_count) const;
+
+  // --- evolutionary operators (exposed for deterministic unit tests) -------
+
+  /// Uniform per-lane crossover: each lane's index comes from one parent.
+  [[nodiscard]] static Point crossover(const Point& a, const Point& b, Rng& rng);
+
+  /// Mutate at least one lane, stepping the value index by up to `max_step`
+  /// positions (clamped to the lane). The caller derives max_step from the
+  /// generation number: step_for_generation halves it each generation, so
+  /// early generations jump across the lane and late ones refine locally.
+  [[nodiscard]] static Point mutate(const Space& space, Point point, std::size_t max_step,
+                                    Rng& rng);
+
+  /// Per-dimension step schedule: lane extent / 2^(generation+1), floor 1.
+  [[nodiscard]] static std::size_t step_for_generation(std::size_t lane_extent,
+                                                       std::size_t generation);
+
+  /// Index of the fittest (lowest seconds) of `tournament` sampled entrants.
+  [[nodiscard]] static std::size_t tournament_select(const std::vector<double>& fitness,
+                                                     std::size_t tournament, Rng& rng);
+
+  /// Greedy max-min-distance diversification: from `ranked` (best model cost
+  /// first) pick `count` points, always taking the candidate farthest (L1,
+  /// index space) from everything already picked. Keeps the seed population
+  /// from collapsing onto one model-favoured ridge.
+  [[nodiscard]] static std::vector<Point> diversify(const Space& space,
+                                                    const std::vector<Point>& ranked,
+                                                    std::size_t count);
+
+private:
+  SearchConfig config_;
+};
+
+}  // namespace apollo::ml::search

@@ -35,12 +35,24 @@ public:
   /// Called on the background thread after a successful retrain. Must be
   /// thread-safe (ModelRegistry::publish is).
   using PublishFn = std::function<void(Result)>;
+  /// Sample augmentation run on the background lane before fitting: returns
+  /// extra records to train on (the two-stage search synthesizes budgeted
+  /// variant measurements for the window's launch groups; see docs/search.md).
+  /// Runs inside the timed retrain, so its cost feeds the duty-cycle
+  /// throttle like any other training work. Must be self-contained — it
+  /// executes concurrently with tuned dispatch on the application threads.
+  using AugmentFn =
+      std::function<std::vector<perf::SampleRecord>(const std::vector<perf::SampleRecord>&)>;
 
   explicit Retrainer(ml::TreeParams params = {});
   ~Retrainer();
 
   void set_publisher(PublishFn publisher) { publisher_ = std::move(publisher); }
   void set_tree_params(const ml::TreeParams& params) { params_ = params; }
+  /// Install (or clear, with nullptr) the pre-fit augmentation. Configure
+  /// before retrains begin: the hook is read on the background lane.
+  void set_augment(AugmentFn augment) { augment_ = std::move(augment); }
+  [[nodiscard]] bool has_augment() const noexcept { return static_cast<bool>(augment_); }
 
   /// Which parameters to (re)fit. Policy is always fitted; chunk/threads are
   /// fitted only when enabled AND the samples contain usable sweep data.
@@ -79,6 +91,7 @@ private:
 
   ml::TreeParams params_;
   PublishFn publisher_;
+  AugmentFn augment_;
   bool train_chunk_ = false;
   bool train_threads_ = false;
   std::atomic<bool> busy_{false};

@@ -43,6 +43,7 @@ perf::SampleRecord Sample::materialize() const {
   record[features::kParamPolicy] = raja::policy_name(policy);
   record[features::kParamChunk] = chunk;
   if (threads > 0) record[features::kParamThreads] = static_cast<std::int64_t>(threads);
+  if (bytes_per_iter > 0) record[features::kMeasureBytesPerIter] = bytes_per_iter;
   record[features::kMeasureRuntime] = seconds;
   return record;
 }

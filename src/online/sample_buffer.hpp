@@ -42,6 +42,9 @@ struct Sample {
   std::int64_t num_indices = 0;
   std::int64_t num_segments = 0;
   std::int64_t stride = 1;
+  /// Kernel bytes/iteration, for offline CostQuery reconstruction (meta key
+  /// measure:bytes_per_iter; 0 = unknown, omitted from the record).
+  std::int64_t bytes_per_iter = 0;
   /// Blackboard snapshot at launch time (shared, immutable; may be null).
   std::shared_ptr<const perf::SampleRecord> app;
   raja::PolicyType policy = raja::PolicyType::seq_segit_seq_exec;

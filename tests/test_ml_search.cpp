@@ -1,0 +1,267 @@
+// Unit tests for the two-stage tuning search engine: typed-lane spaces, the
+// deterministic evolutionary operators, budget accounting, dominance
+// early-abort, and full runs against synthetic objectives. Everything is
+// seeded, so each assertion pins one reproducible trajectory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "ml/search/space.hpp"
+#include "ml/search/two_stage.hpp"
+
+using namespace apollo::ml::search;
+
+namespace {
+
+Space small_space() {
+  return Space{{Lane{"policy", {0, 1}}, Lane{"chunk", {0, 1, 2, 4, 8, 16, 32, 64}}}};
+}
+
+double lane_value_objective(const Space& space, const Point& point) {
+  // Convex in the chunk lane with the optimum at value 8, plus a policy
+  // penalty: the unique global optimum is (policy=1, chunk=8).
+  const double chunk = static_cast<double>(space.value(point, 1));
+  const double policy = static_cast<double>(space.value(point, 0));
+  return std::abs(chunk - 8.0) + (policy == 0.0 ? 5.0 : 0.0) + 1.0;
+}
+
+}  // namespace
+
+TEST(SearchSpace, EncodeDecodeRoundTrip) {
+  const Space space = small_space();
+  EXPECT_EQ(space.lane_count(), 2u);
+  EXPECT_EQ(space.size(), 16u);
+  for (std::size_t flat = 0; flat < space.size(); ++flat) {
+    EXPECT_EQ(space.encode(space.decode(flat)), flat);
+  }
+  const Point point{1, 3};
+  EXPECT_EQ(space.value(point, 0), 1);
+  EXPECT_EQ(space.value(point, 1), 4);
+  EXPECT_EQ(Space::distance({0, 7}, {1, 2}), 6u);
+}
+
+TEST(SearchSpace, RejectsDegenerateLanes) {
+  EXPECT_THROW((Space{std::vector<Lane>{}}), std::invalid_argument);
+  EXPECT_THROW((Space{{Lane{"empty", {}}}}), std::invalid_argument);
+}
+
+TEST(TwoStage, EffectiveBudgetFloorsAndCaps) {
+  SearchConfig config;
+  config.budget_fraction = 0.10;
+  EXPECT_EQ(TwoStageSearch(config).effective_budget(128, 2), 13u);  // ceil(12.8)
+  config.budget = 3;
+  EXPECT_EQ(TwoStageSearch(config).effective_budget(128, 2), 4u);  // anchors + 2 floor
+  config.budget = 1000;
+  EXPECT_EQ(TwoStageSearch(config).effective_budget(128, 2), 128u);  // space cap
+}
+
+TEST(TwoStage, CrossoverTakesEveryLaneFromAParent) {
+  Rng rng(42);
+  const Point a{0, 1, 2, 3};
+  const Point b{3, 2, 1, 0};
+  for (int rep = 0; rep < 64; ++rep) {
+    const Point child = TwoStageSearch::crossover(a, b, rng);
+    ASSERT_EQ(child.size(), a.size());
+    for (std::size_t l = 0; l < child.size(); ++l) {
+      EXPECT_TRUE(child[l] == a[l] || child[l] == b[l]) << "lane " << l;
+    }
+  }
+  // Deterministic: the same seed replays the same child sequence.
+  Rng rng1(7), rng2(7);
+  EXPECT_EQ(TwoStageSearch::crossover(a, b, rng1), TwoStageSearch::crossover(a, b, rng2));
+}
+
+TEST(TwoStage, MutateStaysInBoundsAndIsDeterministic) {
+  const Space space = small_space();
+  Rng rng1(11), rng2(11);
+  bool changed = false;
+  for (int rep = 0; rep < 128; ++rep) {
+    const Point base{static_cast<std::size_t>(rep) % 2, static_cast<std::size_t>(rep) % 8};
+    const Point m1 = TwoStageSearch::mutate(space, base, 3, rng1);
+    const Point m2 = TwoStageSearch::mutate(space, base, 3, rng2);
+    EXPECT_EQ(m1, m2);
+    for (std::size_t l = 0; l < m1.size(); ++l) {
+      EXPECT_LT(m1[l], space.lane(l).values.size());
+    }
+    if (m1 != base) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(TwoStage, StepScheduleHalvesPerGeneration) {
+  EXPECT_EQ(TwoStageSearch::step_for_generation(16, 0), 8u);
+  EXPECT_EQ(TwoStageSearch::step_for_generation(16, 1), 4u);
+  EXPECT_EQ(TwoStageSearch::step_for_generation(16, 2), 2u);
+  EXPECT_EQ(TwoStageSearch::step_for_generation(16, 3), 1u);
+  EXPECT_EQ(TwoStageSearch::step_for_generation(16, 10), 1u);  // floor
+  EXPECT_EQ(TwoStageSearch::step_for_generation(1, 0), 1u);
+}
+
+TEST(TwoStage, TournamentPrefersFitterEntrants) {
+  const std::vector<double> fitness{5.0, 1.0, 3.0, 9.0};
+  Rng rng(123);
+  // A tournament as large as several population sizes almost surely samples
+  // the argmin; with a fixed seed this is exact.
+  for (int rep = 0; rep < 16; ++rep) {
+    EXPECT_EQ(TwoStageSearch::tournament_select(fitness, 64, rng), 1u);
+  }
+  // Tournament of one is a plain draw, but always in range.
+  for (int rep = 0; rep < 16; ++rep) {
+    EXPECT_LT(TwoStageSearch::tournament_select(fitness, 1, rng), fitness.size());
+  }
+}
+
+TEST(TwoStage, DiversifyKeepsTopRankAndSpreadsOut) {
+  Space line{{Lane{"v", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}}};
+  std::vector<Point> ranked;
+  for (std::size_t i = 0; i < 10; ++i) ranked.push_back({i});
+  const auto picked = TwoStageSearch::diversify(line, ranked, 3);
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0], (Point{0}));  // the model's favourite always seeds
+  EXPECT_EQ(picked[1], (Point{9}));  // then the farthest point
+  // All distinct.
+  EXPECT_NE(picked[2], picked[0]);
+  EXPECT_NE(picked[2], picked[1]);
+}
+
+TEST(TwoStage, PerfectModelFindsOptimumUnderFractionBudget) {
+  const Space space = small_space();
+  SearchConfig config;
+  config.budget_fraction = 0.5;
+  config.seed_k = 4;
+  config.generations = 3;
+  const auto objective = [&](const Point& point) { return lane_value_objective(space, point); };
+  const Result result = TwoStageSearch(config).run(space, objective, objective);
+  EXPECT_EQ(space.value(result.best, 0), 1);
+  EXPECT_EQ(space.value(result.best, 1), 8);
+  EXPECT_DOUBLE_EQ(result.best_seconds, 1.0);
+  EXPECT_LE(result.stats.measured, 8u);  // half of the 16-point space
+  EXPECT_EQ(result.stats.skipped, space.size() - result.stats.measured);
+}
+
+TEST(TwoStage, MisleadingModelStillRefinesByMeasurement) {
+  const Space space = small_space();
+  SearchConfig config;
+  config.budget = 12;
+  config.seed_k = 4;
+  config.generations = 4;
+  // The model inverts the truth, so stage 1 seeds in the wrong region; the
+  // evolutionary stage must climb out using measured fitness alone.
+  const auto truth = [&](const Point& point) { return lane_value_objective(space, point); };
+  const auto wrong = [&](const Point& point) { return -lane_value_objective(space, point); };
+  const Result result = TwoStageSearch(config).run(space, wrong, truth);
+  double model_pick = std::numeric_limits<double>::infinity();
+  for (std::size_t flat = 0; flat < space.size(); ++flat) {
+    const Point point = space.decode(flat);
+    if (wrong(point) < model_pick) model_pick = truth(point);
+  }
+  // Measured refinement beats trusting the (wrong) model outright.
+  EXPECT_LT(result.best_seconds, model_pick);
+  EXPECT_LE(result.stats.measured, 12u);
+}
+
+TEST(TwoStage, DominanceAbortsHopelessConfigurations) {
+  const Space space = small_space();
+  SearchConfig config;
+  config.budget = 8;
+  config.seed_k = 4;
+  config.generations = 2;
+  config.samples_per_config = 4;
+  config.abort_margin = 1.5;
+  std::size_t calls = 0;
+  const auto measure = [&](const Point& point) {
+    ++calls;
+    // Anchor (0,0) is excellent; everything else is 10x worse.
+    return point[0] == 0 && point[1] == 0 ? 1.0 : 10.0;
+  };
+  // A flat cheap objective keeps stage-1 ranking from touching `calls`.
+  const Result result =
+      TwoStageSearch(config).run(space, [](const Point&) { return 0.0; }, measure, {{0, 0}});
+  ASSERT_FALSE(result.measurements.empty());
+  // The anchor took all four samples (nothing dominated it)...
+  EXPECT_EQ(result.measurements.front().samples, 4u);
+  EXPECT_FALSE(result.measurements.front().aborted);
+  // ...and every 10x-worse configuration aborted after one partial sample.
+  std::size_t aborted = 0;
+  for (std::size_t i = 1; i < result.measurements.size(); ++i) {
+    if (result.measurements[i].aborted) {
+      ++aborted;
+      EXPECT_EQ(result.measurements[i].samples, 1u);
+      EXPECT_DOUBLE_EQ(result.measurements[i].seconds, 10.0);
+    }
+  }
+  EXPECT_EQ(aborted, result.stats.aborted);
+  EXPECT_GT(aborted, 0u);
+  // Early abort saved samples: strictly fewer calls than full sampling.
+  EXPECT_LT(calls, result.stats.measured * config.samples_per_config);
+}
+
+TEST(TwoStage, BudgetExhaustionMidGenerationStopsCleanly) {
+  const Space space = small_space();
+  SearchConfig config;
+  config.budget = 4;  // 2 anchors + 2: the floor
+  config.seed_k = 8;  // wants more seeds than the budget allows
+  config.generations = 5;
+  const auto objective = [&](const Point& point) { return lane_value_objective(space, point); };
+  const Result result =
+      TwoStageSearch(config).run(space, objective, objective, {{0, 0}, {1, 0}});
+  EXPECT_TRUE(result.stats.budget_exhausted);
+  EXPECT_EQ(result.stats.measured, 4u);
+  EXPECT_EQ(result.measurements.size(), 4u);
+  EXPECT_EQ(result.stats.skipped, space.size() - 4u);
+  // The anchors were measured before anything else.
+  EXPECT_EQ(result.measurements[0].point, (Point{0, 0}));
+  EXPECT_EQ(result.measurements[1].point, (Point{1, 0}));
+  EXPECT_TRUE(std::isfinite(result.best_seconds));
+}
+
+TEST(TwoStage, CanonicalKeyDedupesEquivalentConfigurations) {
+  const Space space = small_space();
+  SearchConfig config;
+  config.budget = 6;
+  config.seed_k = 4;
+  config.generations = 3;
+  std::size_t measures = 0;
+  const auto measure = [&](const Point& point) {
+    ++measures;
+    return lane_value_objective(space, point);
+  };
+  // Policy 0 ("seq") ignores the chunk lane: all such points share key 0.
+  const auto canonical = [&](const Point& point) -> std::uint64_t {
+    if (point[0] == 0) return 0;
+    return static_cast<std::uint64_t>(space.encode(point)) + 1;
+  };
+  const Result result = TwoStageSearch(config).run(
+      space, [&](const Point& point) { return lane_value_objective(space, point); }, measure,
+      {{0, 0}, {0, 3}}, canonical);
+  // The second anchor is canonically the first: one measurement, one hit.
+  EXPECT_GE(result.stats.cache_hits, 1u);
+  std::size_t seq_measured = 0;
+  for (const auto& m : result.measurements) {
+    if (m.point[0] == 0) ++seq_measured;
+  }
+  EXPECT_EQ(seq_measured, 1u);
+  EXPECT_EQ(measures, result.stats.measured);  // one sample each, no duplicates
+}
+
+TEST(TwoStage, SameSeedReproducesTheFullTrajectory) {
+  const Space space = small_space();
+  SearchConfig config;
+  config.budget = 10;
+  config.seed_k = 4;
+  config.generations = 3;
+  config.seed = 0xfeedULL;
+  const auto objective = [&](const Point& point) { return lane_value_objective(space, point); };
+  const Result a = TwoStageSearch(config).run(space, objective, objective, {{0, 0}, {1, 0}});
+  const Result b = TwoStageSearch(config).run(space, objective, objective, {{0, 0}, {1, 0}});
+  ASSERT_EQ(a.measurements.size(), b.measurements.size());
+  for (std::size_t i = 0; i < a.measurements.size(); ++i) {
+    EXPECT_EQ(a.measurements[i].point, b.measurements[i].point);
+    EXPECT_DOUBLE_EQ(a.measurements[i].seconds, b.measurements[i].seconds);
+  }
+  EXPECT_EQ(a.best, b.best);
+}

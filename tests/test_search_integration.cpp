@@ -1,0 +1,278 @@
+// Integration tests for the two-stage tuning search inside the runtime:
+// hardened APOLLO_SEARCH* env parsing, the Record-mode budgeted sweep (anchor
+// guarantees, trainer compatibility, searched-vs-skipped accounting), the
+// Retrainer's search augmentation in Adapt mode, and tuned dispatch running
+// concurrently with augmented retrains (the TSan lane in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/runtime.hpp"
+#include "core/search_options.hpp"
+#include "core/trainer.hpp"
+#include "telemetry/env.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace apollo;
+
+namespace {
+
+const KernelHandle& search_kernel() {
+  static const KernelHandle k{"test:search", "SearchStream",
+                              instr::MixBuilder{}.fp(2).load(2).store(1).build(), 24};
+  return k;
+}
+
+void launch(std::int64_t size) {
+  auto& rt = Runtime::instance();
+  const raja::IndexSet iset = raja::IndexSet::range(0, size);
+  const ModelParams params = rt.begin(search_kernel(), iset);
+  rt.end(search_kernel(), iset, params);
+}
+
+SearchOptions twostage(std::size_t budget) {
+  SearchOptions options;
+  options.mode = SearchMode::TwoStage;
+  options.budget = budget;
+  options.seed_k = 4;
+  options.generations = 2;
+  return options;
+}
+
+class SearchRuntimeTest : public ::testing::Test {
+protected:
+  void SetUp() override { Runtime::instance().reset(); }
+  void TearDown() override {
+    Runtime::instance().reset();
+    telemetry::set_enabled(false);
+  }
+};
+
+}  // namespace
+
+TEST(SearchOptionsEnv, GarbageValuesWarnAndKeepDefaults) {
+  // All four knobs route through the hardened telemetry::env parsers:
+  // garbage warns on stderr and keeps the documented default, it never
+  // silently changes how training sweeps cover the space.
+  const char* garbage[] = {"", "abc", "64k", "1e6", "-3", "12 34", "0x1", "TwoStage!"};
+  for (const char* value : garbage) {
+    setenv("APOLLO_SEARCH", value, 1);
+    setenv("APOLLO_SEARCH_BUDGET", value, 1);
+    setenv("APOLLO_SEARCH_SEED_K", value, 1);
+    setenv("APOLLO_SEARCH_GENERATIONS", value, 1);
+    const SearchOptions options = search_options_from_env();
+    EXPECT_EQ(options.mode, SearchMode::Exhaustive) << value;
+    EXPECT_EQ(options.budget, 0u) << value;
+    EXPECT_EQ(options.seed_k, 8u) << value;
+    EXPECT_EQ(options.generations, 4u) << value;
+  }
+  unsetenv("APOLLO_SEARCH");
+  unsetenv("APOLLO_SEARCH_BUDGET");
+  unsetenv("APOLLO_SEARCH_SEED_K");
+  unsetenv("APOLLO_SEARCH_GENERATIONS");
+}
+
+TEST(SearchOptionsEnv, ValidValuesParse) {
+  setenv("APOLLO_SEARCH", "twostage", 1);
+  setenv("APOLLO_SEARCH_BUDGET", "12", 1);
+  setenv("APOLLO_SEARCH_SEED_K", "5", 1);
+  setenv("APOLLO_SEARCH_GENERATIONS", "2", 1);
+  const SearchOptions options = search_options_from_env();
+  EXPECT_EQ(options.mode, SearchMode::TwoStage);
+  EXPECT_EQ(options.budget, 12u);
+  EXPECT_EQ(options.seed_k, 5u);
+  EXPECT_EQ(options.generations, 2u);
+  unsetenv("APOLLO_SEARCH");
+  unsetenv("APOLLO_SEARCH_BUDGET");
+  unsetenv("APOLLO_SEARCH_SEED_K");
+  unsetenv("APOLLO_SEARCH_GENERATIONS");
+}
+
+TEST(SearchOptionsEnv, ChoiceParserKeepsFallbackOnUnknown) {
+  setenv("APOLLO_TEST_CHOICE", "exhaustive", 1);
+  EXPECT_EQ(telemetry::env_choice("APOLLO_TEST_CHOICE", "twostage",
+                                  {"exhaustive", "twostage"}),
+            "exhaustive");
+  setenv("APOLLO_TEST_CHOICE", "Exhaustive", 1);  // case-sensitive by design
+  EXPECT_EQ(telemetry::env_choice("APOLLO_TEST_CHOICE", "twostage",
+                                  {"exhaustive", "twostage"}),
+            "twostage");
+  unsetenv("APOLLO_TEST_CHOICE");
+  EXPECT_EQ(telemetry::env_choice("APOLLO_TEST_CHOICE", "exhaustive",
+                                  {"exhaustive", "twostage"}),
+            "exhaustive");
+}
+
+TEST_F(SearchRuntimeTest, ResetRestoresEnvSearchDefaults) {
+  auto& rt = Runtime::instance();
+  EXPECT_EQ(rt.search_options().mode, SearchMode::Exhaustive);
+  rt.set_search_options(twostage(6));
+  EXPECT_EQ(rt.search_options().mode, SearchMode::TwoStage);
+  EXPECT_EQ(rt.search_options().budget, 6u);
+  rt.reset();
+  EXPECT_EQ(rt.search_options().mode, SearchMode::Exhaustive);
+}
+
+TEST_F(SearchRuntimeTest, TwoStageSweepRespectsBudgetAndMeasuresAnchors) {
+  auto& rt = Runtime::instance();
+  rt.set_execute_selected(false);
+  rt.set_mode(Mode::Record);
+  rt.set_search_options(twostage(6));
+  launch(5000);
+
+  // Exhaustive would emit 13 records (seq + omp default + 11 chunks); the
+  // budgeted search measures exactly its cap.
+  const auto records = rt.records();
+  ASSERT_LE(records.size(), 6u);
+  ASSERT_GE(records.size(), 4u);  // anchors + 2 floor
+  bool seq_anchor = false;
+  bool omp_anchor = false;
+  for (const auto& record : records) {
+    const std::string policy = record.at(features::kParamPolicy).as_string();
+    const std::int64_t chunk = record.at(features::kParamChunk).as_int();
+    if (policy == "seq" && chunk == 0) seq_anchor = true;
+    if (policy == "omp" && chunk == 0) omp_anchor = true;
+    EXPECT_GT(record.at(features::kMeasureRuntime).as_real(), 0.0);
+  }
+  // The trainer's labelling rules depend on both baseline variants existing.
+  EXPECT_TRUE(seq_anchor);
+  EXPECT_TRUE(omp_anchor);
+}
+
+TEST_F(SearchRuntimeTest, TwoStageSweepAccountsSearchedVsSkipped) {
+  auto& rt = Runtime::instance();
+  rt.set_execute_selected(false);
+  rt.set_mode(Mode::Record);
+  rt.set_search_options(twostage(6));
+  telemetry::set_enabled(true);
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const auto measured0 =
+      registry.counter("apollo_search_measured_total", "").value();
+  const auto skipped0 = registry.counter("apollo_search_skipped_total", "").value();
+  const auto seeded0 = registry.counter("apollo_search_seeded_total", "").value();
+  launch(5000);
+  telemetry::set_enabled(false);
+  const auto measured =
+      registry.counter("apollo_search_measured_total", "").value() - measured0;
+  const auto skipped = registry.counter("apollo_search_skipped_total", "").value() - skipped0;
+  const auto seeded = registry.counter("apollo_search_seeded_total", "").value() - seeded0;
+  EXPECT_EQ(measured, rt.record_count());
+  EXPECT_GT(skipped, 0u);  // two-stage never touches most of the space
+  EXPECT_GT(seeded, 0u);   // the model-ranked stage contributed seeds
+  // The (policy x chunk) space has 24 points; measured + skipped covers it.
+  EXPECT_EQ(measured + skipped, 24u);
+}
+
+TEST_F(SearchRuntimeTest, ExhaustiveSweepAlsoCountsMeasured) {
+  auto& rt = Runtime::instance();
+  rt.set_execute_selected(false);
+  rt.set_mode(Mode::Record);  // default options: exhaustive
+  telemetry::set_enabled(true);
+  auto& registry = telemetry::MetricsRegistry::instance();
+  const auto measured0 =
+      registry.counter("apollo_search_measured_total", "").value();
+  const auto skipped0 = registry.counter("apollo_search_skipped_total", "").value();
+  launch(5000);
+  telemetry::set_enabled(false);
+  EXPECT_EQ(registry.counter("apollo_search_measured_total", "").value() - measured0, 13u);
+  EXPECT_EQ(registry.counter("apollo_search_skipped_total", "").value() - skipped0, 0u);
+}
+
+TEST_F(SearchRuntimeTest, TwoStageSweepDataTrainsAUsableModel) {
+  auto& rt = Runtime::instance();
+  rt.set_execute_selected(false);
+  rt.set_mode(Mode::Record);
+  rt.set_search_options(twostage(8));
+  for (const std::int64_t size : {500, 1000, 2000, 100000, 200000, 400000}) {
+    for (int rep = 0; rep < 2; ++rep) launch(size);
+  }
+  const auto records = rt.records();
+  ASSERT_FALSE(records.empty());
+  TunerModel model;
+  ASSERT_NO_THROW(model = Trainer::train(records, TunedParameter::Policy));
+  EXPECT_GT(model.tree().node_count(), 0u);
+}
+
+TEST_F(SearchRuntimeTest, AugmentInstalledOnlyUnderTwoStage) {
+  auto& rt = Runtime::instance();
+  rt.set_execute_selected(false);
+  rt.set_mode(Mode::Adapt);
+  rt.set_search_options(twostage(8));
+  online::OnlineConfig config;
+  rt.configure_online(config);
+  EXPECT_TRUE(rt.online().retrainer().has_augment());
+
+  SearchOptions exhaustive;
+  rt.set_search_options(exhaustive);
+  rt.configure_online(config);
+  EXPECT_FALSE(rt.online().retrainer().has_augment());
+}
+
+TEST_F(SearchRuntimeTest, AdaptRetrainsSucceedWithAugmentation) {
+  auto& rt = Runtime::instance();
+  rt.set_execute_selected(false);
+  rt.set_mode(Mode::Adapt);
+  rt.set_search_options(twostage(8));
+
+  online::OnlineConfig config;
+  config.sample_stride = 1;
+  config.min_retrain_samples = 16;
+  config.retrain_every = 48;
+  config.max_retrain_duty = 0.0;  // unthrottled: the test wants retrains
+  config.explorer.epsilon = 0.10;
+  rt.configure_online(config);
+
+  for (int i = 0; i < 200; ++i) launch(i % 2 == 0 ? 1000 : 200000);
+  rt.online().wait_retrain_idle();
+
+  const auto status = rt.online().status();
+  EXPECT_GE(status.retrains_completed, 1u);
+  EXPECT_EQ(status.retrains_failed, 0u) << rt.online().retrainer().last_error();
+}
+
+// The TSan lane: tuned dispatch on several application threads while the
+// background Retrainer runs budgeted searches (model measurements + record
+// synthesis) inside its timed retrain. The augment closure must share no
+// mutable state with the dispatch path.
+TEST_F(SearchRuntimeTest, ConcurrentDispatchDuringAugmentedRetrains) {
+  auto& rt = Runtime::instance();
+  rt.set_execute_selected(false);
+  rt.set_mode(Mode::Adapt);
+  rt.set_search_options(twostage(8));
+
+  online::OnlineConfig config;
+  config.sample_stride = 1;
+  config.min_retrain_samples = 16;
+  config.retrain_every = 32;
+  config.max_retrain_duty = 0.0;
+  config.explorer.epsilon = 0.10;
+  rt.configure_online(config);
+
+  constexpr int kThreads = 4;
+  constexpr int kLaunches = 150;
+  std::atomic<int> done{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &done] {
+      for (int i = 0; i < kLaunches; ++i) {
+        launch((t + i) % 3 == 0 ? 200000 : 1500);
+      }
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  rt.online().wait_retrain_idle();
+
+  EXPECT_EQ(done.load(), kThreads);
+  const auto status = rt.online().status();
+  EXPECT_EQ(status.retrains_failed, 0u) << rt.online().retrainer().last_error();
+  EXPECT_GE(status.launches, static_cast<std::uint64_t>(kThreads * kLaunches) - 1);
+}
